@@ -1,0 +1,38 @@
+// Shared formatting helpers for the table/figure reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace bcfl::bench {
+
+inline void print_rule(std::size_t width = 100) {
+    std::string line(width, '-');
+    std::printf("%s\n", line.c_str());
+}
+
+inline void print_title(const std::string& title) {
+    std::printf("\n");
+    print_rule();
+    std::printf("%s\n", title.c_str());
+    print_rule();
+}
+
+/// Prints one table row: a label column followed by per-round values.
+inline void print_row(const std::string& label,
+                      const std::vector<double>& values) {
+    std::printf("%-14s", label.c_str());
+    for (double v : values) std::printf(" %6.4f", v);
+    std::printf("\n");
+}
+
+inline void print_round_header(const std::string& label, std::size_t rounds) {
+    std::printf("%-14s", label.c_str());
+    for (std::size_t r = 1; r <= rounds; ++r) {
+        std::printf(" %6zu", r);
+    }
+    std::printf("\n");
+}
+
+}  // namespace bcfl::bench

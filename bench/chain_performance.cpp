@@ -1,0 +1,195 @@
+// E3 — chain-performance claims from §II-A2 (the background the paper builds
+// its asynchronous-aggregation argument on) plus the Figure-2 workflow:
+//
+//   (a) throughput and inclusion latency vs number of participants — prior
+//       work reports throughput roughly halving when participants double;
+//   (b) block interval vs PoW difficulty at fixed hash rate;
+//   (c) block propagation delay vs payload (model) size.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "crypto/keccak.hpp"
+#include "net/network.hpp"
+#include "net/sim.hpp"
+#include "node/node.hpp"
+#include "vm/registry_contract.hpp"
+
+namespace {
+
+using namespace bcfl;
+namespace abi = vm::registry_abi;
+
+struct ThroughputPoint {
+    std::size_t participants;
+    double txs_per_second;
+    double mean_inclusion_latency_s;
+    double mean_block_interval_s;
+};
+
+/// Saturates the chain with chunk transactions at a fixed *total* offered
+/// load and measures canonical throughput. Block capacity is bounded by the
+/// gas limit and every block must reach every peer over a shared 20 Mbit/s
+/// uplink, so doubling the participant count inflates propagation time,
+/// multiplies gossip copies and erodes effective throughput — the
+/// degradation SS II-A2 cites.
+ThroughputPoint measure_throughput(std::size_t participants,
+                                   std::size_t payload_bytes,
+                                   net::SimTime horizon) {
+    net::Simulation sim;
+    net::LinkParams link;
+    link.bytes_per_us = 2.5;   // 20 Mbit/s shared uplink
+    link.latency = net::ms(20);
+    net::Network network(sim, link, 17);
+    chain::ChainConfig chain_config;
+    chain_config.initial_difficulty = 1200;
+    chain_config.min_difficulty = 64;
+    chain_config.target_interval_ms = 4000;
+    chain_config.block_gas_limit = 8'000'000;  // ~ a dozen chunk txs / block
+
+    std::vector<std::unique_ptr<node::Node>> nodes;
+    for (std::size_t i = 0; i < participants; ++i) {
+        node::NodeConfig config;
+        config.chain = chain_config;
+        config.key_seed = 100 + i;
+        config.hash_rate = 2400.0 / static_cast<double>(participants);
+        config.rng_seed = 50 + i;
+        nodes.push_back(std::make_unique<node::Node>(sim, network, config));
+    }
+    for (auto& node : nodes) node->start();
+
+    // Fixed total offered load: 4 chunk txs per second across all senders.
+    std::vector<std::uint64_t> nonces(participants, 0);
+    std::unordered_map<Hash32, net::SimTime, FixedBytesHasher> submit_time;
+    const Bytes payload(payload_bytes, 0x37);
+    const net::SimTime period =
+        net::seconds(1) * participants / 4;  // per-sender period
+    std::function<void(std::size_t)> spam = [&](std::size_t i) {
+        auto tx = chain::Transaction::make_signed(
+            nodes[i]->key(), nonces[i]++, vm::registry_address(),
+            21'000 + 16 * (payload.size() + 100) + 400'000, 1,
+            abi::chunk_calldata(1, nonces[i], payload));
+        submit_time[tx.hash()] = sim.now();
+        nodes[i]->submit_tx(tx);
+        if (sim.now() + period < horizon) {
+            sim.schedule_after(period, [&, i] { spam(i); });
+        }
+    };
+    for (std::size_t i = 0; i < participants; ++i) spam(i);
+    sim.run_until(horizon);
+
+    // Measure from node 0's canonical chain.
+    const auto& chain = nodes[0]->chain();
+    std::size_t mined = 0;
+    double latency_sum = 0.0;
+    std::size_t latency_samples = 0;
+    for (std::uint64_t n = 1; n <= chain.height(); ++n) {
+        const chain::Block* block = chain.block_by_number(n);
+        mined += block->transactions.size();
+        for (const auto& tx : block->transactions) {
+            const auto it = submit_time.find(tx.hash());
+            if (it == submit_time.end()) continue;
+            const double latency =
+                static_cast<double>(block->header.timestamp_ms) / 1000.0 -
+                net::to_seconds(it->second);
+            if (latency >= 0) {
+                latency_sum += latency;
+                ++latency_samples;
+            }
+        }
+    }
+
+    ThroughputPoint point;
+    point.participants = participants;
+    point.txs_per_second =
+        static_cast<double>(mined) / net::to_seconds(horizon);
+    point.mean_inclusion_latency_s =
+        latency_samples ? latency_sum / static_cast<double>(latency_samples)
+                        : 0.0;
+    point.mean_block_interval_s =
+        chain.height() > 0
+            ? net::to_seconds(horizon) / static_cast<double>(chain.height())
+            : 0.0;
+    return point;
+}
+
+void BM_ThroughputVsParticipants(benchmark::State& state) {
+    for (auto _ : state) {
+        bench::print_title(
+            "E3a — throughput & inclusion latency vs participants "
+            "(64 KB chunk txs, saturated, 20 Mbit/s shared uplinks)");
+        std::printf("%12s %14s %22s %20s\n", "participants", "txs/s",
+                    "inclusion latency (s)", "block interval (s)");
+        for (std::size_t n : {2, 4, 8, 16}) {
+            const ThroughputPoint p =
+                measure_throughput(n, 64 * 1024, net::seconds(200));
+            std::printf("%12zu %14.3f %22.2f %20.2f\n", p.participants,
+                        p.txs_per_second, p.mean_inclusion_latency_s,
+                        p.mean_block_interval_s);
+        }
+    }
+}
+
+void BM_BlockIntervalVsDifficulty(benchmark::State& state) {
+    for (auto _ : state) {
+        bench::print_title(
+            "E3b — block interval vs PoW difficulty (1 miner, 400 h/s, "
+            "retarget disabled)");
+        std::printf("%12s %20s %16s\n", "difficulty", "mean interval (s)",
+                    "blocks mined");
+        for (std::uint64_t difficulty : {200u, 400u, 800u, 1600u, 3200u}) {
+            net::Simulation sim;
+            net::Network network(sim, net::LinkParams{}, 3);
+            node::NodeConfig config;
+            config.chain.initial_difficulty = difficulty;
+            config.chain.min_difficulty = difficulty;
+            config.chain.fixed_difficulty = true;
+            config.key_seed = 5;
+            config.hash_rate = 400.0;
+            node::Node node(sim, network, config);
+            node.start();
+            sim.run_until(net::seconds(2000));
+            const double interval =
+                node.chain().height() > 0
+                    ? 2000.0 / static_cast<double>(node.chain().height())
+                    : 0.0;
+            std::printf("%12llu %20.2f %16llu\n",
+                        static_cast<unsigned long long>(difficulty), interval,
+                        static_cast<unsigned long long>(node.chain().height()));
+        }
+    }
+}
+
+void BM_PropagationVsPayload(benchmark::State& state) {
+    for (auto _ : state) {
+        bench::print_title(
+            "E3c — Figure 2 workflow: block propagation delay vs model "
+            "payload size (100 Mbit/s LAN)");
+        std::printf("%16s %24s\n", "payload (KB)", "propagation delay (ms)");
+        for (std::size_t kb : {16u, 64u, 248u, 1024u, 4096u, 21'200u}) {
+            net::Simulation sim;
+            net::LinkParams link;
+            link.jitter_fraction = 0.0;
+            net::Network network(sim, link, 5);
+            net::SimTime delivered = 0;
+            const auto a = network.add_node([](net::NodeId, const Bytes&) {});
+            const auto b = network.add_node(
+                [&](net::NodeId, const Bytes&) { delivered = sim.now(); });
+            (void)a;
+            network.send(0, b, Bytes(kb * 1024, 0x11));
+            sim.run();
+            std::printf("%16zu %24.2f\n", kb,
+                        static_cast<double>(delivered) / 1000.0);
+        }
+    }
+}
+
+}  // namespace
+
+BENCHMARK(BM_ThroughputVsParticipants)->Unit(benchmark::kSecond)->Iterations(1);
+BENCHMARK(BM_BlockIntervalVsDifficulty)->Unit(benchmark::kSecond)->Iterations(1);
+BENCHMARK(BM_PropagationVsPayload)->Unit(benchmark::kSecond)->Iterations(1);
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// E5 — the paper's real-deployment observation: "resource exhaustion due to
+// dual tasks on one peer (mining and training model), a scenario that
+// similar research with simulation experiments do not encounter."
+//
+// (a) a single miner under increasing training CPU load: block interval
+//     inflates as 1/(1-load);
+// (b) the full three-peer deployment with and without contention: per-round
+//     wall clock grows when peers mine and train on the same CPU.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "core/paper_setup.hpp"
+
+namespace {
+
+using namespace bcfl;
+
+void BM_MinerUnderLoad(benchmark::State& state) {
+    for (auto _ : state) {
+        bench::print_title(
+            "E5a — block interval vs training CPU load (single miner, fixed "
+            "difficulty)");
+        std::printf("%12s %22s %14s\n", "cpu load", "mean interval (s)",
+                    "blocks");
+        for (double load : {0.0, 0.25, 0.5, 0.75, 0.9}) {
+            net::Simulation sim;
+            net::Network network(sim, net::LinkParams{}, 3);
+            node::NodeConfig config;
+            config.chain.initial_difficulty = 800;
+            config.chain.min_difficulty = 800;
+            config.chain.fixed_difficulty = true;
+            config.key_seed = 21;
+            config.hash_rate = 400.0;
+            node::Node node(sim, network, config);
+            node.set_compute_load(load);
+            node.start();
+            sim.run_until(net::seconds(3000));
+            const double interval =
+                node.chain().height() > 0
+                    ? 3000.0 / static_cast<double>(node.chain().height())
+                    : 0.0;
+            std::printf("%12.2f %22.2f %14llu\n", load, interval,
+                        static_cast<unsigned long long>(node.chain().height()));
+        }
+    }
+}
+
+void BM_DeploymentWithContention(benchmark::State& state) {
+    const auto data = ml::make_synthetic_cifar(core::paper_data_config());
+    const fl::FlTask task = core::paper_simple_task(data);
+    for (auto _ : state) {
+        bench::print_title(
+            "E5b — full deployment: dual-duty contention vs dedicated roles "
+            "(Simple NN, 4 rounds)");
+        std::printf("%24s %18s %18s %14s\n", "training cpu load",
+                    "round time (s)", "wait time (s)", "chain height");
+        for (double load : {0.0, 0.8, 0.95}) {
+            core::DecentralizedConfig config = core::paper_chain_config();
+            config.rounds = 4;
+            config.train_cpu_load = load;
+            const auto result = core::run_decentralized(task, config);
+            std::printf("%24.2f %18.1f %18.1f %14llu\n", load,
+                        result.mean_round_seconds, result.mean_wait_seconds,
+                        static_cast<unsigned long long>(result.chain_height));
+        }
+    }
+}
+
+}  // namespace
+
+BENCHMARK(BM_MinerUnderLoad)->Unit(benchmark::kSecond)->Iterations(1);
+BENCHMARK(BM_DeploymentWithContention)->Unit(benchmark::kSecond)->Iterations(1);
+BENCHMARK_MAIN();

@@ -1,0 +1,178 @@
+// E6 — substrate microbenchmarks (auto-timed google-benchmark): an honesty
+// check on the costs underlying the simulated deployment, and a performance
+// regression harness for the hand-written crypto/VM/ML kernels.
+#include <benchmark/benchmark.h>
+
+#include "chain/pow.hpp"
+#include "chain/types.hpp"
+#include "crypto/keccak.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/secp256k1.hpp"
+#include "crypto/sha256.hpp"
+#include "fl/fedavg.hpp"
+#include "ml/layers.hpp"
+#include "ml/models.hpp"
+#include "rlp/rlp.hpp"
+#include "vm/evm.hpp"
+#include "vm/registry_contract.hpp"
+
+namespace {
+
+using namespace bcfl;
+
+void BM_Keccak256(benchmark::State& state) {
+    const Bytes data(static_cast<std::size_t>(state.range(0)), 0x5a);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::keccak256(data));
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_Keccak256)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_Sha256(benchmark::State& state) {
+    const Bytes data(static_cast<std::size_t>(state.range(0)), 0x5a);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::sha256(data));
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(65536);
+
+void BM_SchnorrSign(benchmark::State& state) {
+    const auto key = crypto::KeyPair::from_seed(1);
+    const Bytes message = str_bytes("round 3 model update");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(key.sign(message));
+    }
+}
+BENCHMARK(BM_SchnorrSign);
+
+void BM_SchnorrVerify(benchmark::State& state) {
+    const auto key = crypto::KeyPair::from_seed(1);
+    const Bytes message = str_bytes("round 3 model update");
+    const auto sig = key.sign(message);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::verify(key.public_key(), message, sig));
+    }
+}
+BENCHMARK(BM_SchnorrVerify);
+
+void BM_MerkleRoot(benchmark::State& state) {
+    std::vector<Hash32> leaves;
+    for (std::size_t i = 0; i < static_cast<std::size_t>(state.range(0)); ++i) {
+        leaves.push_back(crypto::keccak256(be_bytes(i)));
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::merkle_root(leaves));
+    }
+}
+BENCHMARK(BM_MerkleRoot)->Arg(64)->Arg(1024);
+
+void BM_RlpTransactionRoundTrip(benchmark::State& state) {
+    const auto key = crypto::KeyPair::from_seed(3);
+    const auto tx = chain::Transaction::make_signed(
+        key, 7, Address{}, 100'000, 2, Bytes(1024, 0x7e));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(chain::Transaction::decode(tx.encode()));
+    }
+}
+BENCHMARK(BM_RlpTransactionRoundTrip);
+
+void BM_PowHashRate(benchmark::State& state) {
+    chain::BlockHeader header;
+    header.number = 1;
+    header.difficulty = 0xffffffffffffffffull;  // never succeeds: pure rate
+    std::uint64_t nonce = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(chain::mine_seal(header, nonce, 100));
+        nonce += 100;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 100);
+}
+BENCHMARK(BM_PowHashRate);
+
+void BM_RegistryPublishCall(benchmark::State& state) {
+    vm::WorldState base;
+    base.deploy(vm::registry_address(), vm::registry_bytecode());
+    vm::Vm evm;
+    const Bytes calldata = vm::registry_abi::publish_calldata(
+        1, crypto::keccak256(str_bytes("m")), 4, 1024);
+    for (auto _ : state) {
+        vm::WorldState state_copy = base;
+        vm::CallContext ctx;
+        ctx.contract = vm::registry_address();
+        ctx.caller = crypto::KeyPair::from_seed(1).address();
+        ctx.calldata = calldata;
+        ctx.gas_limit = 10'000'000;
+        benchmark::DoNotOptimize(evm.call(state_copy, ctx));
+    }
+}
+BENCHMARK(BM_RegistryPublishCall);
+
+void BM_VmChunkStore64K(benchmark::State& state) {
+    vm::WorldState base;
+    base.deploy(vm::registry_address(), vm::registry_bytecode());
+    vm::Vm evm;
+    const Bytes calldata =
+        vm::registry_abi::chunk_calldata(1, 0, Bytes(64 * 1024, 0x42));
+    for (auto _ : state) {
+        vm::WorldState state_copy = base;
+        vm::CallContext ctx;
+        ctx.contract = vm::registry_address();
+        ctx.caller = crypto::KeyPair::from_seed(1).address();
+        ctx.calldata = calldata;
+        ctx.gas_limit = 100'000'000;
+        benchmark::DoNotOptimize(evm.call(state_copy, ctx));
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 64 *
+                            1024);
+}
+BENCHMARK(BM_VmChunkStore64K);
+
+void BM_MatmulNN(benchmark::State& state) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    std::vector<float> a(n * n, 1.5f), b(n * n, 0.5f), out(n * n);
+    for (auto _ : state) {
+        ml::matmul_nn(a.data(), b.data(), out.data(), n, n, n, false);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 * n *
+                            n * n);
+}
+BENCHMARK(BM_MatmulNN)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SimpleNnForwardBatch32(benchmark::State& state) {
+    ml::Sequential model = ml::make_simple_nn(ml::InputDims{}, 1);
+    ml::Tensor batch({32, 3, 12, 12});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.forward(batch, false));
+    }
+}
+BENCHMARK(BM_SimpleNnForwardBatch32);
+
+void BM_EffnetBackboneBatch32(benchmark::State& state) {
+    ml::EffNetLite model = ml::make_effnet_lite(ml::InputDims{}, 1);
+    ml::Tensor batch({32, 3, 12, 12});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.backbone.forward(batch, false));
+    }
+}
+BENCHMARK(BM_EffnetBackboneBatch32);
+
+void BM_FedAvgThreeClients(benchmark::State& state) {
+    std::vector<fl::ModelUpdate> updates(3);
+    for (auto& u : updates) {
+        u.weights.assign(42'538, 0.25f);
+        u.sample_count = 600;
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(fl::fedavg(updates));
+    }
+}
+BENCHMARK(BM_FedAvgThreeClients);
+
+}  // namespace
+
+BENCHMARK_MAIN();

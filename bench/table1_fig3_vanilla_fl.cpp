@@ -1,0 +1,90 @@
+// E1 — Table I + Figure 3: Vanilla (centralized) FL, clients' test accuracy
+// under the two aggregation policies ("consider" vs "not consider"), for the
+// Simple NN and the EfficientNet-B0-lite transfer-learning model.
+//
+// Paper shape to reproduce:
+//   * Simple NN climbs slowly from ~0.22-0.28 to ~0.60; the two policies end
+//     within ~1 point of each other ("consider" slightly ahead).
+//   * Efficient-B0 starts high (~0.80, thanks to transfer learning) and
+//     plateaus ~0.85-0.86 with small fluctuations between the policies.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "core/paper_setup.hpp"
+#include "fl/task.hpp"
+#include "fl/vanilla.hpp"
+
+namespace {
+
+using namespace bcfl;
+
+ml::FederatedData benchmark_data() {
+    return ml::make_synthetic_cifar(core::paper_data_config());
+}
+
+void print_table1_block(const std::string& model_name, const fl::FlTask& task,
+                        std::size_t rounds) {
+    fl::VanillaConfig consider;
+    consider.rounds = rounds;
+    consider.mode = fl::AggregationMode::consider;
+    fl::VanillaConfig vanilla = consider;
+    vanilla.mode = fl::AggregationMode::not_consider;
+
+    const fl::VanillaResult with_selection = run_vanilla(task, consider);
+    const fl::VanillaResult plain = run_vanilla(task, vanilla);
+
+    bench::print_title("Table I block — " + model_name +
+                       " (clients' test accuracy per round)");
+    bench::print_round_header("client/policy", rounds);
+    for (std::size_t c = 0; c < task.clients; ++c) {
+        const std::string client(1, static_cast<char>('A' + c));
+        std::vector<double> consider_row, plain_row;
+        for (std::size_t r = 0; r < rounds; ++r) {
+            consider_row.push_back(with_selection.rounds[r].client_accuracy[c]);
+            plain_row.push_back(plain.rounds[r].client_accuracy[c]);
+        }
+        bench::print_row(client + " consider", consider_row);
+        bench::print_row(client + " not-cons.", plain_row);
+    }
+
+    std::printf("\nFigure 3 series (%s): per-client accuracy curves are the "
+                "rows above;\nfinal-round gap (consider - not consider): ",
+                model_name.c_str());
+    double gap = 0.0;
+    for (std::size_t c = 0; c < task.clients; ++c) {
+        gap += with_selection.rounds[rounds - 1].client_accuracy[c] -
+               plain.rounds[rounds - 1].client_accuracy[c];
+    }
+    std::printf("%+.4f (mean over clients)\n", gap / double(task.clients));
+
+    std::printf("chosen combinations (consider): ");
+    for (std::size_t r = 0; r < rounds; ++r) {
+        std::printf("%s%s", r ? " " : "",
+                    fl::combination_label(with_selection.rounds[r].chosen,
+                                          "ABC")
+                        .c_str());
+    }
+    std::printf("\n");
+}
+
+void BM_Table1_SimpleNN(benchmark::State& state) {
+    const auto data = benchmark_data();
+    const fl::FlTask task = core::paper_simple_task(data);
+    for (auto _ : state) {
+        print_table1_block("Simple NN", task, 10);
+    }
+}
+
+void BM_Table1_EffNetB0(benchmark::State& state) {
+    const auto data = benchmark_data();
+    const fl::FlTask task = core::paper_effnet_task(data);
+    for (auto _ : state) {
+        print_table1_block("Efficient-B0 (lite, transfer learning)", task, 10);
+    }
+}
+
+}  // namespace
+
+BENCHMARK(BM_Table1_SimpleNN)->Unit(benchmark::kSecond)->Iterations(1);
+BENCHMARK(BM_Table1_EffNetB0)->Unit(benchmark::kSecond)->Iterations(1);
+BENCHMARK_MAIN();

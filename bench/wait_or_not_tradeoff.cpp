@@ -1,0 +1,108 @@
+// E4 — the paper's headline question: "Should we prioritize waiting for all
+// models for aggregation, or accept a slight reduction in accuracy to
+// expedite the process asynchronously?"
+//
+// Sweep: wait-for-K aggregation (K = 1, 2, 3) for both model families, with
+// the chain carrying payloads at the *paper-reported* byte sizes (Simple NN
+// 248 KB, EfficientNet-B0 21.2 MB — ballast pads our miniature weights up to
+// the deployment scale; see DESIGN.md §3.4).
+//
+// Expected shape (paper conclusion): asynchronous aggregation cuts the round
+// time substantially; for the simple model the accuracy cost is negligible
+// (<~1 point), for the complex model waiting for all models buys visibly
+// more accuracy (self/partial combos trail the full aggregation).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "core/paper_setup.hpp"
+
+namespace {
+
+using namespace bcfl;
+
+struct SweepRow {
+    std::size_t wait_k;
+    double mean_round_s;
+    double mean_wait_s;
+    double mean_models_used;
+    double final_accuracy;  // mean chosen accuracy, last round, over peers
+};
+
+SweepRow run_point(const fl::FlTask& task, std::size_t wait_k,
+                   std::size_t payload_bytes, std::size_t rounds) {
+    core::DecentralizedConfig config = core::paper_chain_config();
+    config.rounds = rounds;
+    config.wait_for_models = wait_k;
+    config.wait_timeout = net::seconds(600);
+    config.chunk_bytes = 512 * 1024;
+    // Ballast on top of the real serialized weights, up to the paper size.
+    const std::size_t real_bytes = 13 + 4 * 42'538 + 32;  // upper bound
+    config.payload_pad_bytes =
+        payload_bytes > real_bytes ? payload_bytes - real_bytes : 0;
+    const core::DecentralizedResult result =
+        core::run_decentralized(task, config);
+
+    SweepRow row;
+    row.wait_k = wait_k;
+    row.mean_round_s = result.mean_round_seconds;
+    row.mean_wait_s = result.mean_wait_seconds;
+    double models = 0.0;
+    double accuracy = 0.0;
+    std::size_t samples = 0;
+    for (const auto& records : result.peer_records) {
+        for (const auto& record : records) {
+            models += static_cast<double>(record.models_available);
+            ++samples;
+        }
+        if (!records.empty()) accuracy += records.back().chosen_accuracy;
+    }
+    row.mean_models_used =
+        samples ? models / static_cast<double>(samples) : 0.0;
+    row.final_accuracy =
+        accuracy / static_cast<double>(result.peer_records.size());
+    return row;
+}
+
+void run_sweep(const std::string& name, const fl::FlTask& task,
+               std::size_t payload_bytes, std::size_t rounds) {
+    bench::print_title(
+        "E4 — wait-for-K sweep, " + name + " (payload on chain: " +
+        std::to_string(payload_bytes / 1024) + " KB per model)");
+    std::printf("%8s %16s %16s %14s %16s %18s\n", "K", "round time (s)",
+                "wait time (s)", "models used", "final accuracy",
+                "acc vs sync");
+    double sync_accuracy = 0.0;
+    std::vector<SweepRow> rows;
+    for (std::size_t k : {3u, 2u, 1u}) {
+        rows.push_back(run_point(task, k, payload_bytes, rounds));
+        if (k == 3) sync_accuracy = rows.back().final_accuracy;
+    }
+    for (const SweepRow& row : rows) {
+        std::printf("%8zu %16.1f %16.1f %14.2f %16.4f %+17.4f\n", row.wait_k,
+                    row.mean_round_s, row.mean_wait_s, row.mean_models_used,
+                    row.final_accuracy, row.final_accuracy - sync_accuracy);
+    }
+}
+
+void BM_Tradeoff_SimpleNN(benchmark::State& state) {
+    const auto data = ml::make_synthetic_cifar(core::paper_data_config());
+    const fl::FlTask task = core::paper_simple_task(data);
+    for (auto _ : state) {
+        run_sweep("Simple NN", task, core::kPaperSimpleModelBytes, 6);
+    }
+}
+
+void BM_Tradeoff_EffNetB0(benchmark::State& state) {
+    const auto data = ml::make_synthetic_cifar(core::paper_data_config());
+    const fl::FlTask task = core::paper_effnet_task(data);
+    for (auto _ : state) {
+        run_sweep("Efficient-B0 (21.2 MB on chain)", task,
+                  core::kPaperEffnetModelBytes, 4);
+    }
+}
+
+}  // namespace
+
+BENCHMARK(BM_Tradeoff_SimpleNN)->Unit(benchmark::kSecond)->Iterations(1);
+BENCHMARK(BM_Tradeoff_EffNetB0)->Unit(benchmark::kSecond)->Iterations(1);
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Scenario: the paper's central comparison — does decentralizing FL onto a
+// blockchain cost accuracy? Runs the same task through (a) centralized
+// Vanilla FL with both aggregation policies and (b) the blockchain-based
+// deployment, then compares final accuracies.
+//
+//   $ ./build/examples/vanilla_vs_decentralized
+#include <cstdio>
+
+#include "core/paper_setup.hpp"
+#include "fl/vanilla.hpp"
+
+int main() {
+    using namespace bcfl;
+
+    ml::SyntheticCifarConfig data_config = core::paper_data_config();
+    data_config.train_per_client = 400;
+    data_config.test_per_client = 300;
+    const ml::FederatedData data = ml::make_synthetic_cifar(data_config);
+    const fl::FlTask task = core::paper_simple_task(data);
+    constexpr std::size_t kRounds = 5;
+
+    // (a) Centralized Vanilla FL.
+    fl::VanillaConfig vanilla_config;
+    vanilla_config.rounds = kRounds;
+    vanilla_config.mode = fl::AggregationMode::not_consider;
+    const fl::VanillaResult vanilla = run_vanilla(task, vanilla_config);
+
+    vanilla_config.mode = fl::AggregationMode::consider;
+    const fl::VanillaResult considered = run_vanilla(task, vanilla_config);
+
+    // (b) Blockchain-based FL (fully coupled peers).
+    core::DecentralizedConfig chain_config = core::paper_chain_config();
+    chain_config.rounds = kRounds;
+    chain_config.train_duration = net::seconds(20);
+    const core::DecentralizedResult decentralized =
+        core::run_decentralized(task, chain_config);
+
+    const auto mean = [](const std::vector<double>& v) {
+        double acc = 0.0;
+        for (double x : v) acc += x;
+        return acc / static_cast<double>(v.size());
+    };
+
+    std::printf("final accuracy after %zu rounds (%s):\n", kRounds,
+                task.model_name.c_str());
+    std::printf("  vanilla FL, not consider : %.4f\n",
+                mean(vanilla.rounds.back().client_accuracy));
+    std::printf("  vanilla FL, consider     : %.4f\n",
+                mean(considered.rounds.back().client_accuracy));
+    double decentralized_acc = 0.0;
+    for (const auto& records : decentralized.peer_records) {
+        decentralized_acc += records.back().chosen_accuracy;
+    }
+    decentralized_acc /= static_cast<double>(decentralized.peer_records.size());
+    std::printf("  blockchain-based FL      : %.4f\n", decentralized_acc);
+    std::printf("\npaper's finding: the three settings land in the same "
+                "accuracy band —\ndecentralization via blockchain does not "
+                "cost model quality.\n");
+    return 0;
+}

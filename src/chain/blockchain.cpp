@@ -1,0 +1,267 @@
+#include "chain/blockchain.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace bcfl::chain {
+
+Blockchain::Blockchain(ChainConfig config,
+                       std::shared_ptr<BlockExecutor> executor)
+    : config_(config), executor_(std::move(executor)) {
+    if (!executor_) throw Error("blockchain: executor must not be null");
+    Block genesis;
+    genesis.header.number = 0;
+    genesis.header.difficulty = config_.initial_difficulty;
+    genesis.header.timestamp_ms = config_.genesis_timestamp_ms;
+    genesis.header.gas_limit = config_.block_gas_limit;
+    genesis.header.tx_root = genesis.compute_tx_root();
+    genesis_hash_ = genesis.hash();
+    head_hash_ = genesis_hash_;
+    records_.emplace(genesis_hash_,
+                     Record{genesis, {}, crypto::U256{genesis.header.difficulty}});
+    canonical_[0] = genesis_hash_;
+}
+
+const BlockHeader& Blockchain::head() const {
+    return records_.at(head_hash_).block.header;
+}
+
+const Block& Blockchain::genesis() const {
+    return records_.at(genesis_hash_).block;
+}
+
+const Block* Blockchain::block_by_hash(const Hash32& hash) const {
+    const auto it = records_.find(hash);
+    return it == records_.end() ? nullptr : &it->second.block;
+}
+
+const Block* Blockchain::block_by_number(std::uint64_t number) const {
+    const auto it = canonical_.find(number);
+    return it == canonical_.end() ? nullptr : block_by_hash(it->second);
+}
+
+const std::vector<Receipt>* Blockchain::receipts_for(
+    const Hash32& block_hash) const {
+    const auto it = records_.find(block_hash);
+    return it == records_.end() ? nullptr : &it->second.receipts;
+}
+
+std::optional<TxLocation> Blockchain::locate_tx(const Hash32& tx_hash) const {
+    const auto it = tx_index_.find(tx_hash);
+    if (it == tx_index_.end()) return std::nullopt;
+    return it->second;
+}
+
+std::uint64_t Blockchain::child_difficulty(const BlockHeader& parent,
+                                           std::uint64_t timestamp_ms) const {
+    if (config_.fixed_difficulty) return config_.initial_difficulty;
+    if (parent.number == 0) return config_.initial_difficulty;
+    const Block* grandparent = block_by_hash(parent.parent_hash);
+    if (grandparent == nullptr) return parent.difficulty;
+    const std::uint64_t interval =
+        parent.timestamp_ms - grandparent->header.timestamp_ms;
+    (void)timestamp_ms;
+    return next_difficulty(parent.difficulty, interval,
+                           config_.target_interval_ms, config_.min_difficulty);
+}
+
+std::string Blockchain::validate(const Block& block,
+                                 const Record& parent) const {
+    const BlockHeader& h = block.header;
+    const BlockHeader& p = parent.block.header;
+    if (h.number != p.number + 1) return "bad block number";
+    if (h.timestamp_ms < p.timestamp_ms) return "timestamp before parent";
+    if (h.gas_limit != config_.block_gas_limit) return "bad gas limit";
+    if (h.difficulty != child_difficulty(p, h.timestamp_ms)) {
+        return "bad difficulty";
+    }
+    if (!check_pow(h)) return "invalid proof of work";
+    if (h.tx_root != block.compute_tx_root()) return "tx root mismatch";
+
+    std::unordered_map<Address, std::uint64_t, FixedBytesHasher> expected;
+    // Recompute expected nonces along this branch (may differ from canonical).
+    {
+        const Record* cursor = &parent;
+        std::vector<const Record*> branch;
+        while (true) {
+            branch.push_back(cursor);
+            if (cursor->block.header.number == 0) break;
+            cursor = &records_.at(cursor->block.header.parent_hash);
+        }
+        for (auto it = branch.rbegin(); it != branch.rend(); ++it) {
+            for (const Transaction& tx : (*it)->block.transactions) {
+                expected[tx.sender()]++;
+            }
+        }
+    }
+    std::uint64_t gas_budget = 0;
+    for (const Transaction& tx : block.transactions) {
+        if (!tx.verify_signature()) return "bad tx signature";
+        if (tx.gas_limit < intrinsic_gas(config_.gas, tx)) {
+            return "tx gas below intrinsic";
+        }
+        const Address from = tx.sender();
+        if (tx.nonce != expected[from]) return "bad tx nonce";
+        expected[from]++;
+        gas_budget += tx.gas_limit;
+    }
+    if (gas_budget > h.gas_limit) return "block over gas limit";
+    return {};
+}
+
+ImportResult Blockchain::import_block(const Block& block) {
+    ImportResult result;
+    const Hash32 id = block.hash();
+    if (records_.contains(id)) {
+        result.status = ImportStatus::duplicate;
+        return result;
+    }
+    const auto parent_it = records_.find(block.header.parent_hash);
+    if (parent_it == records_.end()) {
+        result.status = ImportStatus::orphan;
+        result.reason = "unknown parent";
+        return result;
+    }
+    const Record& parent = parent_it->second;
+    if (std::string reason = validate(block, parent); !reason.empty()) {
+        result.status = ImportStatus::rejected;
+        result.reason = std::move(reason);
+        return result;
+    }
+
+    // Deterministic re-execution; roots must match the sealed header.
+    const ExecutionResult exec =
+        executor_->execute(parent.block.header, block);
+    if (exec.state_root != block.header.state_root) {
+        result.status = ImportStatus::rejected;
+        result.reason = "state root mismatch";
+        return result;
+    }
+    if (receipts_root(exec.receipts) != block.header.receipts_root) {
+        result.status = ImportStatus::rejected;
+        result.reason = "receipts root mismatch";
+        return result;
+    }
+    if (exec.gas_used != block.header.gas_used) {
+        result.status = ImportStatus::rejected;
+        result.reason = "gas used mismatch";
+        return result;
+    }
+
+    Record record{block, exec.receipts,
+                  add(parent.total_difficulty,
+                      crypto::U256{block.header.difficulty})};
+    const crypto::U256 new_td = record.total_difficulty;
+    records_.emplace(id, std::move(record));
+
+    if (new_td > records_.at(head_hash_).total_difficulty) {
+        set_head(id, result);
+        result.status = ImportStatus::added_head;
+    } else {
+        result.status = ImportStatus::added_side;
+    }
+    return result;
+}
+
+void Blockchain::set_head(const Hash32& new_head, ImportResult& result) {
+    // Fast path: the new head extends the old one.
+    const Record& record = records_.at(new_head);
+    if (record.block.header.parent_hash == head_hash_) {
+        head_hash_ = new_head;
+        canonical_[record.block.header.number] = new_head;
+        TxLocation loc{new_head, record.block.header.number, 0};
+        for (std::size_t i = 0; i < record.block.transactions.size(); ++i) {
+            loc.index = i;
+            const Transaction& tx = record.block.transactions[i];
+            tx_index_[tx.hash()] = loc;
+            nonces_[tx.sender()]++;
+        }
+        return;
+    }
+
+    // Reorg: collect old-branch txs, switch head, rebuild indices.
+    result.reorged = true;
+    std::unordered_set<Hash32, FixedBytesHasher> new_branch_txs;
+    std::vector<Transaction> old_txs;
+    {
+        // Walk old canonical chain from head to genesis.
+        Hash32 cursor = head_hash_;
+        while (true) {
+            const Record& r = records_.at(cursor);
+            for (const Transaction& tx : r.block.transactions) {
+                old_txs.push_back(tx);
+            }
+            if (r.block.header.number == 0) break;
+            cursor = r.block.header.parent_hash;
+        }
+    }
+    head_hash_ = new_head;
+    rebuild_canonical_index();
+    {
+        Hash32 cursor = head_hash_;
+        while (true) {
+            const Record& r = records_.at(cursor);
+            for (const Transaction& tx : r.block.transactions) {
+                new_branch_txs.insert(tx.hash());
+            }
+            if (r.block.header.number == 0) break;
+            cursor = r.block.header.parent_hash;
+        }
+    }
+    for (const Transaction& tx : old_txs) {
+        if (!new_branch_txs.contains(tx.hash())) {
+            result.abandoned_txs.push_back(tx);
+        }
+    }
+}
+
+void Blockchain::rebuild_canonical_index() {
+    canonical_.clear();
+    tx_index_.clear();
+    nonces_.clear();
+    std::vector<Hash32> path;
+    Hash32 cursor = head_hash_;
+    while (true) {
+        path.push_back(cursor);
+        const Record& r = records_.at(cursor);
+        if (r.block.header.number == 0) break;
+        cursor = r.block.header.parent_hash;
+    }
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+        const Record& r = records_.at(*it);
+        canonical_[r.block.header.number] = *it;
+        TxLocation loc{*it, r.block.header.number, 0};
+        for (std::size_t i = 0; i < r.block.transactions.size(); ++i) {
+            loc.index = i;
+            const Transaction& tx = r.block.transactions[i];
+            tx_index_[tx.hash()] = loc;
+            nonces_[tx.sender()]++;
+        }
+    }
+}
+
+Block Blockchain::build_block(const Address& miner,
+                              std::vector<Transaction> txs,
+                              std::uint64_t timestamp_ms) const {
+    const Record& parent = records_.at(head_hash_);
+    Block block;
+    block.transactions = std::move(txs);
+    BlockHeader& h = block.header;
+    h.number = parent.block.header.number + 1;
+    h.parent_hash = head_hash_;
+    h.miner = miner;
+    h.timestamp_ms = timestamp_ms;
+    h.gas_limit = config_.block_gas_limit;
+    h.difficulty = child_difficulty(parent.block.header, timestamp_ms);
+    h.tx_root = block.compute_tx_root();
+    const ExecutionResult exec =
+        executor_->execute(parent.block.header, block);
+    h.state_root = exec.state_root;
+    h.receipts_root = receipts_root(exec.receipts);
+    h.gas_used = exec.gas_used;
+    return block;
+}
+
+}  // namespace bcfl::chain

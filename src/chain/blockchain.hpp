@@ -1,0 +1,141 @@
+// Block store with validation, canonical-chain tracking and fork choice by
+// total difficulty — the consensus core of each simulated Geth peer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/gas.hpp"
+#include "chain/pow.hpp"
+#include "chain/types.hpp"
+
+namespace bcfl::chain {
+
+struct ChainConfig {
+    std::uint64_t initial_difficulty = 1000;
+    std::uint64_t min_difficulty = 16;
+    /// Disables retargeting entirely (difficulty sweeps, microbenches).
+    bool fixed_difficulty = false;
+    std::uint64_t target_interval_ms = 5'000;
+    std::uint64_t block_gas_limit = 1'000'000'000;  // paper: "no constraints"
+    std::uint64_t genesis_timestamp_ms = 0;
+    GasSchedule gas;
+};
+
+/// Outcome of executing a block's transactions on top of its parent state.
+struct ExecutionResult {
+    Hash32 state_root;
+    std::vector<Receipt> receipts;
+    std::uint64_t gas_used = 0;
+};
+
+/// Supplied by the node layer (which owns contract state). Must be
+/// deterministic: importing the same block on the same parent twice yields
+/// identical roots.
+class BlockExecutor {
+public:
+    virtual ~BlockExecutor() = default;
+    virtual ExecutionResult execute(const BlockHeader& parent,
+                                    const Block& block) = 0;
+};
+
+/// Executor for chain-level tests: no state, empty receipts.
+class NullExecutor final : public BlockExecutor {
+public:
+    ExecutionResult execute(const BlockHeader&, const Block& block) override {
+        ExecutionResult result;
+        result.receipts.resize(block.transactions.size());
+        return result;
+    }
+};
+
+enum class ImportStatus {
+    added_head,   // extended or became the canonical head
+    added_side,   // valid but on a side branch
+    duplicate,    // already known
+    orphan,       // parent unknown (caller may retry after fetching parent)
+    rejected,     // validation failed
+};
+
+struct ImportResult {
+    ImportStatus status = ImportStatus::rejected;
+    std::string reason;
+    bool reorged = false;
+    /// Transactions that fell out of the canonical chain in a reorg and are
+    /// not part of the new branch (candidates for mempool re-injection).
+    std::vector<Transaction> abandoned_txs;
+};
+
+/// Where a transaction landed on the canonical chain.
+struct TxLocation {
+    Hash32 block_hash;
+    std::uint64_t block_number = 0;
+    std::size_t index = 0;
+};
+
+class Blockchain {
+public:
+    Blockchain(ChainConfig config, std::shared_ptr<BlockExecutor> executor);
+
+    /// Validates and stores a block; applies fork choice.
+    ImportResult import_block(const Block& block);
+
+    /// Assembles an unsealed block on top of the current head (fills roots by
+    /// executing `txs`). The caller seals it (PoW) and re-imports it.
+    [[nodiscard]] Block build_block(const Address& miner,
+                                    std::vector<Transaction> txs,
+                                    std::uint64_t timestamp_ms) const;
+
+    [[nodiscard]] const BlockHeader& head() const;
+    [[nodiscard]] Hash32 head_hash() const { return head_hash_; }
+    [[nodiscard]] std::uint64_t height() const { return head().number; }
+    [[nodiscard]] const ChainConfig& config() const { return config_; }
+
+    [[nodiscard]] const Block* block_by_hash(const Hash32& hash) const;
+    [[nodiscard]] const Block* block_by_number(std::uint64_t number) const;
+    [[nodiscard]] const std::vector<Receipt>* receipts_for(
+        const Hash32& block_hash) const;
+    [[nodiscard]] std::optional<TxLocation> locate_tx(const Hash32& tx_hash) const;
+
+    /// Next expected nonce per sender along the canonical chain.
+    [[nodiscard]] const std::unordered_map<Address, std::uint64_t,
+                                           FixedBytesHasher>&
+    account_nonces() const {
+        return nonces_;
+    }
+
+    /// Expected difficulty for a child of `parent` (retarget rule).
+    [[nodiscard]] std::uint64_t child_difficulty(const BlockHeader& parent,
+                                                 std::uint64_t timestamp_ms) const;
+
+    [[nodiscard]] std::size_t total_blocks() const { return records_.size(); }
+    [[nodiscard]] const Block& genesis() const;
+
+private:
+    struct Record {
+        Block block;
+        std::vector<Receipt> receipts;
+        // Total difficulty of the branch ending in this block.
+        crypto::U256 total_difficulty;
+    };
+
+    [[nodiscard]] std::string validate(const Block& block,
+                                       const Record& parent) const;
+    void set_head(const Hash32& new_head, ImportResult& result);
+    void rebuild_canonical_index();
+
+    ChainConfig config_;
+    std::shared_ptr<BlockExecutor> executor_;
+    std::unordered_map<Hash32, Record, FixedBytesHasher> records_;
+    std::unordered_map<std::uint64_t, Hash32> canonical_;  // number -> hash
+    std::unordered_map<Hash32, TxLocation, FixedBytesHasher> tx_index_;
+    std::unordered_map<Address, std::uint64_t, FixedBytesHasher> nonces_;
+    Hash32 head_hash_;
+    Hash32 genesis_hash_;
+};
+
+}  // namespace bcfl::chain

@@ -1,0 +1,38 @@
+// Proof-of-Work sealing and difficulty retargeting.
+//
+// Matches the paper's PoW Ethereum configuration: a block is valid when
+// keccak256(seal_hash || nonce) interpreted as a 256-bit integer is below
+// 2^256 / difficulty. The discrete-event simulator converts difficulty and
+// per-node hash rate into exponentially distributed block times; `mine_seal`
+// performs the actual search so sealed blocks always carry a valid nonce.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "chain/types.hpp"
+#include "crypto/u256.hpp"
+
+namespace bcfl::chain {
+
+/// 2^256 / difficulty (difficulty 0 is treated as 1).
+[[nodiscard]] crypto::U256 pow_target(std::uint64_t difficulty);
+
+/// True if the header's nonce satisfies its difficulty.
+[[nodiscard]] bool check_pow(const BlockHeader& header);
+
+/// Searches nonces starting at `start_nonce`; returns the first valid nonce
+/// or nullopt after `max_attempts` tries.
+[[nodiscard]] std::optional<std::uint64_t> mine_seal(
+    const BlockHeader& header, std::uint64_t start_nonce,
+    std::uint64_t max_attempts);
+
+/// Ethereum-style difficulty retarget: nudges difficulty up when the parent
+/// block arrived faster than `target_interval_ms`, down when slower.
+/// Never returns less than `min_difficulty`.
+[[nodiscard]] std::uint64_t next_difficulty(std::uint64_t parent_difficulty,
+                                            std::uint64_t parent_interval_ms,
+                                            std::uint64_t target_interval_ms,
+                                            std::uint64_t min_difficulty);
+
+}  // namespace bcfl::chain

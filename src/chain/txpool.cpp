@@ -1,0 +1,96 @@
+#include "chain/txpool.hpp"
+
+#include <algorithm>
+
+namespace bcfl::chain {
+
+bool TxPool::add(const Transaction& tx) {
+    const Hash32 id = tx.hash();
+    if (seen_.contains(id)) return false;
+    if (!tx.verify_signature()) return false;
+    if (tx.gas_limit < intrinsic_gas(schedule_, tx)) return false;
+    seen_.insert(id);
+    by_hash_.emplace(id, tx);
+    order_.push_back(id);
+    return true;
+}
+
+bool TxPool::contains(const Hash32& tx_hash) const {
+    return by_hash_.contains(tx_hash);
+}
+
+std::vector<Transaction> TxPool::select(
+    std::uint64_t block_gas_limit,
+    const std::unordered_map<Address, std::uint64_t, FixedBytesHasher>&
+        next_nonce_by_sender) const {
+    // Stable candidate list: arrival order, then sort by gas price desc.
+    std::vector<const Transaction*> candidates;
+    candidates.reserve(order_.size());
+    for (const Hash32& id : order_) {
+        const auto it = by_hash_.find(id);
+        if (it != by_hash_.end()) candidates.push_back(&it->second);
+    }
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Transaction* a, const Transaction* b) {
+                         return a->gas_price > b->gas_price;
+                     });
+
+    std::unordered_map<Address, std::uint64_t, FixedBytesHasher> next_nonce =
+        next_nonce_by_sender;
+    std::vector<Transaction> selected;
+    std::uint64_t gas_left = block_gas_limit;
+
+    // Multiple passes let a lower-priced tx unblock once its predecessor (by
+    // nonce) is selected in an earlier pass.
+    bool progressed = true;
+    std::vector<bool> taken(candidates.size(), false);
+    while (progressed) {
+        progressed = false;
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+            if (taken[i]) continue;
+            const Transaction& tx = *candidates[i];
+            if (tx.gas_limit > gas_left) continue;
+            const Address from = tx.sender();
+            const auto nonce_it = next_nonce.find(from);
+            const std::uint64_t expected =
+                nonce_it == next_nonce.end() ? 0 : nonce_it->second;
+            if (tx.nonce != expected) continue;
+            selected.push_back(tx);
+            taken[i] = true;
+            next_nonce[from] = expected + 1;
+            gas_left -= tx.gas_limit;
+            progressed = true;
+        }
+    }
+    return selected;
+}
+
+void TxPool::remove(const std::vector<Transaction>& txs) {
+    for (const Transaction& tx : txs) {
+        const Hash32 id = tx.hash();
+        by_hash_.erase(id);
+        // Lazy erase from order_: by_hash_ lookups skip stale ids; compact
+        // occasionally to bound memory.
+    }
+    if (by_hash_.size() * 2 < order_.size()) {
+        std::vector<Hash32> compacted;
+        compacted.reserve(by_hash_.size());
+        for (const Hash32& id : order_) {
+            if (by_hash_.contains(id)) compacted.push_back(id);
+        }
+        order_ = std::move(compacted);
+    }
+}
+
+void TxPool::reinject(const std::vector<Transaction>& txs) {
+    for (const Transaction& tx : txs) {
+        const Hash32 id = tx.hash();
+        if (by_hash_.contains(id)) continue;
+        // `seen_` keeps the id; re-adding must bypass the duplicate check.
+        by_hash_.emplace(id, tx);
+        order_.push_back(id);
+        seen_.insert(id);
+    }
+}
+
+}  // namespace bcfl::chain

@@ -1,0 +1,54 @@
+// Pending transaction pool (mempool).
+//
+// Orders candidate transactions by gas price (desc) then arrival order, and
+// enforces per-sender nonce sequencing so multi-chunk model publishes (chunk
+// txs with consecutive nonces) are mined in order.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "chain/gas.hpp"
+#include "chain/types.hpp"
+
+namespace bcfl::chain {
+
+class TxPool {
+public:
+    explicit TxPool(GasSchedule schedule = {}) : schedule_(schedule) {}
+
+    /// Adds a transaction. Returns false (and ignores it) when it is a
+    /// duplicate, carries an invalid signature, or cannot pay intrinsic gas.
+    bool add(const Transaction& tx);
+
+    /// True if the pool currently holds the transaction.
+    [[nodiscard]] bool contains(const Hash32& tx_hash) const;
+
+    /// Selects transactions for a block: highest gas price first, respecting
+    /// per-sender nonce order and the remaining block gas budget (by
+    /// gas_limit). Selected transactions stay in the pool until `remove`.
+    [[nodiscard]] std::vector<Transaction> select(
+        std::uint64_t block_gas_limit,
+        const std::unordered_map<Address, std::uint64_t, FixedBytesHasher>&
+            next_nonce_by_sender) const;
+
+    /// Removes transactions (e.g. after they were mined).
+    void remove(const std::vector<Transaction>& txs);
+
+    /// Re-injects transactions from abandoned blocks after a reorg.
+    void reinject(const std::vector<Transaction>& txs);
+
+    [[nodiscard]] std::size_t size() const { return order_.size(); }
+    [[nodiscard]] bool empty() const { return order_.empty(); }
+
+private:
+    GasSchedule schedule_;
+    std::unordered_map<Hash32, Transaction, FixedBytesHasher> by_hash_;
+    std::vector<Hash32> order_;  // arrival order
+    std::unordered_set<Hash32, FixedBytesHasher> seen_;  // includes removed
+};
+
+}  // namespace bcfl::chain

@@ -1,0 +1,77 @@
+#include "common/bytes.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace bcfl {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+}
+}  // namespace
+
+std::string to_hex(BytesView data) {
+    std::string out;
+    out.reserve(data.size() * 2);
+    for (std::uint8_t b : data) {
+        out.push_back(kHexDigits[b >> 4]);
+        out.push_back(kHexDigits[b & 0x0f]);
+    }
+    return out;
+}
+
+Bytes from_hex(std::string_view hex) {
+    if (hex.size() >= 2 && hex[0] == '0' && (hex[1] == 'x' || hex[1] == 'X')) {
+        hex.remove_prefix(2);
+    }
+    if (hex.size() % 2 != 0) throw DecodeError("odd-length hex string");
+    Bytes out;
+    out.reserve(hex.size() / 2);
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        const int hi = hex_value(hex[i]);
+        const int lo = hex_value(hex[i + 1]);
+        if (hi < 0 || lo < 0) throw DecodeError("invalid hex digit");
+        out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+    }
+    return out;
+}
+
+void append(Bytes& out, BytesView data) {
+    out.insert(out.end(), data.begin(), data.end());
+}
+
+Bytes be_bytes(std::uint64_t value) {
+    Bytes out(8);
+    for (int i = 7; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(value & 0xff);
+        value >>= 8;
+    }
+    return out;
+}
+
+std::uint64_t be_u64(BytesView data) {
+    if (data.size() > 8) throw DecodeError("integer wider than 8 bytes");
+    std::uint64_t value = 0;
+    for (std::uint8_t b : data) value = (value << 8) | b;
+    return value;
+}
+
+Bytes str_bytes(std::string_view text) {
+    return Bytes(text.begin(), text.end());
+}
+
+bool bytes_equal(BytesView a, BytesView b) {
+    if (a.size() != b.size()) return false;
+    std::uint8_t acc = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+    return acc == 0;
+}
+
+}  // namespace bcfl

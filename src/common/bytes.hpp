@@ -1,0 +1,81 @@
+// Byte-buffer utilities: the common currency between crypto, RLP, chain and
+// the ML serialization layer.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bcfl {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Lowercase hex without prefix, e.g. "deadbeef".
+[[nodiscard]] std::string to_hex(BytesView data);
+
+/// Parses hex (with or without "0x" prefix). Throws DecodeError on bad input.
+[[nodiscard]] Bytes from_hex(std::string_view hex);
+
+/// Appends `data` to `out`.
+void append(Bytes& out, BytesView data);
+
+/// Big-endian encoding of a 64-bit integer into exactly 8 bytes.
+[[nodiscard]] Bytes be_bytes(std::uint64_t value);
+
+/// Big-endian decoding of up to 8 bytes. Throws DecodeError if longer.
+[[nodiscard]] std::uint64_t be_u64(BytesView data);
+
+/// Converts a string's bytes (no terminator) into a Bytes buffer.
+[[nodiscard]] Bytes str_bytes(std::string_view text);
+
+/// Constant-time-ish equality (length leak is fine for our use).
+[[nodiscard]] bool bytes_equal(BytesView a, BytesView b);
+
+/// Fixed-size byte array used for hashes and addresses.
+template <std::size_t N>
+struct FixedBytes {
+    std::array<std::uint8_t, N> data{};
+
+    [[nodiscard]] auto operator<=>(const FixedBytes&) const = default;
+
+    [[nodiscard]] std::string hex() const {
+        return to_hex(BytesView{data.data(), data.size()});
+    }
+    [[nodiscard]] Bytes bytes() const { return Bytes(data.begin(), data.end()); }
+    [[nodiscard]] BytesView view() const {
+        return BytesView{data.data(), data.size()};
+    }
+    [[nodiscard]] bool is_zero() const {
+        for (auto b : data)
+            if (b != 0) return false;
+        return true;
+    }
+
+    static FixedBytes from(BytesView src) {
+        FixedBytes out;
+        const std::size_t n = src.size() < N ? src.size() : N;
+        for (std::size_t i = 0; i < n; ++i) out.data[i] = src[i];
+        return out;
+    }
+};
+
+using Hash32 = FixedBytes<32>;
+using Address = FixedBytes<20>;
+
+/// std::hash support so Hash32/Address can key unordered containers.
+struct FixedBytesHasher {
+    template <std::size_t N>
+    std::size_t operator()(const FixedBytes<N>& v) const noexcept {
+        // The inputs are themselves cryptographic hashes; fold 8 bytes.
+        std::size_t h = 1469598103934665603ull;
+        for (auto b : v.data) h = (h ^ b) * 1099511628211ull;
+        return h;
+    }
+};
+
+}  // namespace bcfl

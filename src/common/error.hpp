@@ -1,0 +1,44 @@
+// Error types shared across the bcfl libraries.
+//
+// Following the project convention (and the C++ Core Guidelines I.10), a
+// failure to perform a required task throws; status-like outcomes are
+// returned as values.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bcfl {
+
+/// Root of all bcfl exceptions so callers can catch the whole family.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed or inconsistent external input (decoding, validation).
+class DecodeError : public Error {
+public:
+    explicit DecodeError(const std::string& what) : Error("decode: " + what) {}
+};
+
+/// A consensus / protocol rule was violated (bad block, bad signature, ...).
+class ValidationError : public Error {
+public:
+    explicit ValidationError(const std::string& what)
+        : Error("validation: " + what) {}
+};
+
+/// Contract execution aborted (revert, out of gas, bad opcode).
+class VmError : public Error {
+public:
+    explicit VmError(const std::string& what) : Error("vm: " + what) {}
+};
+
+/// Shape or argument mismatch in the ML library.
+class ShapeError : public Error {
+public:
+    explicit ShapeError(const std::string& what) : Error("shape: " + what) {}
+};
+
+}  // namespace bcfl

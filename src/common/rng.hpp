@@ -1,0 +1,143 @@
+// Deterministic, seedable random number generation used throughout the
+// simulator and the synthetic dataset generator.
+//
+// Determinism matters here: every experiment in the paper reproduction is a
+// pure function of its seed, which is what makes the benches regenerate the
+// same table rows run after run.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <span>
+#include <vector>
+
+namespace bcfl {
+
+/// splitmix64 — used to expand a single seed into xoshiro state.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, high-quality, deterministic PRNG.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bull) {
+        std::uint64_t sm = seed;
+        for (auto& s : state_) s = splitmix64(sm);
+    }
+
+    [[nodiscard]] std::uint64_t next_u64() {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform in [0, bound). bound must be > 0.
+    [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) {
+        // Modulo bias is negligible for our bounds (<< 2^64).
+        return next_u64() % bound;
+    }
+
+    /// Uniform double in [0, 1).
+    [[nodiscard]] double next_double() {
+        return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform float in [lo, hi).
+    [[nodiscard]] float uniform(float lo, float hi) {
+        return lo + static_cast<float>(next_double()) * (hi - lo);
+    }
+
+    /// Standard normal via Box-Muller.
+    [[nodiscard]] double normal() {
+        if (have_spare_) {
+            have_spare_ = false;
+            return spare_;
+        }
+        double u1 = 0.0;
+        do {
+            u1 = next_double();
+        } while (u1 <= 1e-300);
+        const double u2 = next_double();
+        const double mag = std::sqrt(-2.0 * std::log(u1));
+        spare_ = mag * std::sin(2.0 * std::numbers::pi * u2);
+        have_spare_ = true;
+        return mag * std::cos(2.0 * std::numbers::pi * u2);
+    }
+
+    /// Exponential with the given mean (used for PoW block-time sampling).
+    [[nodiscard]] double exponential(double mean) {
+        double u = 0.0;
+        do {
+            u = next_double();
+        } while (u <= 1e-300);
+        return -mean * std::log(u);
+    }
+
+    /// Marsaglia-Tsang gamma sampler (shape >= 0), used by dirichlet().
+    [[nodiscard]] double gamma(double shape) {
+        if (shape < 1.0) {
+            const double u = next_double();
+            return gamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+        }
+        const double d = shape - 1.0 / 3.0;
+        const double c = 1.0 / std::sqrt(9.0 * d);
+        for (;;) {
+            double x = 0.0;
+            double v = 0.0;
+            do {
+                x = normal();
+                v = 1.0 + c * x;
+            } while (v <= 0.0);
+            v = v * v * v;
+            const double u = next_double();
+            if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+            if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return d * v;
+        }
+    }
+
+    /// Symmetric Dirichlet(alpha) draw of the given dimension.
+    [[nodiscard]] std::vector<double> dirichlet(double alpha, std::size_t dim) {
+        std::vector<double> out(dim);
+        double sum = 0.0;
+        for (auto& v : out) {
+            v = gamma(alpha);
+            sum += v;
+        }
+        if (sum <= 0.0) sum = 1.0;
+        for (auto& v : out) v /= sum;
+        return out;
+    }
+
+    /// Fisher-Yates shuffle.
+    template <typename T>
+    void shuffle(std::span<T> items) {
+        if (items.empty()) return;
+        for (std::size_t i = items.size() - 1; i > 0; --i) {
+            const std::size_t j = next_below(i + 1);
+            std::swap(items[i], items[j]);
+        }
+    }
+
+private:
+    [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4]{};
+    bool have_spare_ = false;
+    double spare_ = 0.0;
+};
+
+}  // namespace bcfl

@@ -1,0 +1,96 @@
+#include "core/experiment.hpp"
+
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace bcfl::core {
+
+DecentralizedResult run_decentralized(const fl::FlTask& task,
+                                      const DecentralizedConfig& config) {
+    if (task.clients < config.peers) {
+        throw Error("experiment: task has fewer clients than peers");
+    }
+
+    net::Simulation sim;
+    net::Network network(sim, config.link, config.seed);
+
+    chain::ChainConfig chain_config;
+    chain_config.initial_difficulty = config.initial_difficulty;
+    chain_config.min_difficulty = config.min_difficulty;
+    chain_config.target_interval_ms = config.target_interval_ms;
+
+    std::vector<std::unique_ptr<node::Node>> nodes;
+    std::vector<Address> roster;
+    for (std::size_t i = 0; i < config.peers; ++i) {
+        node::NodeConfig node_config;
+        node_config.chain = chain_config;
+        node_config.key_seed = 9000 + i;
+        node_config.hash_rate = config.hash_rate_per_node;
+        node_config.rng_seed = config.seed * 1000 + i;
+        nodes.push_back(
+            std::make_unique<node::Node>(sim, network, node_config));
+        roster.push_back(nodes.back()->address());
+    }
+
+    std::vector<std::unique_ptr<BcflPeer>> peers;
+    for (std::size_t i = 0; i < config.peers; ++i) {
+        PeerConfig peer_config;
+        peer_config.index = i;
+        peer_config.train_duration = config.train_duration;
+        peer_config.train_cpu_load = config.train_cpu_load;
+        peer_config.chunk_bytes = config.chunk_bytes;
+        peer_config.wait_for_models = config.wait_for_models;
+        peer_config.wait_timeout = config.wait_timeout;
+        peer_config.payload_pad_bytes = config.payload_pad_bytes;
+        peer_config.fitness_threshold = config.fitness_threshold;
+        peer_config.aggregate_all = config.aggregate_all;
+        for (std::size_t poisoned : config.poisoned_peers) {
+            if (poisoned == i) peer_config.poison_updates = true;
+        }
+        peers.push_back(std::make_unique<BcflPeer>(sim, *nodes[i], task,
+                                                   roster, peer_config));
+    }
+
+    for (auto& node : nodes) node->start();
+    for (auto& peer : peers) peer->run_rounds(config.rounds);
+
+    const auto all_finished = [&] {
+        for (const auto& peer : peers) {
+            if (!peer->finished()) return false;
+        }
+        return true;
+    };
+    while (!all_finished() && sim.now() < config.max_sim_time) {
+        if (!sim.step()) break;
+    }
+
+    DecentralizedResult result;
+    result.finished_at = sim.now();
+    result.traffic = network.stats();
+    result.chain_height = nodes[0]->chain().height();
+    for (const auto& node : nodes) {
+        result.total_reorgs += node->stats().reorgs;
+    }
+    double round_seconds = 0.0;
+    double wait_seconds = 0.0;
+    std::size_t samples = 0;
+    for (auto& peer : peers) {
+        result.peer_records.push_back(peer->records());
+        for (const PeerRoundRecord& record : peer->records()) {
+            if (record.aggregated_at == 0) continue;
+            round_seconds +=
+                net::to_seconds(record.aggregated_at - record.round_started);
+            wait_seconds +=
+                net::to_seconds(record.aggregated_at - record.published_at);
+            ++samples;
+        }
+    }
+    if (samples > 0) {
+        result.mean_round_seconds = round_seconds / static_cast<double>(samples);
+        result.mean_wait_seconds = wait_seconds / static_cast<double>(samples);
+    }
+    return result;
+}
+
+}  // namespace bcfl::core

@@ -1,0 +1,65 @@
+// Experiment runners shared by the benches and examples.
+//
+// `run_decentralized` assembles the paper's full deployment — three (or n)
+// fully-coupled peers, each a miner + trainer + aggregator on a simulated
+// private Ethereum — and executes the configured number of communication
+// rounds, returning every peer's per-round combination-accuracy table plus
+// chain/network metrics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/peer.hpp"
+#include "fl/task.hpp"
+#include "net/network.hpp"
+
+namespace bcfl::core {
+
+struct DecentralizedConfig {
+    std::size_t peers = 3;
+    std::size_t rounds = 10;
+    /// K in wait-for-K aggregation; peers.size() = synchronous.
+    std::size_t wait_for_models = 3;
+    net::SimTime wait_timeout = net::seconds(900);
+    net::SimTime train_duration = net::seconds(30);
+    double train_cpu_load = 0.8;
+    std::size_t chunk_bytes = 24 * 1024;
+    std::size_t payload_pad_bytes = 0;
+
+    // Chain parameters (paper-ish: PoW private net, ~6 s blocks).
+    std::uint64_t initial_difficulty = 1200;
+    std::uint64_t min_difficulty = 64;
+    std::uint64_t target_interval_ms = 6'000;
+    double hash_rate_per_node = 200.0;
+
+    net::LinkParams link;
+    std::uint64_t seed = 1;
+    /// Simulated-time safety cap.
+    net::SimTime max_sim_time = net::seconds(200'000);
+
+    /// §III-A fitness pre-filter threshold applied by every honest peer
+    /// (0 disables).
+    double fitness_threshold = 0.0;
+    /// Peers (by index) that publish poisoned updates.
+    std::vector<std::size_t> poisoned_peers;
+    /// All peers aggregate everything ("not consider" baseline).
+    bool aggregate_all = false;
+};
+
+struct DecentralizedResult {
+    std::vector<std::vector<PeerRoundRecord>> peer_records;  // [peer][round]
+    net::SimTime finished_at = 0;
+    std::uint64_t chain_height = 0;
+    std::uint64_t total_reorgs = 0;
+    net::TrafficStats traffic;
+    /// Mean wall-clock (simulated) duration of a full round across peers.
+    double mean_round_seconds = 0.0;
+    /// Mean lag between publishing and aggregating (the "wait" cost).
+    double mean_wait_seconds = 0.0;
+};
+
+[[nodiscard]] DecentralizedResult run_decentralized(
+    const fl::FlTask& task, const DecentralizedConfig& config);
+
+}  // namespace bcfl::core

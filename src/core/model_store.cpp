@@ -1,0 +1,89 @@
+#include "core/model_store.hpp"
+
+#include "crypto/keccak.hpp"
+#include "vm/registry_contract.hpp"
+
+namespace bcfl::core {
+
+namespace abi = vm::registry_abi;
+
+Bytes PublishedModel::assemble() const {
+    Bytes out;
+    out.reserve(size_bytes);
+    for (const auto& [index, payload] : chunks) append(out, payload);
+    return out;
+}
+
+void ModelStore::sync(const chain::Blockchain& chain) {
+    for (std::uint64_t number = 1; number <= chain.height(); ++number) {
+        const chain::Block* block = chain.block_by_number(number);
+        if (block == nullptr) continue;
+        if (scanned_.contains(block->hash())) continue;
+        const auto* receipts = chain.receipts_for(block->hash());
+        if (receipts == nullptr) continue;
+        ingest(*block, *receipts);
+        scanned_.insert(block->hash());
+    }
+}
+
+void ModelStore::ingest(const chain::Block& block,
+                        const std::vector<chain::Receipt>& receipts) {
+    for (std::size_t i = 0;
+         i < block.transactions.size() && i < receipts.size(); ++i) {
+        const chain::Transaction& tx = block.transactions[i];
+        const chain::Receipt& receipt = receipts[i];
+        if (!receipt.success) continue;
+        for (const chain::LogEntry& log : receipt.logs) {
+            if (const auto published = abi::parse_published(log)) {
+                PublishedModel& model =
+                    models_[{published->round, published->publisher}];
+                model.owner = published->publisher;
+                model.round = published->round;
+                model.model_hash = published->model_hash;
+                model.chunk_count = published->chunk_count;
+                model.size_bytes = published->size_bytes;
+                continue;
+            }
+            if (const auto chunk = abi::parse_chunk(log)) {
+                // The payload travels in the transaction calldata; verify it
+                // against the digest the contract stored (the log publisher
+                // must equal the tx sender by construction of CALLER).
+                const auto payload = abi::chunk_payload(tx.data);
+                if (!payload.has_value()) continue;
+                if (chunk->publisher != tx.sender()) continue;
+                PublishedModel& model =
+                    models_[{chunk->round, chunk->publisher}];
+                model.owner = chunk->publisher;
+                model.round = chunk->round;
+                model.chunks[chunk->index] = *payload;
+            }
+        }
+    }
+}
+
+std::vector<Address> ModelStore::ready_publishers(std::uint64_t round) const {
+    std::vector<Address> out;
+    for (const auto& [key, model] : models_) {
+        if (key.first == round && model.complete()) out.push_back(model.owner);
+    }
+    return out;
+}
+
+std::vector<Address> ModelStore::announced_publishers(
+    std::uint64_t round) const {
+    std::vector<Address> out;
+    for (const auto& [key, model] : models_) {
+        if (key.first == round && model.chunk_count > 0) {
+            out.push_back(model.owner);
+        }
+    }
+    return out;
+}
+
+const PublishedModel* ModelStore::find(std::uint64_t round,
+                                       const Address& owner) const {
+    const auto it = models_.find({round, owner});
+    return it == models_.end() ? nullptr : &it->second;
+}
+
+}  // namespace bcfl::core

@@ -1,0 +1,64 @@
+// ModelStore: the web3-style chain observer of a fully-coupled peer.
+//
+// Scans the canonical chain for registry events (ModelPublished /
+// ChunkStored), pulls chunk payloads out of transaction calldata
+// (calldata-as-data-availability), verifies every chunk against its on-chain
+// keccak digest and reassembles complete, integrity-checked weight blobs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "chain/blockchain.hpp"
+#include "common/bytes.hpp"
+
+namespace bcfl::core {
+
+struct PublishedModel {
+    Address owner;
+    std::uint64_t round = 0;
+    Hash32 model_hash;
+    std::uint64_t chunk_count = 0;
+    std::uint64_t size_bytes = 0;
+    std::map<std::uint64_t, Bytes> chunks;  // index -> verified payload
+
+    [[nodiscard]] bool complete() const {
+        return chunk_count > 0 && chunks.size() == chunk_count;
+    }
+    /// Concatenated payload (chunks in index order); call only if complete.
+    [[nodiscard]] Bytes assemble() const;
+};
+
+class ModelStore {
+public:
+    /// Rescans the canonical chain of `chain` (idempotent per block).
+    void sync(const chain::Blockchain& chain);
+
+    /// Publishers with a *complete, verified* model for `round`.
+    [[nodiscard]] std::vector<Address> ready_publishers(
+        std::uint64_t round) const;
+
+    /// All announced publishers for `round` (complete or not).
+    [[nodiscard]] std::vector<Address> announced_publishers(
+        std::uint64_t round) const;
+
+    [[nodiscard]] const PublishedModel* find(std::uint64_t round,
+                                             const Address& owner) const;
+
+    [[nodiscard]] std::size_t blocks_scanned() const {
+        return scanned_.size();
+    }
+
+private:
+    void ingest(const chain::Block& block,
+                const std::vector<chain::Receipt>& receipts);
+
+    using Key = std::pair<std::uint64_t, Address>;
+    std::map<Key, PublishedModel> models_;
+    std::unordered_set<Hash32, FixedBytesHasher> scanned_;
+};
+
+}  // namespace bcfl::core

@@ -1,0 +1,258 @@
+#include "core/peer.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "fl/fedavg.hpp"
+#include "ml/serialize.hpp"
+#include "vm/registry_contract.hpp"
+
+namespace bcfl::core {
+
+namespace abi = vm::registry_abi;
+
+BcflPeer::BcflPeer(net::Simulation& sim, node::Node& node,
+                   const fl::FlTask& task, std::vector<Address> roster,
+                   PeerConfig config)
+    : sim_(sim),
+      node_(node),
+      task_(task),
+      roster_(std::move(roster)),
+      config_(config),
+      model_(task.make_model()),
+      probe_(task.make_model()),
+      global_weights_(model_->weights()) {
+    if (config_.index >= roster_.size()) {
+        throw Error("peer: index outside roster");
+    }
+    if (roster_[config_.index] != node_.address()) {
+        throw Error("peer: node key does not match roster entry");
+    }
+    // React to chain progress: every new head may complete a model.
+    node_.on_new_head([this](const chain::Block&) {
+        if (waiting_) check_aggregation();
+    });
+}
+
+void BcflPeer::run_rounds(std::size_t rounds) {
+    target_rounds_ = rounds;
+    current_round_ = 0;
+    begin_round();
+}
+
+void BcflPeer::begin_round() {
+    if (finished()) return;
+    ++current_round_;
+    PeerRoundRecord record;
+    record.round = current_round_;
+    record.round_started = sim_.now();
+    records_.push_back(record);
+
+    // Training occupies the CPU for train_duration; mining slows down
+    // (the dual-duty contention the paper observed on real hardware).
+    node_.set_compute_load(config_.train_cpu_load);
+    sim_.schedule_after(config_.train_duration, [this] { finish_training(); });
+}
+
+void BcflPeer::finish_training() {
+    node_.set_compute_load(0.0);
+
+    // Actual local training (real compute, simulated duration elapsed).
+    model_->set_weights(global_weights_);
+    ml::TrainConfig train_config = task_.train_template;
+    train_config.shuffle_seed =
+        0x9e3779b9u * current_round_ + 7919 * config_.index;
+    model_->train_local(task_.client_train[config_.index], train_config);
+    own_update_ = model_->weights();
+
+    if (config_.poison_updates) {
+        // Publish a corrupted update (fault injection for the poisoning
+        // experiments): flip signs and inflate magnitudes so the model is
+        // confidently wrong rather than merely random.
+        std::vector<float> poisoned = own_update_;
+        for (float& w : poisoned) w = -2.0f * w;
+        publish_weights(poisoned);
+    } else {
+        publish_weights(own_update_);
+    }
+    records_.back().published_at = sim_.now();
+
+    // Wait for peers (or time out -> asynchronous aggregation).
+    waiting_ = true;
+    const std::uint64_t generation = ++wait_generation_;
+    sim_.schedule_after(config_.wait_timeout, [this, generation] {
+        if (waiting_ && generation == wait_generation_) aggregate(true);
+    });
+    check_aggregation();
+}
+
+void BcflPeer::publish_weights(const std::vector<float>& weights) {
+    Bytes payload = ml::serialize_weights(weights);
+    const Hash32 model_hash = ml::weights_digest(payload);
+    payload.resize(payload.size() + config_.payload_pad_bytes, 0);
+
+    const std::size_t chunk_count =
+        (payload.size() + config_.chunk_bytes - 1) / config_.chunk_bytes;
+
+    // Announcement first, then the chunks, with consecutive nonces so the
+    // txpool mines them in order.
+    const auto submit = [this](Bytes calldata) {
+        const std::uint64_t gas_limit =
+            21'000 + 16 * static_cast<std::uint64_t>(calldata.size()) +
+            300'000;  // intrinsic upper bound + generous VM margin
+        node_.submit_tx(chain::Transaction::make_signed(
+            node_.key(), next_nonce_++, vm::registry_address(), gas_limit,
+            config_.gas_price, std::move(calldata)));
+    };
+    submit(abi::publish_calldata(current_round_, model_hash, chunk_count,
+                                 payload.size()));
+    for (std::size_t i = 0; i < chunk_count; ++i) {
+        const std::size_t begin = i * config_.chunk_bytes;
+        const std::size_t end =
+            std::min(begin + config_.chunk_bytes, payload.size());
+        submit(abi::chunk_calldata(
+            current_round_, i,
+            BytesView(payload).subspan(begin, end - begin)));
+    }
+}
+
+std::optional<std::vector<float>> BcflPeer::chain_weights(
+    std::uint64_t round, const Address& owner) const {
+    const PublishedModel* model = store_.find(round, owner);
+    if (model == nullptr || !model->complete()) return std::nullopt;
+    Bytes blob = model->assemble();
+    // Strip ballast: the serialized blob's true length is implied by the
+    // weight count every peer shares.
+    const std::size_t expected =
+        4 + 1 + 8 + probe_->weight_count() * 4 + 32;
+    if (blob.size() < expected) return std::nullopt;
+    blob.resize(expected);
+    if (ml::weights_digest(BytesView(blob)) != model->model_hash) {
+        return std::nullopt;  // announcement does not match the payload
+    }
+    try {
+        return ml::deserialize_weights(blob);
+    } catch (const Error&) {
+        return std::nullopt;
+    }
+}
+
+void BcflPeer::check_aggregation() {
+    if (!waiting_) return;
+    store_.sync(node_.chain());
+
+    std::size_t available = 0;
+    for (std::size_t c = 0; c < roster_.size(); ++c) {
+        if (c == config_.index) {
+            ++available;  // own update is local
+            continue;
+        }
+        if (const PublishedModel* m = store_.find(current_round_, roster_[c]);
+            m != nullptr && m->complete()) {
+            ++available;
+        }
+    }
+    if (available >= std::min(config_.wait_for_models, roster_.size())) {
+        aggregate(false);
+    }
+}
+
+void BcflPeer::aggregate(bool timed_out) {
+    waiting_ = false;
+    ++wait_generation_;  // cancels the pending timeout
+    store_.sync(node_.chain());
+
+    PeerRoundRecord& record = records_.back();
+
+    // Collect this round's updates in roster order, applying the §III-A
+    // fitness pre-filter to models received from others.
+    std::vector<fl::ModelUpdate> updates;
+    std::vector<std::size_t> roster_index_of_update;
+    for (std::size_t c = 0; c < roster_.size(); ++c) {
+        if (c == config_.index) {
+            updates.push_back(
+                {own_update_,
+                 static_cast<double>(task_.client_train[c].size())});
+            roster_index_of_update.push_back(c);
+            continue;
+        }
+        auto weights = chain_weights(current_round_, roster_[c]);
+        if (!weights.has_value()) continue;
+        if (config_.fitness_threshold > 0.0) {
+            probe_->set_weights(*weights);
+            const double solo =
+                probe_->evaluate(task_.client_test[config_.index]);
+            if (solo < config_.fitness_threshold) {
+                record.filtered_out.push_back(c);
+                continue;
+            }
+        }
+        updates.push_back(
+            {std::move(*weights),
+             static_cast<double>(task_.client_train[c].size())});
+        roster_index_of_update.push_back(c);
+    }
+
+    record.models_available = updates.size();
+    record.timed_out = timed_out;
+
+    // Where did our own update land in the update list?
+    std::size_t self_pos = 0;
+    for (std::size_t i = 0; i < roster_index_of_update.size(); ++i) {
+        if (roster_index_of_update[i] == config_.index) self_pos = i;
+    }
+
+    std::vector<fl::Combination> combos;
+    if (config_.aggregate_all) {
+        fl::Combination all(updates.size());
+        for (std::size_t i = 0; i < updates.size(); ++i) all[i] = i;
+        combos.push_back(std::move(all));
+    } else {
+        combos = fl::paper_combinations(updates.size(), self_pos);
+    }
+    double best_accuracy = -1.0;
+    std::vector<float> best_weights;
+    std::string best_label;
+
+    for (const fl::Combination& combo : combos) {
+        const std::vector<float> candidate = fl::fedavg_subset(updates, combo);
+        probe_->set_weights(candidate);
+        const double accuracy =
+            probe_->evaluate(task_.client_test[config_.index]);
+
+        // Translate update positions back to roster letters for the label.
+        fl::Combination roster_combo;
+        for (std::size_t pos : combo) {
+            roster_combo.push_back(roster_index_of_update[pos]);
+        }
+        ComboAccuracy row;
+        row.combo = roster_combo;
+        row.label = fl::combination_label(roster_combo, client_names());
+        row.accuracy = accuracy;
+        record.combos.push_back(row);
+
+        if (accuracy > best_accuracy) {
+            best_accuracy = accuracy;
+            best_weights = candidate;
+            best_label = row.label;
+        }
+    }
+
+    global_weights_ = std::move(best_weights);
+    record.chosen_label = best_label;
+    record.chosen_accuracy = best_accuracy;
+    record.aggregated_at = sim_.now();
+    ++completed_rounds_;
+
+    begin_round();
+}
+
+std::string BcflPeer::client_names() const {
+    std::string names;
+    for (std::size_t i = 0; i < roster_.size(); ++i) {
+        names.push_back(static_cast<char>('A' + i));
+    }
+    return names;
+}
+
+}  // namespace bcfl::core

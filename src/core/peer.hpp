@@ -1,0 +1,131 @@
+// BcflPeer — the paper's primary contribution: a fully-coupled participant
+// that is simultaneously data holder, trainer, miner and aggregator.
+//
+// Per communication round each peer:
+//   1. trains locally (simulated duration + CPU contention with its miner),
+//   2. serializes its weights, chunks them and publishes them through the
+//      registry contract (publish tx + chunk txs),
+//   3. waits until `wait_for_models` complete models for the round are
+//      visible on its own chain view — or until `wait_timeout` expires
+//      (asynchronous aggregation: "not to wait"),
+//   4. evaluates every model combination on its *local* test set, adopts the
+//      best one (personalized / "consider" aggregation), and records every
+//      combination's accuracy — the rows of Tables II, III and IV.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/model_store.hpp"
+#include "fl/combinations.hpp"
+#include "fl/task.hpp"
+#include "net/sim.hpp"
+#include "node/node.hpp"
+
+namespace bcfl::core {
+
+struct PeerConfig {
+    std::size_t index = 0;  // client index (0 = A, 1 = B, ...)
+    /// Simulated wall-clock duration of one local training pass.
+    net::SimTime train_duration = net::seconds(30);
+    /// CPU fraction consumed while training (contends with mining).
+    double train_cpu_load = 0.8;
+    std::size_t chunk_bytes = 24 * 1024;
+    /// Aggregate as soon as this many complete models (incl. own) exist.
+    std::size_t wait_for_models = 3;
+    /// Asynchronous safety valve: aggregate with whatever is available.
+    net::SimTime wait_timeout = net::seconds(900);
+    std::uint64_t gas_price = 1;
+    /// Extra ballast bytes appended to the published payload to emulate
+    /// paper-scale model sizes (e.g. EfficientNet-B0's 21.2 MB) — see E4.
+    std::size_t payload_pad_bytes = 0;
+    /// §III-A fitness pre-filter: a received model whose *solo* accuracy on
+    /// this peer's test set falls below the threshold is excluded from the
+    /// combination search (0 disables). Defends against poisoned or noisy
+    /// updates without attributing intent.
+    double fitness_threshold = 0.0;
+    /// Fault injection for the poisoning experiments: when true this peer
+    /// publishes a corrupted update (sign-flipped, noise-scaled weights)
+    /// while still participating in consensus honestly.
+    bool poison_updates = false;
+    /// Vanilla behaviour ("not consider"): always FedAvg every available
+    /// update instead of searching combinations.
+    bool aggregate_all = false;
+};
+
+struct ComboAccuracy {
+    fl::Combination combo;   // indices into the client roster
+    std::string label;       // e.g. "A,C"
+    double accuracy = 0.0;
+    bool available = true;   // all members' models were on chain
+};
+
+struct PeerRoundRecord {
+    std::size_t round = 0;                  // 1-based, like the paper
+    std::vector<ComboAccuracy> combos;      // table rows
+    std::string chosen_label;
+    double chosen_accuracy = 0.0;
+    std::size_t models_available = 0;
+    /// Roster indices dropped by the fitness threshold this round.
+    std::vector<std::size_t> filtered_out;
+    bool timed_out = false;
+    net::SimTime round_started = 0;
+    net::SimTime published_at = 0;
+    net::SimTime aggregated_at = 0;
+};
+
+class BcflPeer {
+public:
+    /// `roster` maps client index -> account address, shared by all peers.
+    BcflPeer(net::Simulation& sim, node::Node& node, const fl::FlTask& task,
+             std::vector<Address> roster, PeerConfig config);
+
+    /// Launches the first round; the peer then self-schedules.
+    void run_rounds(std::size_t rounds);
+
+    [[nodiscard]] bool finished() const {
+        return target_rounds_ > 0 && completed_rounds_ >= target_rounds_;
+    }
+    [[nodiscard]] const std::vector<PeerRoundRecord>& records() const {
+        return records_;
+    }
+    [[nodiscard]] const std::vector<float>& current_weights() const {
+        return global_weights_;
+    }
+    [[nodiscard]] std::size_t index() const { return config_.index; }
+    [[nodiscard]] const node::Node& node() const { return node_; }
+
+private:
+    void begin_round();
+    void finish_training();
+    void publish_weights(const std::vector<float>& weights);
+    void check_aggregation();
+    void aggregate(bool timed_out);
+    [[nodiscard]] std::string client_names() const;
+    [[nodiscard]] std::optional<std::vector<float>> chain_weights(
+        std::uint64_t round, const Address& owner) const;
+
+    net::Simulation& sim_;
+    node::Node& node_;
+    const fl::FlTask& task_;
+    std::vector<Address> roster_;
+    PeerConfig config_;
+
+    std::unique_ptr<fl::FlModel> model_;   // training instance
+    std::unique_ptr<fl::FlModel> probe_;   // evaluation instance
+    std::vector<float> global_weights_;    // chosen model entering the round
+    std::vector<float> own_update_;        // this round's trained weights
+    ModelStore store_;
+
+    std::size_t target_rounds_ = 0;
+    std::size_t completed_rounds_ = 0;
+    std::uint64_t current_round_ = 0;      // 1-based
+    std::uint64_t next_nonce_ = 0;
+    bool waiting_ = false;
+    std::uint64_t wait_generation_ = 0;
+    std::vector<PeerRoundRecord> records_;
+};
+
+}  // namespace bcfl::core

@@ -1,0 +1,19 @@
+// Keccak-256 (the pre-NIST-padding variant used by Ethereum).
+//
+// Transaction hashes, block hashes, addresses, contract storage keys and the
+// MiniEVM SHA3 opcode all go through this function, matching the role
+// keccak256 plays in the paper's private-Ethereum deployment.
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace bcfl::crypto {
+
+/// One-shot Keccak-256 (Ethereum-style 0x01 domain padding).
+[[nodiscard]] Hash32 keccak256(BytesView data);
+
+/// keccak256 over the concatenation of two buffers (avoids a copy at call
+/// sites that hash `prefix || payload`).
+[[nodiscard]] Hash32 keccak256(BytesView a, BytesView b);
+
+}  // namespace bcfl::crypto

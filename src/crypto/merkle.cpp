@@ -1,0 +1,62 @@
+#include "crypto/merkle.hpp"
+
+#include "common/error.hpp"
+#include "crypto/keccak.hpp"
+
+namespace bcfl::crypto {
+
+namespace {
+
+Hash32 hash_pair(const Hash32& left, const Hash32& right) {
+    return keccak256(left.view(), right.view());
+}
+
+/// Builds the next level; odd tails are paired with themselves (Bitcoin
+/// style), which keeps proofs simple and uniform.
+std::vector<Hash32> next_level(const std::vector<Hash32>& level) {
+    std::vector<Hash32> out;
+    out.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i < level.size(); i += 2) {
+        const Hash32& left = level[i];
+        const Hash32& right = (i + 1 < level.size()) ? level[i + 1] : level[i];
+        out.push_back(hash_pair(left, right));
+    }
+    return out;
+}
+
+}  // namespace
+
+Hash32 merkle_root(const std::vector<Hash32>& leaves) {
+    if (leaves.empty()) return keccak256(BytesView{});
+    std::vector<Hash32> level = leaves;
+    while (level.size() > 1) level = next_level(level);
+    return level.front();
+}
+
+MerkleProof merkle_prove(const std::vector<Hash32>& leaves, std::size_t index) {
+    if (index >= leaves.size()) throw Error("merkle_prove: index out of range");
+    MerkleProof proof;
+    std::vector<Hash32> level = leaves;
+    while (level.size() > 1) {
+        const std::size_t sibling_index =
+            (index % 2 == 0) ? (index + 1 < level.size() ? index + 1 : index)
+                             : index - 1;
+        proof.push_back(
+            ProofNode{level[sibling_index], /*sibling_on_right=*/index % 2 == 0});
+        level = next_level(level);
+        index /= 2;
+    }
+    return proof;
+}
+
+bool merkle_verify(const Hash32& leaf, const MerkleProof& proof,
+                   const Hash32& root) {
+    Hash32 acc = leaf;
+    for (const ProofNode& node : proof) {
+        acc = node.sibling_on_right ? hash_pair(acc, node.sibling)
+                                    : hash_pair(node.sibling, acc);
+    }
+    return acc == root;
+}
+
+}  // namespace bcfl::crypto

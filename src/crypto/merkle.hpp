@@ -1,0 +1,36 @@
+// Binary Merkle tree over keccak256, with inclusion proofs.
+//
+// Block headers commit to their transaction list through a Merkle root; the
+// audit module uses inclusion proofs to demonstrate that a given (signed)
+// model-update transaction was mined — the evidence trail behind the paper's
+// non-repudiation claim.
+#pragma once
+
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace bcfl::crypto {
+
+/// One step of a Merkle proof: the sibling hash and which side it sits on.
+struct ProofNode {
+    Hash32 sibling;
+    bool sibling_on_right = false;
+};
+
+using MerkleProof = std::vector<ProofNode>;
+
+/// Root of the tree built over `leaves`. An empty list hashes to
+/// keccak256("") so empty blocks still commit to a well-defined root.
+[[nodiscard]] Hash32 merkle_root(const std::vector<Hash32>& leaves);
+
+/// Proof that leaves[index] is included under merkle_root(leaves).
+/// Throws Error if index is out of range.
+[[nodiscard]] MerkleProof merkle_prove(const std::vector<Hash32>& leaves,
+                                       std::size_t index);
+
+/// Verifies an inclusion proof.
+[[nodiscard]] bool merkle_verify(const Hash32& leaf, const MerkleProof& proof,
+                                 const Hash32& root);
+
+}  // namespace bcfl::crypto

@@ -1,0 +1,277 @@
+#include "crypto/secp256k1.hpp"
+
+#include "common/error.hpp"
+#include "crypto/keccak.hpp"
+#include "crypto/sha256.hpp"
+
+namespace bcfl::crypto {
+
+namespace {
+
+using u128 = unsigned __int128;
+
+// p = 2^256 - 2^32 - 977 = 2^256 - kComplement.
+constexpr std::uint64_t kComplement = 0x1000003d1ull;  // 2^32 + 977
+
+const U256 kPrime{0xffffffffffffffffull, 0xffffffffffffffffull,
+                  0xffffffffffffffffull, 0xfffffffefffffc2full};
+const U256 kOrder{0xffffffffffffffffull, 0xfffffffffffffffeull,
+                  0xbaaedce6af48a03bull, 0xbfd25e8cd0364141ull};
+const U256 kGx{0x79be667ef9dcbbacull, 0x55a06295ce870b07ull,
+               0x029bfcdb2dce28d9ull, 0x59f2815b16f81798ull};
+const U256 kGy{0x483ada7726a3c465ull, 0x5da4fbfc0e1108a8ull,
+               0xfd17b448a6855419ull, 0x9c47d08ffb10d4b8ull};
+
+/// 5-limb accumulator for the fast reduction.
+struct Acc {
+    std::uint64_t limb[5]{};
+};
+
+/// out = a + b*kComplement where a is 4 limbs and b is 4 limbs.
+Acc mul_add_complement(const std::uint64_t lo[4], const std::uint64_t hi[4]) {
+    Acc out;
+    std::uint64_t carry = 0;
+    for (int i = 0; i < 4; ++i) {
+        const u128 cur =
+            static_cast<u128>(hi[i]) * kComplement + lo[i] + carry;
+        out.limb[i] = static_cast<std::uint64_t>(cur);
+        carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    out.limb[4] = carry;
+    return out;
+}
+
+/// Reduces a 512-bit product (8 limbs) modulo p using p = 2^256 - c.
+U256 reduce_p(const std::uint64_t t[8]) {
+    // Round 1: fold the top 256 bits: t = lo + hi*c (fits in 5 limbs).
+    const Acc r1 = mul_add_complement(t, t + 4);
+    // Round 2: fold the 5th limb.
+    std::uint64_t hi2[4] = {r1.limb[4], 0, 0, 0};
+    const Acc r2 = mul_add_complement(r1.limb, hi2);
+    U256 out;
+    for (int i = 0; i < 4; ++i) out.limb[i] = r2.limb[i];
+    // r2.limb[4] can be at most 1; fold once more.
+    if (r2.limb[4] != 0) {
+        U256 fold{kComplement};
+        out = add(out, fold);  // cannot carry past 2^256 again
+    }
+    while (out >= kPrime) out = sub(out, kPrime);
+    return out;
+}
+
+void mul_full_limbs(const U256& a, const U256& b, std::uint64_t out[8]) {
+    for (int i = 0; i < 8; ++i) out[i] = 0;
+    for (int i = 0; i < 4; ++i) {
+        std::uint64_t carry = 0;
+        for (int j = 0; j < 4; ++j) {
+            const u128 cur =
+                static_cast<u128>(a.limb[i]) * b.limb[j] + out[i + j] + carry;
+            out[i + j] = static_cast<std::uint64_t>(cur);
+            carry = static_cast<std::uint64_t>(cur >> 64);
+        }
+        out[i + 4] = carry;
+    }
+}
+
+/// Jacobian point: x = X/Z^2, y = Y/Z^3. Z == 0 encodes infinity.
+struct Jacobian {
+    U256 x;
+    U256 y;
+    U256 z;
+
+    [[nodiscard]] bool is_infinity() const { return z.is_zero(); }
+};
+
+Jacobian to_jacobian(const Point& p) {
+    if (p.infinity) return Jacobian{U256{1}, U256{1}, U256{}};
+    return Jacobian{p.x, p.y, U256{1}};
+}
+
+Point to_affine(const Jacobian& p) {
+    if (p.is_infinity()) return Point{};
+    const U256 zinv = fe_inv(p.z);
+    const U256 zinv2 = fe_mul(zinv, zinv);
+    const U256 zinv3 = fe_mul(zinv2, zinv);
+    return Point{fe_mul(p.x, zinv2), fe_mul(p.y, zinv3), false};
+}
+
+Jacobian jac_double(const Jacobian& p) {
+    if (p.is_infinity() || p.y.is_zero()) return Jacobian{U256{1}, U256{1}, U256{}};
+    const U256 y2 = fe_mul(p.y, p.y);
+    const U256 s = fe_mul(U256{4}, fe_mul(p.x, y2));
+    const U256 m = fe_mul(U256{3}, fe_mul(p.x, p.x));  // a == 0 on secp256k1
+    const U256 x = fe_sub(fe_mul(m, m), fe_add(s, s));
+    const U256 y4 = fe_mul(y2, y2);
+    const U256 y = fe_sub(fe_mul(m, fe_sub(s, x)), fe_mul(U256{8}, y4));
+    const U256 z = fe_mul(U256{2}, fe_mul(p.y, p.z));
+    return Jacobian{x, y, z};
+}
+
+Jacobian jac_add(const Jacobian& p, const Jacobian& q) {
+    if (p.is_infinity()) return q;
+    if (q.is_infinity()) return p;
+    const U256 z1z1 = fe_mul(p.z, p.z);
+    const U256 z2z2 = fe_mul(q.z, q.z);
+    const U256 u1 = fe_mul(p.x, z2z2);
+    const U256 u2 = fe_mul(q.x, z1z1);
+    const U256 s1 = fe_mul(p.y, fe_mul(q.z, z2z2));
+    const U256 s2 = fe_mul(q.y, fe_mul(p.z, z1z1));
+    if (u1 == u2) {
+        if (s1 == s2) return jac_double(p);
+        return Jacobian{U256{1}, U256{1}, U256{}};  // P + (-P) = infinity
+    }
+    const U256 h = fe_sub(u2, u1);
+    const U256 h2 = fe_mul(h, h);
+    const U256 h3 = fe_mul(h2, h);
+    const U256 r = fe_sub(s2, s1);
+    const U256 u1h2 = fe_mul(u1, h2);
+    U256 x = fe_sub(fe_mul(r, r), h3);
+    x = fe_sub(x, fe_add(u1h2, u1h2));
+    const U256 y = fe_sub(fe_mul(r, fe_sub(u1h2, x)), fe_mul(s1, h3));
+    const U256 z = fe_mul(h, fe_mul(p.z, q.z));
+    return Jacobian{x, y, z};
+}
+
+U256 scalar_from_hash(const Hash32& h) {
+    const U256 raw = U256::from_hash(h);
+    const U256 reduced = divmod(raw, kOrder).remainder;
+    return reduced.is_zero() ? U256{1} : reduced;
+}
+
+Hash32 challenge(const Point& r, const Point& pub, BytesView message) {
+    Sha256 hasher;
+    hasher.update(r.x.to_hash().view());
+    hasher.update(r.y.to_hash().view());
+    hasher.update(pub.x.to_hash().view());
+    hasher.update(pub.y.to_hash().view());
+    hasher.update(message);
+    return hasher.finalize();
+}
+
+}  // namespace
+
+const U256& field_prime() { return kPrime; }
+const U256& group_order() { return kOrder; }
+const Point& generator() {
+    static const Point g{kGx, kGy, false};
+    return g;
+}
+
+U256 fe_mul(const U256& a, const U256& b) {
+    std::uint64_t t[8];
+    mul_full_limbs(a, b, t);
+    return reduce_p(t);
+}
+
+U256 fe_add(const U256& a, const U256& b) { return add_mod(a, b, kPrime); }
+U256 fe_sub(const U256& a, const U256& b) { return sub_mod(a, b, kPrime); }
+
+U256 fe_inv(const U256& a) {
+    // Fermat: a^(p-2). Uses the fast fe_mul, so ~256 squarings + ~128 muls.
+    U256 result{1};
+    U256 acc = a;
+    const U256 exponent = sub(kPrime, U256{2});
+    const int bits = exponent.bit_length();
+    for (int i = 0; i < bits; ++i) {
+        if (exponent.bit(i)) result = fe_mul(result, acc);
+        acc = fe_mul(acc, acc);
+    }
+    return result;
+}
+
+Point point_add(const Point& a, const Point& b) {
+    return to_affine(jac_add(to_jacobian(a), to_jacobian(b)));
+}
+
+Point point_double(const Point& a) {
+    return to_affine(jac_double(to_jacobian(a)));
+}
+
+Point scalar_mul(const U256& k, const Point& p) {
+    Jacobian result{U256{1}, U256{1}, U256{}};
+    Jacobian base = to_jacobian(p);
+    const int bits = k.bit_length();
+    for (int i = 0; i < bits; ++i) {
+        if (k.bit(i)) result = jac_add(result, base);
+        base = jac_double(base);
+    }
+    return to_affine(result);
+}
+
+bool on_curve(const Point& p) {
+    if (p.infinity) return true;
+    const U256 lhs = fe_mul(p.y, p.y);
+    const U256 rhs = fe_add(fe_mul(fe_mul(p.x, p.x), p.x), U256{7});
+    return lhs == rhs;
+}
+
+Bytes Signature::serialize() const {
+    Bytes out;
+    out.reserve(96);
+    append(out, rx.to_hash().view());
+    append(out, ry.to_hash().view());
+    append(out, s.to_hash().view());
+    return out;
+}
+
+Signature Signature::deserialize(BytesView data) {
+    if (data.size() != 96) throw DecodeError("signature must be 96 bytes");
+    Signature sig;
+    sig.rx = U256::from_be_bytes(data.subspan(0, 32));
+    sig.ry = U256::from_be_bytes(data.subspan(32, 32));
+    sig.s = U256::from_be_bytes(data.subspan(64, 32));
+    return sig;
+}
+
+KeyPair KeyPair::from_seed(std::uint64_t seed) {
+    Bytes seed_bytes = be_bytes(seed);
+    Bytes tagged = str_bytes("bcfl-keypair-v1:");
+    append(tagged, seed_bytes);
+    return from_secret(U256::from_hash(sha256(tagged)));
+}
+
+KeyPair KeyPair::from_secret(const U256& secret) {
+    U256 sk = divmod(secret, kOrder).remainder;
+    if (sk.is_zero()) sk = U256{1};
+    Point pub = scalar_mul(sk, generator());
+    return KeyPair{sk, pub};
+}
+
+Address KeyPair::address() const { return to_address(public_); }
+
+Signature KeyPair::sign(BytesView message) const {
+    // Deterministic nonce: k = H(sk || msg) mod n (RFC6979 in spirit).
+    Sha256 nonce_hasher;
+    nonce_hasher.update(secret_.to_hash().view());
+    nonce_hasher.update(message);
+    const U256 k = scalar_from_hash(nonce_hasher.finalize());
+
+    const Point r = scalar_mul(k, generator());
+    const U256 e = scalar_from_hash(challenge(r, public_, message));
+    const U256 s = add_mod(k, mul_mod(e, secret_, kOrder), kOrder);
+    return Signature{r.x, r.y, s};
+}
+
+bool verify(const Point& pub, BytesView message, const Signature& sig) {
+    if (pub.infinity || !on_curve(pub)) return false;
+    const Point r{sig.rx, sig.ry, false};
+    if (!on_curve(r)) return false;
+    if (sig.s >= kOrder) return false;
+
+    const U256 e = scalar_from_hash(challenge(r, pub, message));
+    // Check s*G == R + e*P.
+    const Point lhs = scalar_mul(sig.s, generator());
+    const Point rhs = point_add(r, scalar_mul(e, pub));
+    return lhs == rhs;
+}
+
+Address to_address(const Point& pub) {
+    Bytes encoded;
+    encoded.reserve(64);
+    append(encoded, pub.x.to_hash().view());
+    append(encoded, pub.y.to_hash().view());
+    const Hash32 digest = keccak256(encoded);
+    return Address::from(BytesView{digest.data.data() + 12, 20});
+}
+
+}  // namespace bcfl::crypto

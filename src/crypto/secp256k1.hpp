@@ -1,0 +1,83 @@
+// secp256k1 group arithmetic and Schnorr signatures.
+//
+// This provides the account layer of the chain: key pairs, Ethereum-style
+// addresses (keccak256(pubkey)[12..]) and the signatures that give the paper
+// its non-repudiation property — a participant cannot deny having published a
+// model update once it is signed and mined.
+//
+// The signature scheme is Schnorr (BIP340-flavoured: deterministic nonce,
+// binding challenge over R, P and the message) rather than ECDSA; it is
+// simpler to implement correctly and offers the same provenance guarantee.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/u256.hpp"
+
+namespace bcfl::crypto {
+
+/// Affine curve point; `infinity == true` is the group identity.
+struct Point {
+    U256 x;
+    U256 y;
+    bool infinity = true;
+
+    [[nodiscard]] bool operator==(const Point&) const = default;
+};
+
+/// Curve constants (y^2 = x^3 + 7 over F_p).
+[[nodiscard]] const U256& field_prime();   // p
+[[nodiscard]] const U256& group_order();   // n
+[[nodiscard]] const Point& generator();    // G
+
+/// Field multiplication with the fast secp256k1 reduction (p = 2^256 - c).
+[[nodiscard]] U256 fe_mul(const U256& a, const U256& b);
+[[nodiscard]] U256 fe_add(const U256& a, const U256& b);
+[[nodiscard]] U256 fe_sub(const U256& a, const U256& b);
+[[nodiscard]] U256 fe_inv(const U256& a);
+
+/// Group operations (complete for our usage; inputs must be on-curve).
+[[nodiscard]] Point point_add(const Point& a, const Point& b);
+[[nodiscard]] Point point_double(const Point& a);
+[[nodiscard]] Point scalar_mul(const U256& k, const Point& p);
+[[nodiscard]] bool on_curve(const Point& p);
+
+struct Signature {
+    U256 rx;  // R.x
+    U256 ry;  // R.y
+    U256 s;
+
+    [[nodiscard]] bool operator==(const Signature&) const = default;
+    [[nodiscard]] Bytes serialize() const;  // 96 bytes
+    static Signature deserialize(BytesView data);
+};
+
+class KeyPair {
+public:
+    /// Derives a key pair deterministically from a seed (tests, simulation).
+    static KeyPair from_seed(std::uint64_t seed);
+    /// Derives from an explicit secret scalar (clamped into [1, n-1]).
+    static KeyPair from_secret(const U256& secret);
+
+    [[nodiscard]] const U256& secret() const { return secret_; }
+    [[nodiscard]] const Point& public_key() const { return public_; }
+    [[nodiscard]] Address address() const;
+
+    /// Schnorr signature over an arbitrary message (hashed internally).
+    [[nodiscard]] Signature sign(BytesView message) const;
+
+private:
+    KeyPair(U256 secret, Point pub)
+        : secret_(secret), public_(pub) {}
+
+    U256 secret_;
+    Point public_;
+};
+
+/// Verifies signature `sig` on `message` under public key `pub`.
+[[nodiscard]] bool verify(const Point& pub, BytesView message,
+                          const Signature& sig);
+
+/// Ethereum-style address of a public key.
+[[nodiscard]] Address to_address(const Point& pub);
+
+}  // namespace bcfl::crypto

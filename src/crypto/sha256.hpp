@@ -1,0 +1,32 @@
+// FIPS 180-4 SHA-256, implemented from scratch.
+//
+// Used for deterministic nonce derivation in the Schnorr signer and as a
+// second, independent hash in tests (cross-checking the Keccak pipeline).
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace bcfl::crypto {
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+public:
+    Sha256() { reset(); }
+
+    void reset();
+    void update(BytesView data);
+    [[nodiscard]] Hash32 finalize();
+
+private:
+    void process_block(const std::uint8_t* block);
+
+    std::uint32_t state_[8]{};
+    std::uint8_t buffer_[64]{};
+    std::size_t buffered_ = 0;
+    std::uint64_t total_bits_ = 0;
+};
+
+/// One-shot convenience wrapper.
+[[nodiscard]] Hash32 sha256(BytesView data);
+
+}  // namespace bcfl::crypto

@@ -1,0 +1,247 @@
+#include "crypto/u256.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace bcfl::crypto {
+
+namespace {
+
+using u128 = unsigned __int128;
+
+/// 512-bit scratch value for multiplication / division intermediates.
+struct U512 {
+    std::uint64_t limb[8]{};
+};
+
+U512 mul_full(const U256& a, const U256& b) {
+    U512 out;
+    for (int i = 0; i < 4; ++i) {
+        std::uint64_t carry = 0;
+        for (int j = 0; j < 4; ++j) {
+            const u128 cur = static_cast<u128>(a.limb[i]) * b.limb[j] +
+                             out.limb[i + j] + carry;
+            out.limb[i + j] = static_cast<std::uint64_t>(cur);
+            carry = static_cast<std::uint64_t>(cur >> 64);
+        }
+        out.limb[i + 4] = carry;
+    }
+    return out;
+}
+
+int bit_length_512(const U512& v) {
+    for (int i = 7; i >= 0; --i) {
+        if (v.limb[i] != 0) return i * 64 + 64 - std::countl_zero(v.limb[i]);
+    }
+    return 0;
+}
+
+bool bit_512(const U512& v, int index) {
+    return (v.limb[index >> 6] >> (index & 63)) & 1;
+}
+
+/// remainder := remainder*2 + bit (mod modulus), handling the case where the
+/// doubled value overflows 2^256 (possible when modulus > 2^255).
+void shift_in_bit_mod(U256& remainder, bool bit, const U256& modulus) {
+    const bool carry_out = remainder.bit(255);
+    remainder = shl(remainder, 1);
+    if (bit) remainder.limb[0] |= 1;
+    if (carry_out) {
+        // True value is remainder + 2^256; subtracting modulus once brings it
+        // below modulus because remainder was < modulus before the shift.
+        remainder = add(remainder, sub(U256{}, modulus));
+    } else if (remainder >= modulus) {
+        remainder = sub(remainder, modulus);
+    }
+}
+
+/// Remainder of a 512-bit value modulo a 256-bit value (binary long division).
+U256 mod_512(const U512& value, const U256& modulus) {
+    U256 remainder;
+    for (int i = bit_length_512(value) - 1; i >= 0; --i) {
+        shift_in_bit_mod(remainder, bit_512(value, i), modulus);
+    }
+    return remainder;
+}
+
+}  // namespace
+
+int U256::bit_length() const {
+    for (int i = 3; i >= 0; --i) {
+        if (limb[i] != 0) return i * 64 + 64 - std::countl_zero(limb[i]);
+    }
+    return 0;
+}
+
+Hash32 U256::to_hash() const {
+    Hash32 out;
+    for (int i = 0; i < 4; ++i) {
+        const std::uint64_t word = limb[3 - i];
+        for (int j = 0; j < 8; ++j) {
+            out.data[static_cast<std::size_t>(i * 8 + j)] =
+                static_cast<std::uint8_t>(word >> (56 - 8 * j));
+        }
+    }
+    return out;
+}
+
+Bytes U256::to_be_bytes() const {
+    const Hash32 h = to_hash();
+    return Bytes(h.data.begin(), h.data.end());
+}
+
+U256 U256::from_be_bytes(BytesView data) {
+    if (data.size() > 32) throw DecodeError("U256 wider than 32 bytes");
+    U256 out;
+    int bit_shift = 0;
+    int limb_index = 0;
+    for (std::size_t i = data.size(); i-- > 0;) {
+        out.limb[limb_index] |= static_cast<std::uint64_t>(data[i]) << bit_shift;
+        bit_shift += 8;
+        if (bit_shift == 64) {
+            bit_shift = 0;
+            ++limb_index;
+        }
+    }
+    return out;
+}
+
+std::string U256::hex() const { return "0x" + to_hash().hex(); }
+
+U256 add(const U256& a, const U256& b) {
+    U256 out;
+    std::uint64_t carry = 0;
+    for (int i = 0; i < 4; ++i) {
+        const u128 cur = static_cast<u128>(a.limb[i]) + b.limb[i] + carry;
+        out.limb[i] = static_cast<std::uint64_t>(cur);
+        carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    return out;
+}
+
+U256 sub(const U256& a, const U256& b) {
+    U256 out;
+    std::uint64_t borrow = 0;
+    for (int i = 0; i < 4; ++i) {
+        const u128 cur = static_cast<u128>(a.limb[i]) -
+                         static_cast<u128>(b.limb[i]) - borrow;
+        out.limb[i] = static_cast<std::uint64_t>(cur);
+        borrow = (cur >> 64) ? 1 : 0;
+    }
+    return out;
+}
+
+U256 mul(const U256& a, const U256& b) {
+    const U512 full = mul_full(a, b);
+    U256 out;
+    for (int i = 0; i < 4; ++i) out.limb[i] = full.limb[i];
+    return out;
+}
+
+DivMod divmod(const U256& a, const U256& b) {
+    if (b.is_zero()) return {U256{}, U256{}};
+    if (a < b) return {U256{}, a};
+    U256 quotient;
+    U256 remainder;
+    for (int i = a.bit_length() - 1; i >= 0; --i) {
+        const U256 before = remainder;
+        shift_in_bit_mod(remainder, a.bit(i), b);
+        // The quotient bit is set exactly when a subtraction occurred, i.e.
+        // when 2*before + bit != remainder.
+        U256 doubled = shl(before, 1);
+        if (a.bit(i)) doubled.limb[0] |= 1;
+        if (doubled != remainder || before.bit(255)) {
+            quotient.limb[i >> 6] |= (1ull << (i & 63));
+        }
+    }
+    return {quotient, remainder};
+}
+
+U256 bit_and(const U256& a, const U256& b) {
+    U256 out;
+    for (int i = 0; i < 4; ++i) out.limb[i] = a.limb[i] & b.limb[i];
+    return out;
+}
+U256 bit_or(const U256& a, const U256& b) {
+    U256 out;
+    for (int i = 0; i < 4; ++i) out.limb[i] = a.limb[i] | b.limb[i];
+    return out;
+}
+U256 bit_xor(const U256& a, const U256& b) {
+    U256 out;
+    for (int i = 0; i < 4; ++i) out.limb[i] = a.limb[i] ^ b.limb[i];
+    return out;
+}
+U256 bit_not(const U256& a) {
+    U256 out;
+    for (int i = 0; i < 4; ++i) out.limb[i] = ~a.limb[i];
+    return out;
+}
+
+U256 shl(const U256& a, unsigned shift) {
+    if (shift >= 256) return U256{};
+    U256 out;
+    const unsigned limb_shift = shift / 64;
+    const unsigned bit_shift = shift % 64;
+    for (int i = 3; i >= 0; --i) {
+        const int src = i - static_cast<int>(limb_shift);
+        if (src < 0) continue;
+        out.limb[i] = a.limb[src] << bit_shift;
+        if (bit_shift != 0 && src > 0) {
+            out.limb[i] |= a.limb[src - 1] >> (64 - bit_shift);
+        }
+    }
+    return out;
+}
+
+U256 shr(const U256& a, unsigned shift) {
+    if (shift >= 256) return U256{};
+    U256 out;
+    const unsigned limb_shift = shift / 64;
+    const unsigned bit_shift = shift % 64;
+    for (int i = 0; i < 4; ++i) {
+        const unsigned src = static_cast<unsigned>(i) + limb_shift;
+        if (src > 3) continue;
+        out.limb[i] = a.limb[src] >> bit_shift;
+        if (bit_shift != 0 && src < 3) {
+            out.limb[i] |= a.limb[src + 1] << (64 - bit_shift);
+        }
+    }
+    return out;
+}
+
+U256 add_mod(const U256& a, const U256& b, const U256& modulus) {
+    U256 out = add(a, b);
+    // Detect wraparound: if out < a the 2^256 carry was lost.
+    if (out < a || out >= modulus) out = sub(out, modulus);
+    return out;
+}
+
+U256 sub_mod(const U256& a, const U256& b, const U256& modulus) {
+    if (a >= b) return sub(a, b);
+    return sub(add(a, modulus), b);
+}
+
+U256 mul_mod(const U256& a, const U256& b, const U256& modulus) {
+    if (modulus.is_zero()) return U256{};
+    return mod_512(mul_full(a, b), modulus);
+}
+
+U256 pow_mod(const U256& base, const U256& exponent, const U256& modulus) {
+    if (modulus.is_zero()) return U256{};
+    U256 result{1};
+    U256 acc = divmod(base, modulus).remainder;
+    const int bits = exponent.bit_length();
+    for (int i = 0; i < bits; ++i) {
+        if (exponent.bit(i)) result = mul_mod(result, acc, modulus);
+        acc = mul_mod(acc, acc, modulus);
+    }
+    return result;
+}
+
+U256 inv_mod_prime(const U256& a, const U256& prime) {
+    return pow_mod(a, sub(prime, U256{2}), prime);
+}
+
+}  // namespace bcfl::crypto

@@ -1,0 +1,64 @@
+#include "fl/combinations.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace bcfl::fl {
+
+std::vector<Combination> all_combinations(std::size_t n) {
+    if (n == 0 || n > 20) throw Error("combinations: bad n");
+    std::vector<Combination> out;
+    for (std::size_t mask = 1; mask < (std::size_t{1} << n); ++mask) {
+        Combination combo;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (mask & (std::size_t{1} << i)) combo.push_back(i);
+        }
+        out.push_back(std::move(combo));
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Combination& a, const Combination& b) {
+                         return a.size() < b.size();
+                     });
+    return out;
+}
+
+std::vector<Combination> paper_combinations(std::size_t n, std::size_t self) {
+    if (self >= n) throw Error("combinations: self out of range");
+    std::vector<Combination> out;
+    out.push_back({self});
+    // Pairs containing self, in index order of the other member.
+    for (std::size_t other = 0; other < n; ++other) {
+        if (other != self) {
+            Combination pair{self, other};
+            std::sort(pair.begin(), pair.end());
+            out.push_back(std::move(pair));
+        }
+    }
+    // The others without self (for n == 3 this is one pair; generally the
+    // complement set).
+    if (n >= 2) {
+        Combination others;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (i != self) others.push_back(i);
+        }
+        if (others.size() >= 2) out.push_back(std::move(others));
+    }
+    // Everyone.
+    Combination all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    if (n >= 2) out.push_back(std::move(all));
+    return out;
+}
+
+std::string combination_label(const Combination& combo,
+                              const std::string& names) {
+    std::string label;
+    for (std::size_t i = 0; i < combo.size(); ++i) {
+        if (i > 0) label.push_back(',');
+        label.push_back(combo[i] < names.size() ? names[combo[i]] : '?');
+    }
+    return label;
+}
+
+}  // namespace bcfl::fl

@@ -1,0 +1,29 @@
+// Model-combination enumeration for personalized ("consider") aggregation.
+//
+// For a peer with its own update plus those of n-1 others, the paper
+// evaluates: self only, each pair containing self, the pair of others, and
+// the full set (Tables II-IV list exactly these for n = 3). We generalize to
+// every non-empty subset, ordered self-first/by-size for stable table rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bcfl::fl {
+
+using Combination = std::vector<std::size_t>;  // indices into an update list
+
+/// Every non-empty subset of {0..n-1}, sorted by size then lexicographically.
+[[nodiscard]] std::vector<Combination> all_combinations(std::size_t n);
+
+/// The paper's per-peer combination list for a peer whose own update has
+/// index `self`: {self}, {self,other} for each other, {others}, {all}.
+/// For n == 3 this reproduces the five rows of Tables II-IV.
+[[nodiscard]] std::vector<Combination> paper_combinations(std::size_t n,
+                                                          std::size_t self);
+
+/// Human-readable label, e.g. indices {0,2} with names "ABC" -> "A,C".
+[[nodiscard]] std::string combination_label(const Combination& combo,
+                                            const std::string& names);
+
+}  // namespace bcfl::fl

@@ -1,0 +1,42 @@
+#include "fl/fedavg.hpp"
+
+#include "common/error.hpp"
+
+namespace bcfl::fl {
+
+std::vector<float> fedavg(std::span<const ModelUpdate> updates) {
+    if (updates.empty()) throw ShapeError("fedavg: no updates");
+    const std::size_t dim = updates[0].weights.size();
+    double total_weight = 0.0;
+    for (const ModelUpdate& update : updates) {
+        if (update.weights.size() != dim) {
+            throw ShapeError("fedavg: weight dimension mismatch");
+        }
+        total_weight += update.sample_count;
+    }
+    if (total_weight <= 0.0) throw ShapeError("fedavg: zero total weight");
+
+    std::vector<double> acc(dim, 0.0);
+    for (const ModelUpdate& update : updates) {
+        const double w = update.sample_count / total_weight;
+        for (std::size_t i = 0; i < dim; ++i) {
+            acc[i] += w * static_cast<double>(update.weights[i]);
+        }
+    }
+    std::vector<float> out(dim);
+    for (std::size_t i = 0; i < dim; ++i) out[i] = static_cast<float>(acc[i]);
+    return out;
+}
+
+std::vector<float> fedavg_subset(std::span<const ModelUpdate> updates,
+                                 std::span<const std::size_t> indices) {
+    std::vector<ModelUpdate> selected;
+    selected.reserve(indices.size());
+    for (std::size_t index : indices) {
+        if (index >= updates.size()) throw ShapeError("fedavg: bad index");
+        selected.push_back(updates[index]);
+    }
+    return fedavg(selected);
+}
+
+}  // namespace bcfl::fl

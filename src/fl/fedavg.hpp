@@ -1,0 +1,24 @@
+// FedAvg (McMahan et al., 2017) — sample-count-weighted averaging of model
+// weight vectors, the aggregation rule used throughout the paper.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace bcfl::fl {
+
+struct ModelUpdate {
+    std::vector<float> weights;
+    double sample_count = 1.0;  // weighting factor (local dataset size)
+};
+
+/// Weighted average of updates. All weight vectors must share one length.
+/// Throws ShapeError on mismatch or empty input.
+[[nodiscard]] std::vector<float> fedavg(std::span<const ModelUpdate> updates);
+
+/// Average of a subset of updates selected by index.
+[[nodiscard]] std::vector<float> fedavg_subset(
+    std::span<const ModelUpdate> updates,
+    std::span<const std::size_t> indices);
+
+}  // namespace bcfl::fl

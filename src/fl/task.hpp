@@ -1,0 +1,66 @@
+// FlModel — the trainable-model abstraction both orchestrators (centralized
+// Vanilla FL and the decentralized blockchain peers) operate on — plus task
+// factories for the paper's two model families.
+//
+// SimpleNnModel trains the whole MLP from scratch. EffnetHeadModel follows
+// the paper's transfer-learning protocol: a shared pre-trained backbone is
+// frozen, clients train only the classifier head, and the published weight
+// vector covers backbone + head (peers exchange whole models, as in the
+// paper). Because the backbone is identical everywhere, averaging it is the
+// identity, so aggregation semantics are unchanged while local training only
+// touches the head (on precomputed embeddings, a large speedup).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "ml/data.hpp"
+#include "ml/models.hpp"
+#include "ml/train.hpp"
+
+namespace bcfl::fl {
+
+class FlModel {
+public:
+    virtual ~FlModel() = default;
+
+    [[nodiscard]] virtual std::vector<float> weights() = 0;
+    virtual void set_weights(std::span<const float> weights) = 0;
+    /// One round of local training (paper: 5 epochs).
+    virtual void train_local(const ml::Dataset& data,
+                             const ml::TrainConfig& config) = 0;
+    [[nodiscard]] virtual double evaluate(const ml::Dataset& data) = 0;
+    [[nodiscard]] virtual std::size_t weight_count() = 0;
+};
+
+/// A federated learning task: per-client data + a model factory. All models
+/// from `make_model` share identical initial weights (common global model).
+struct FlTask {
+    std::string model_name;
+    std::size_t clients = 0;
+    std::vector<ml::Dataset> client_train;
+    std::vector<ml::Dataset> client_test;
+    ml::Dataset aggregator_test;  // the aggregator's "default test set"
+    std::function<std::unique_ptr<FlModel>()> make_model;
+    ml::TrainConfig train_template;
+};
+
+/// SimpleNN task: raw images, full model trained.
+[[nodiscard]] FlTask make_simple_nn_task(const ml::FederatedData& data,
+                                         std::uint64_t model_seed);
+
+struct EffnetTaskOptions {
+    std::size_t pretrain_samples = 2000;
+    std::size_t pretrain_epochs = 4;
+    std::uint64_t pretrain_seed = 4242;
+};
+
+/// EffNetLite task: backbone pre-trained on the source domain then frozen;
+/// client datasets are replaced by backbone embeddings; clients train the
+/// head. Pretraining cost is paid once per call.
+[[nodiscard]] FlTask make_effnet_task(const ml::FederatedData& data,
+                                      std::uint64_t model_seed,
+                                      const EffnetTaskOptions& options = {});
+
+}  // namespace bcfl::fl

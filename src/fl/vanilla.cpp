@@ -1,0 +1,74 @@
+#include "fl/vanilla.hpp"
+
+#include "common/error.hpp"
+#include "fl/fedavg.hpp"
+
+namespace bcfl::fl {
+
+VanillaResult run_vanilla(const FlTask& task, const VanillaConfig& config) {
+    if (task.clients == 0) throw Error("vanilla: task has no clients");
+    VanillaResult result;
+
+    // One model instance per client plus an evaluation model for the
+    // aggregator; all start from the same global weights.
+    std::vector<std::unique_ptr<FlModel>> clients;
+    for (std::size_t c = 0; c < task.clients; ++c) {
+        clients.push_back(task.make_model());
+    }
+    std::unique_ptr<FlModel> probe = task.make_model();
+    std::vector<float> global = probe->weights();
+
+    const auto combos = all_combinations(task.clients);
+
+    for (std::size_t round = 0; round < config.rounds; ++round) {
+        // Local training from the current global model.
+        std::vector<ModelUpdate> updates(task.clients);
+        for (std::size_t c = 0; c < task.clients; ++c) {
+            clients[c]->set_weights(global);
+            ml::TrainConfig train_config = task.train_template;
+            train_config.shuffle_seed =
+                config.seed * 1000003 + round * 131 + c;
+            clients[c]->train_local(task.client_train[c], train_config);
+            updates[c].weights = clients[c]->weights();
+            updates[c].sample_count =
+                static_cast<double>(task.client_train[c].size());
+        }
+
+        VanillaRound record;
+        if (config.mode == AggregationMode::not_consider) {
+            global = fedavg(updates);
+            record.chosen.resize(task.clients);
+            for (std::size_t c = 0; c < task.clients; ++c) record.chosen[c] = c;
+        } else {
+            // "consider": pick the combination that scores best on the
+            // aggregator's default test set.
+            double best_accuracy = -1.0;
+            Combination best_combo;
+            std::vector<float> best_weights;
+            for (const Combination& combo : combos) {
+                const std::vector<float> candidate =
+                    fedavg_subset(updates, combo);
+                probe->set_weights(candidate);
+                const double acc = probe->evaluate(task.aggregator_test);
+                if (acc > best_accuracy) {
+                    best_accuracy = acc;
+                    best_combo = combo;
+                    best_weights = candidate;
+                }
+            }
+            global = std::move(best_weights);
+            record.chosen = std::move(best_combo);
+        }
+
+        probe->set_weights(global);
+        record.aggregator_accuracy = probe->evaluate(task.aggregator_test);
+        for (std::size_t c = 0; c < task.clients; ++c) {
+            record.client_accuracy.push_back(
+                probe->evaluate(task.client_test[c]));
+        }
+        result.rounds.push_back(std::move(record));
+    }
+    return result;
+}
+
+}  // namespace bcfl::fl

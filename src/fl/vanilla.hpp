@@ -1,0 +1,44 @@
+// Centralized Vanilla FL orchestrator (the paper's baseline setting).
+//
+// Three clients train locally for five epochs and send updates to a central
+// aggregator. Two aggregation policies:
+//   * not_consider — classic FedAvg over all updates (Vanilla).
+//   * consider     — the aggregator evaluates every non-empty combination of
+//                    updates on its default test set and keeps the best.
+// Per round, the aggregated global model is evaluated on each client's local
+// test set — exactly the numbers reported in Table I / Figure 3.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fl/combinations.hpp"
+#include "fl/task.hpp"
+
+namespace bcfl::fl {
+
+enum class AggregationMode {
+    not_consider,  // FedAvg over all updates
+    consider,      // best combination on the aggregator's test set
+};
+
+struct VanillaConfig {
+    std::size_t rounds = 10;
+    AggregationMode mode = AggregationMode::not_consider;
+    std::uint64_t seed = 1;
+};
+
+struct VanillaRound {
+    std::vector<double> client_accuracy;  // global model on each local test
+    Combination chosen;                   // combination picked (consider mode)
+    double aggregator_accuracy = 0.0;     // on the default test set
+};
+
+struct VanillaResult {
+    std::vector<VanillaRound> rounds;
+};
+
+[[nodiscard]] VanillaResult run_vanilla(const FlTask& task,
+                                        const VanillaConfig& config);
+
+}  // namespace bcfl::fl

@@ -1,0 +1,205 @@
+#include "ml/data.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace bcfl::ml {
+
+std::pair<Tensor, std::vector<int>> Dataset::batch(std::size_t begin,
+                                                   std::size_t end) const {
+    if (begin > end || end > size()) throw ShapeError("batch out of range");
+    const std::size_t n = end - begin;
+    const std::size_t sample = images.size() / size();
+    std::vector<std::size_t> shape = images.shape();
+    shape[0] = n;
+    Tensor out(shape);
+    std::copy(images.data() + begin * sample, images.data() + end * sample,
+              out.data());
+    return {std::move(out),
+            std::vector<int>(labels.begin() + static_cast<std::ptrdiff_t>(begin),
+                             labels.begin() + static_cast<std::ptrdiff_t>(end))};
+}
+
+Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
+    const std::size_t sample = images.size() / size();
+    std::vector<std::size_t> shape = images.shape();
+    shape[0] = indices.size();
+    Dataset out;
+    out.images = Tensor(shape);
+    out.labels.reserve(indices.size());
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        std::copy(images.data() + indices[i] * sample,
+                  images.data() + (indices[i] + 1) * sample,
+                  out.images.data() + i * sample);
+        out.labels.push_back(labels[indices[i]]);
+    }
+    return out;
+}
+
+namespace {
+
+/// Smooth per-class texture: a sum of random low-frequency sinusoids per
+/// channel plus a class-specific base colour.
+struct ClassPrototype {
+    // [channel][component] amplitude/frequency/phase triples.
+    struct Wave {
+        float fx, fy, phase, amplitude;
+    };
+    std::vector<std::vector<Wave>> waves;  // per channel
+    std::vector<float> base;               // per channel
+
+    float value(std::size_t channel, double u, double v) const {
+        float acc = base[channel];
+        for (const Wave& w : waves[channel]) {
+            acc += w.amplitude *
+                   static_cast<float>(std::sin(
+                       2.0 * std::numbers::pi * (w.fx * u + w.fy * v) +
+                       w.phase));
+        }
+        return acc;
+    }
+};
+
+ClassPrototype make_prototype(Rng& rng, std::size_t channels) {
+    ClassPrototype proto;
+    proto.waves.resize(channels);
+    proto.base.resize(channels);
+    for (std::size_t c = 0; c < channels; ++c) {
+        proto.base[c] = rng.uniform(0.3f, 0.7f);
+        const std::size_t components = 2 + rng.next_below(3);
+        for (std::size_t i = 0; i < components; ++i) {
+            ClassPrototype::Wave wave{};
+            wave.fx = rng.uniform(0.5f, 3.0f);
+            wave.fy = rng.uniform(0.5f, 3.0f);
+            wave.phase = rng.uniform(0.0f, 6.28318f);
+            wave.amplitude = rng.uniform(0.08f, 0.3f);
+            proto.waves[c].push_back(wave);
+        }
+    }
+    return proto;
+}
+
+/// Renders one sample of class `proto` with augment-style jitter.
+void render_sample(const ClassPrototype& proto,
+                   const SyntheticCifarConfig& config, Rng& rng, float* dst) {
+    const float contrast =
+        rng.uniform(1.0f - config.contrast_jitter, 1.0f + config.contrast_jitter);
+    const float brightness =
+        rng.uniform(-config.brightness_jitter, config.brightness_jitter);
+    const double shift_u = rng.uniform(-config.shift_jitter, config.shift_jitter);
+    const double shift_v = rng.uniform(-config.shift_jitter, config.shift_jitter);
+    for (std::size_t c = 0; c < config.channels; ++c) {
+        for (std::size_t y = 0; y < config.height; ++y) {
+            for (std::size_t x = 0; x < config.width; ++x) {
+                const double u =
+                    static_cast<double>(x) / config.width + shift_u;
+                const double v =
+                    static_cast<double>(y) / config.height + shift_v;
+                float value = proto.value(c, u, v);
+                value = (value - 0.5f) * contrast + 0.5f + brightness;
+                value += static_cast<float>(rng.normal()) *
+                         static_cast<float>(config.noise_std);
+                *dst++ = std::clamp(value, 0.0f, 1.0f);
+            }
+        }
+    }
+}
+
+std::vector<ClassPrototype> make_prototypes(const SyntheticCifarConfig& config,
+                                            std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<ClassPrototype> protos;
+    protos.reserve(config.classes);
+    for (std::size_t k = 0; k < config.classes; ++k) {
+        protos.push_back(make_prototype(rng, config.channels));
+    }
+    return protos;
+}
+
+Dataset render_dataset(const std::vector<ClassPrototype>& protos,
+                       const SyntheticCifarConfig& config,
+                       const std::vector<int>& labels, Rng& rng) {
+    Dataset out;
+    out.labels = labels;
+    out.images = Tensor(
+        {labels.size(), config.channels, config.height, config.width});
+    const std::size_t sample_size =
+        config.channels * config.height * config.width;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        render_sample(protos[static_cast<std::size_t>(labels[i])], config, rng,
+                      out.images.data() + i * sample_size);
+    }
+    return out;
+}
+
+/// Draws `count` labels from a categorical distribution.
+std::vector<int> draw_labels(const std::vector<double>& probs,
+                             std::size_t count, Rng& rng) {
+    std::vector<int> labels;
+    labels.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        double u = rng.next_double();
+        int chosen = static_cast<int>(probs.size()) - 1;
+        for (std::size_t k = 0; k < probs.size(); ++k) {
+            if (u < probs[k]) {
+                chosen = static_cast<int>(k);
+                break;
+            }
+            u -= probs[k];
+        }
+        labels.push_back(chosen);
+    }
+    return labels;
+}
+
+}  // namespace
+
+FederatedData make_synthetic_cifar(const SyntheticCifarConfig& config) {
+    FederatedData fed;
+    fed.config = config;
+    const auto protos = make_prototypes(config, config.seed);
+    Rng rng(config.seed ^ 0xabcdef1234567890ull);
+
+    // Per-client class distribution: Dirichlet(alpha) prior.
+    for (std::size_t client = 0; client < config.clients; ++client) {
+        const std::vector<double> probs =
+            rng.dirichlet(config.dirichlet_alpha, config.classes);
+        const std::vector<int> train_labels =
+            draw_labels(probs, config.train_per_client, rng);
+        const std::vector<int> test_labels =
+            draw_labels(probs, config.test_per_client, rng);
+        fed.client_train.push_back(
+            render_dataset(protos, config, train_labels, rng));
+        fed.client_test.push_back(
+            render_dataset(protos, config, test_labels, rng));
+    }
+
+    // Balanced global test set.
+    std::vector<int> global_labels;
+    global_labels.reserve(config.global_test);
+    for (std::size_t i = 0; i < config.global_test; ++i) {
+        global_labels.push_back(static_cast<int>(i % config.classes));
+    }
+    fed.global_test = render_dataset(protos, config, global_labels, rng);
+    return fed;
+}
+
+Dataset make_pretrain_dataset(const SyntheticCifarConfig& config,
+                              std::size_t samples, std::uint64_t seed_offset) {
+    // Same prototype family (so features transfer) but independent jitter
+    // stream — the "source domain" for transfer learning.
+    const auto protos = make_prototypes(config, config.seed);
+    Rng rng(config.seed + seed_offset);
+    std::vector<int> labels;
+    labels.reserve(samples);
+    for (std::size_t i = 0; i < samples; ++i) {
+        labels.push_back(static_cast<int>(i % config.classes));
+    }
+    return render_dataset(protos, config, labels, rng);
+}
+
+}  // namespace bcfl::ml

@@ -1,0 +1,59 @@
+#include "ml/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bcfl::ml {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels) {
+    if (logits.rank() != 2 || logits.dim(0) != labels.size()) {
+        throw ShapeError("loss: logits/labels mismatch");
+    }
+    const std::size_t n = logits.dim(0);
+    const std::size_t classes = logits.dim(1);
+    LossResult result;
+    result.grad_logits = Tensor({n, classes});
+    const float inv_n = 1.0f / static_cast<float>(n);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const float* row = logits.data() + i * classes;
+        float* grad = result.grad_logits.data() + i * classes;
+        const float max_logit = *std::max_element(row, row + classes);
+        float denom = 0.0f;
+        for (std::size_t c = 0; c < classes; ++c) {
+            denom += std::exp(row[c] - max_logit);
+        }
+        const int label = labels[i];
+        const float log_prob =
+            row[static_cast<std::size_t>(label)] - max_logit - std::log(denom);
+        result.loss -= static_cast<double>(log_prob);
+        for (std::size_t c = 0; c < classes; ++c) {
+            const float prob = std::exp(row[c] - max_logit) / denom;
+            grad[c] = (prob - (static_cast<int>(c) == label ? 1.0f : 0.0f)) *
+                      inv_n;
+        }
+    }
+    result.loss /= static_cast<double>(n);
+    return result;
+}
+
+double accuracy(const Tensor& logits, const std::vector<int>& labels) {
+    if (logits.rank() != 2 || logits.dim(0) != labels.size()) {
+        throw ShapeError("accuracy: logits/labels mismatch");
+    }
+    const std::size_t n = logits.dim(0);
+    const std::size_t classes = logits.dim(1);
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const float* row = logits.data() + i * classes;
+        const auto argmax =
+            std::max_element(row, row + classes) - row;
+        if (static_cast<int>(argmax) == labels[i]) ++correct;
+    }
+    return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+}  // namespace bcfl::ml

@@ -1,0 +1,23 @@
+// Softmax cross-entropy loss and classification metrics.
+#pragma once
+
+#include <vector>
+
+#include "ml/tensor.hpp"
+
+namespace bcfl::ml {
+
+struct LossResult {
+    double loss = 0.0;             // mean over the batch
+    Tensor grad_logits;            // d(loss)/d(logits), batch-averaged
+};
+
+/// logits: {N, classes}; labels: N class indices.
+[[nodiscard]] LossResult softmax_cross_entropy(const Tensor& logits,
+                                               const std::vector<int>& labels);
+
+/// Fraction of rows whose argmax matches the label.
+[[nodiscard]] double accuracy(const Tensor& logits,
+                              const std::vector<int>& labels);
+
+}  // namespace bcfl::ml

@@ -1,0 +1,63 @@
+#include "ml/models.hpp"
+
+#include <memory>
+
+namespace bcfl::ml {
+
+Sequential make_simple_nn(const InputDims& dims, std::uint64_t seed,
+                          std::size_t hidden) {
+    Rng rng(seed);
+    Sequential model;
+    model.add(std::make_unique<Flatten>());
+    model.add(std::make_unique<Dense>(dims.flat(), hidden, rng));
+    model.add(std::make_unique<Relu>());
+    model.add(std::make_unique<Dense>(hidden, dims.classes, rng));
+    return model;
+}
+
+EffNetLite make_effnet_lite(const InputDims& dims, std::uint64_t seed,
+                            std::size_t width_base) {
+    Rng rng(seed);
+    EffNetLite model;
+    const std::size_t c1 = width_base;      // stem channels
+    const std::size_t c2 = width_base * 2;  // after first MBConv
+    const std::size_t c3 = width_base * 4;  // after second MBConv
+
+    // Stem.
+    model.backbone.add(
+        std::make_unique<Conv2d>(dims.channels, c1, 3, 1, 1, rng));
+    model.backbone.add(std::make_unique<Swish>());
+    // MBConv-lite block 1 (depthwise stride 2 + pointwise expand).
+    model.backbone.add(std::make_unique<DepthwiseConv2d>(c1, 3, 2, 1, rng));
+    model.backbone.add(std::make_unique<Conv2d>(c1, c2, 1, 1, 0, rng));
+    model.backbone.add(std::make_unique<Swish>());
+    // MBConv-lite block 2.
+    model.backbone.add(std::make_unique<DepthwiseConv2d>(c2, 3, 2, 1, rng));
+    model.backbone.add(std::make_unique<Conv2d>(c2, c3, 1, 1, 0, rng));
+    model.backbone.add(std::make_unique<Swish>());
+    // Pool to an embedding.
+    model.backbone.add(std::make_unique<GlobalAvgPool>());
+    model.embed_dim = c3;
+
+    // Classifier head (the transfer-learning fine-tune target).
+    model.head.add(std::make_unique<Dense>(c3, dims.classes, rng));
+    return model;
+}
+
+Dataset embed_dataset(EffNetLite& model, const Dataset& data,
+                      std::size_t batch_size) {
+    Dataset out;
+    out.labels = data.labels;
+    out.images = Tensor({data.size(), model.embed_dim});
+    for (std::size_t begin = 0; begin < data.size(); begin += batch_size) {
+        const std::size_t end = std::min(begin + batch_size, data.size());
+        auto [batch, labels] = data.batch(begin, end);
+        (void)labels;
+        const Tensor features = model.backbone.forward(batch, false);
+        std::copy(features.data(), features.data() + features.size(),
+                  out.images.data() + begin * model.embed_dim);
+    }
+    return out;
+}
+
+}  // namespace bcfl::ml

@@ -1,0 +1,67 @@
+// The paper's two model families at laptop scale:
+//
+//   * SimpleNN — a small MLP trained from scratch (paper: 62K params /
+//     248 KB; ours: ~43K params / ~170 KB — same order of magnitude).
+//   * EffNetLite — an EfficientNet-B0-flavoured CNN (MBConv blocks, Swish,
+//     global average pooling) whose backbone is pre-trained on a source
+//     domain and then frozen; federated training touches only the classifier
+//     head. This mirrors the paper's transfer-learning protocol exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "ml/data.hpp"
+#include "ml/layers.hpp"
+
+namespace bcfl::ml {
+
+struct InputDims {
+    std::size_t channels = 3;
+    std::size_t height = 12;
+    std::size_t width = 12;
+    std::size_t classes = 10;
+
+    [[nodiscard]] std::size_t flat() const { return channels * height * width; }
+};
+
+/// Flatten -> Dense(D, hidden) -> ReLU -> Dense(hidden, classes).
+[[nodiscard]] Sequential make_simple_nn(const InputDims& dims,
+                                        std::uint64_t seed,
+                                        std::size_t hidden = 96);
+
+/// EfficientNet-lite: backbone (convs + MBConv blocks + GAP) and head.
+struct EffNetLite {
+    Sequential backbone;  // NCHW -> {N, embed_dim}
+    Sequential head;      // {N, embed_dim} -> logits
+    std::size_t embed_dim = 0;
+
+    /// Full forward (inference).
+    Tensor forward(const Tensor& images) {
+        return head.forward(backbone.forward(images, false), false);
+    }
+
+    /// Flat weights over backbone + head (chain payload).
+    [[nodiscard]] std::vector<float> flat_weights() {
+        std::vector<float> w = backbone.flat_weights();
+        const std::vector<float> h = head.flat_weights();
+        w.insert(w.end(), h.begin(), h.end());
+        return w;
+    }
+    void set_flat_weights(std::span<const float> weights) {
+        const std::size_t backbone_count = backbone.parameter_count();
+        backbone.set_flat_weights(weights.subspan(0, backbone_count));
+        head.set_flat_weights(weights.subspan(backbone_count));
+    }
+};
+
+[[nodiscard]] EffNetLite make_effnet_lite(const InputDims& dims,
+                                          std::uint64_t seed,
+                                          std::size_t width_base = 16);
+
+/// Precomputes backbone embeddings for a dataset (the frozen-backbone
+/// optimization transfer learning allows: the backbone never changes during
+/// FL, so features are computed once).
+[[nodiscard]] Dataset embed_dataset(EffNetLite& model, const Dataset& data,
+                                    std::size_t batch_size = 128);
+
+}  // namespace bcfl::ml

@@ -1,0 +1,35 @@
+#include "ml/optimizer.hpp"
+
+#include "common/error.hpp"
+
+namespace bcfl::ml {
+
+void Sgd::step(const std::vector<Tensor*>& params,
+               const std::vector<Tensor*>& grads) {
+    if (params.size() != grads.size()) {
+        throw ShapeError("sgd: params/grads mismatch");
+    }
+    if (velocity_.size() != params.size()) {
+        velocity_.clear();
+        velocity_.reserve(params.size());
+        for (Tensor* p : params) {
+            velocity_.emplace_back(p->size(), 0.0f);
+        }
+    }
+    for (std::size_t t = 0; t < params.size(); ++t) {
+        Tensor& param = *params[t];
+        const Tensor& grad = *grads[t];
+        std::vector<float>& velocity = velocity_[t];
+        if (param.size() != grad.size() || param.size() != velocity.size()) {
+            throw ShapeError("sgd: tensor size mismatch");
+        }
+        for (std::size_t i = 0; i < param.size(); ++i) {
+            const float g =
+                grad[i] + config_.weight_decay * param[i];
+            velocity[i] = config_.momentum * velocity[i] - config_.learning_rate * g;
+            param[i] += velocity[i];
+        }
+    }
+}
+
+}  // namespace bcfl::ml

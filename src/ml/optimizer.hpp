@@ -1,0 +1,33 @@
+// SGD with momentum and weight decay — the optimizer used for both model
+// families (matching the paper's PyTorch training loop in spirit).
+#pragma once
+
+#include <vector>
+
+#include "ml/tensor.hpp"
+
+namespace bcfl::ml {
+
+struct SgdConfig {
+    float learning_rate = 0.05f;
+    float momentum = 0.9f;
+    float weight_decay = 1e-4f;
+};
+
+class Sgd {
+public:
+    explicit Sgd(SgdConfig config = {}) : config_(config) {}
+
+    /// Applies one update step; velocity buffers are lazily sized.
+    void step(const std::vector<Tensor*>& params,
+              const std::vector<Tensor*>& grads);
+
+    [[nodiscard]] const SgdConfig& config() const { return config_; }
+    void set_learning_rate(float lr) { config_.learning_rate = lr; }
+
+private:
+    SgdConfig config_;
+    std::vector<std::vector<float>> velocity_;
+};
+
+}  // namespace bcfl::ml

@@ -1,0 +1,64 @@
+#include "ml/serialize.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "crypto/keccak.hpp"
+
+namespace bcfl::ml {
+
+namespace {
+constexpr std::uint8_t kMagic[4] = {'b', 'c', 'f', 'l'};
+constexpr std::uint8_t kVersion = 1;
+constexpr std::size_t kHeader = 4 + 1 + 8;  // magic + version + count
+constexpr std::size_t kDigest = 32;
+
+static_assert(std::endian::native == std::endian::little,
+              "serializer assumes a little-endian host");
+}  // namespace
+
+Bytes serialize_weights(std::span<const float> weights) {
+    Bytes blob;
+    blob.reserve(kHeader + weights.size() * 4 + kDigest);
+    blob.insert(blob.end(), kMagic, kMagic + 4);
+    blob.push_back(kVersion);
+    append(blob, be_bytes(weights.size()));
+    const std::size_t payload_offset = blob.size();
+    blob.resize(payload_offset + weights.size() * 4);
+    std::memcpy(blob.data() + payload_offset, weights.data(),
+                weights.size() * 4);
+    const Hash32 digest = crypto::keccak256(blob);
+    append(blob, digest.view());
+    return blob;
+}
+
+std::vector<float> deserialize_weights(BytesView blob) {
+    if (blob.size() < kHeader + kDigest) throw DecodeError("weights: too short");
+    for (std::size_t i = 0; i < 4; ++i) {
+        if (blob[i] != kMagic[i]) throw DecodeError("weights: bad magic");
+    }
+    if (blob[4] != kVersion) throw DecodeError("weights: bad version");
+    const std::uint64_t count = be_u64(blob.subspan(5, 8));
+    if (blob.size() != kHeader + count * 4 + kDigest) {
+        throw DecodeError("weights: length mismatch");
+    }
+    const Hash32 expected =
+        crypto::keccak256(blob.subspan(0, blob.size() - kDigest));
+    const Hash32 stored = Hash32::from(blob.subspan(blob.size() - kDigest));
+    if (expected != stored) throw DecodeError("weights: digest mismatch");
+    std::vector<float> weights(count);
+    std::memcpy(weights.data(), blob.data() + kHeader, count * 4);
+    return weights;
+}
+
+Hash32 weights_digest(BytesView blob) {
+    if (blob.size() < kDigest) throw DecodeError("weights: too short");
+    return Hash32::from(blob.subspan(blob.size() - kDigest));
+}
+
+Hash32 weights_digest(std::span<const float> weights) {
+    return weights_digest(serialize_weights(weights));
+}
+
+}  // namespace bcfl::ml

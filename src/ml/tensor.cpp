@@ -1,0 +1,102 @@
+#include "ml/tensor.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace bcfl::ml {
+
+std::size_t Tensor::element_count(const std::vector<std::size_t>& shape) {
+    std::size_t n = 1;
+    for (std::size_t d : shape) n *= d;
+    return n;
+}
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), values_(element_count(shape_), 0.0f) {}
+
+Tensor::Tensor(std::vector<std::size_t> shape, std::vector<float> values)
+    : shape_(std::move(shape)), values_(std::move(values)) {
+    if (values_.size() != element_count(shape_)) {
+        throw ShapeError("tensor data does not match shape");
+    }
+}
+
+void Tensor::reshape(std::vector<std::size_t> shape) {
+    if (element_count(shape) != values_.size()) {
+        throw ShapeError("reshape changes element count");
+    }
+    shape_ = std::move(shape);
+}
+
+void Tensor::fill(float value) {
+    std::fill(values_.begin(), values_.end(), value);
+}
+
+namespace {
+constexpr std::size_t kBlock = 64;
+}
+
+void matmul_nn(const float* a, const float* b, float* out, std::size_t m,
+               std::size_t k, std::size_t n, bool accumulate) {
+    if (!accumulate) std::memset(out, 0, m * n * sizeof(float));
+    for (std::size_t i0 = 0; i0 < m; i0 += kBlock) {
+        const std::size_t i1 = std::min(i0 + kBlock, m);
+        for (std::size_t p0 = 0; p0 < k; p0 += kBlock) {
+            const std::size_t p1 = std::min(p0 + kBlock, k);
+            for (std::size_t i = i0; i < i1; ++i) {
+                const float* a_row = a + i * k;
+                float* out_row = out + i * n;
+                for (std::size_t p = p0; p < p1; ++p) {
+                    const float a_val = a_row[p];
+                    if (a_val == 0.0f) continue;
+                    const float* b_row = b + p * n;
+                    for (std::size_t j = 0; j < n; ++j) {
+                        out_row[j] += a_val * b_row[j];
+                    }
+                }
+            }
+        }
+    }
+}
+
+void matmul_tn(const float* a, const float* b, float* out, std::size_t m,
+               std::size_t k, std::size_t n, bool accumulate) {
+    if (!accumulate) std::memset(out, 0, m * n * sizeof(float));
+    // a is stored [k, m]; walk k rows, scatter into out rows.
+    for (std::size_t p = 0; p < k; ++p) {
+        const float* a_row = a + p * m;
+        const float* b_row = b + p * n;
+        for (std::size_t i = 0; i < m; ++i) {
+            const float a_val = a_row[i];
+            if (a_val == 0.0f) continue;
+            float* out_row = out + i * n;
+            for (std::size_t j = 0; j < n; ++j) {
+                out_row[j] += a_val * b_row[j];
+            }
+        }
+    }
+}
+
+void matmul_nt(const float* a, const float* b, float* out, std::size_t m,
+               std::size_t k, std::size_t n, bool accumulate) {
+    if (!accumulate) std::memset(out, 0, m * n * sizeof(float));
+    for (std::size_t i = 0; i < m; ++i) {
+        const float* a_row = a + i * k;
+        float* out_row = out + i * n;
+        for (std::size_t j = 0; j < n; ++j) {
+            const float* b_row = b + j * k;
+            float acc = 0.0f;
+            for (std::size_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+            out_row[j] += acc;
+        }
+    }
+}
+
+void axpy(float alpha, const std::vector<float>& x, std::vector<float>& y) {
+    if (x.size() != y.size()) throw ShapeError("axpy size mismatch");
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+}  // namespace bcfl::ml

@@ -1,0 +1,61 @@
+#include "ml/train.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.hpp"
+
+namespace bcfl::ml {
+
+TrainReport train(Sequential& model, const Dataset& data,
+                  const TrainConfig& config, Sgd& optimizer) {
+    TrainReport report;
+    if (data.size() == 0) return report;
+    Rng rng(config.shuffle_seed);
+    std::vector<std::size_t> order(data.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    const auto params = model.parameters();
+    const auto grads = model.gradients();
+
+    for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+        rng.shuffle(std::span<std::size_t>(order));
+        for (std::size_t begin = 0; begin < data.size();
+             begin += config.batch_size) {
+            const std::size_t end =
+                std::min(begin + config.batch_size, data.size());
+            std::vector<std::size_t> batch_indices(
+                order.begin() + static_cast<std::ptrdiff_t>(begin),
+                order.begin() + static_cast<std::ptrdiff_t>(end));
+            const Dataset batch_set = data.subset(batch_indices);
+
+            const Tensor logits = model.forward(batch_set.images, true);
+            const LossResult loss =
+                softmax_cross_entropy(logits, batch_set.labels);
+            model.backward(loss.grad_logits);
+            optimizer.step(params, grads);
+
+            report.final_loss = loss.loss;
+            ++report.steps;
+            report.sample_passes += static_cast<double>(end - begin);
+        }
+    }
+    return report;
+}
+
+double evaluate_accuracy(Sequential& model, const Dataset& data,
+                         std::size_t batch_size) {
+    if (data.size() == 0) return 0.0;
+    std::size_t correct_weighted = 0;
+    for (std::size_t begin = 0; begin < data.size(); begin += batch_size) {
+        const std::size_t end = std::min(begin + batch_size, data.size());
+        auto [images, labels] = data.batch(begin, end);
+        const Tensor logits = model.forward(images, false);
+        correct_weighted += static_cast<std::size_t>(
+            accuracy(logits, labels) * static_cast<double>(end - begin) + 0.5);
+    }
+    return static_cast<double>(correct_weighted) /
+           static_cast<double>(data.size());
+}
+
+}  // namespace bcfl::ml

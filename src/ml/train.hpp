@@ -1,0 +1,37 @@
+// Local training loop and evaluation (the per-client work in every FL round).
+#pragma once
+
+#include <cstdint>
+
+#include "ml/data.hpp"
+#include "ml/layers.hpp"
+#include "ml/loss.hpp"
+#include "ml/optimizer.hpp"
+
+namespace bcfl::ml {
+
+struct TrainConfig {
+    std::size_t epochs = 5;  // paper: five local epochs per round
+    std::size_t batch_size = 32;
+    SgdConfig sgd;
+    std::uint64_t shuffle_seed = 1;
+};
+
+struct TrainReport {
+    double final_loss = 0.0;
+    std::size_t steps = 0;
+    /// Rough floating-point work estimate (for the CPU-contention model).
+    double sample_passes = 0.0;
+};
+
+/// Trains `model` in place on `data`. The optimizer is caller-owned so
+/// momentum can persist across rounds when desired (we reset per round, as
+/// FedAvg clients typically do).
+TrainReport train(Sequential& model, const Dataset& data,
+                  const TrainConfig& config, Sgd& optimizer);
+
+/// Top-1 accuracy of `model` on `data`.
+[[nodiscard]] double evaluate_accuracy(Sequential& model, const Dataset& data,
+                                       std::size_t batch_size = 256);
+
+}  // namespace bcfl::ml

@@ -1,0 +1,105 @@
+// Simulated point-to-point network with latency, bandwidth and optional loss.
+//
+// Models the paper's three-VM LAN: every pair of peers is connected; message
+// delivery time is latency + size/bandwidth (+ jitter). Traffic statistics
+// feed the chain-performance bench (E3).
+#pragma once
+
+#include <cstdint>
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "net/sim.hpp"
+
+namespace bcfl::net {
+
+using NodeId = std::uint32_t;
+
+struct LinkParams {
+    SimTime latency = ms(5);              // one-way propagation delay
+    double bytes_per_us = 12.5;           // 100 Mbit/s
+    double jitter_fraction = 0.1;         // +/- uniform jitter on latency
+    double loss_rate = 0.0;               // fraction of messages dropped
+    /// Model each sender's NIC as a shared uplink: concurrent sends from one
+    /// node serialize (a broadcast to N-1 peers pays N-1 transfer times).
+    bool shared_uplink = true;
+};
+
+struct TrafficStats {
+    std::uint64_t messages_sent = 0;
+    std::uint64_t messages_delivered = 0;
+    std::uint64_t messages_dropped = 0;
+    std::uint64_t bytes_sent = 0;
+};
+
+class Network {
+public:
+    using Receiver = std::function<void(NodeId from, const Bytes& message)>;
+
+    Network(Simulation& sim, LinkParams params, std::uint64_t seed = 1)
+        : sim_(sim), params_(params), rng_(seed) {}
+
+    /// Registers a node; all nodes are mutually reachable (full mesh).
+    NodeId add_node(Receiver receiver) {
+        receivers_.push_back(std::move(receiver));
+        uplink_free_.push_back(0);
+        return static_cast<NodeId>(receivers_.size() - 1);
+    }
+
+    [[nodiscard]] std::size_t node_count() const { return receivers_.size(); }
+
+    /// Schedules delivery of `message` from `from` to `to`.
+    void send(NodeId from, NodeId to, Bytes message) {
+        if (to >= receivers_.size() || to == from) return;
+        ++stats_.messages_sent;
+        stats_.bytes_sent += message.size();
+        if (params_.loss_rate > 0.0 && rng_.next_double() < params_.loss_rate) {
+            ++stats_.messages_dropped;
+            return;
+        }
+        const double jitter =
+            1.0 + params_.jitter_fraction * (2.0 * rng_.next_double() - 1.0);
+        const SimTime transfer = static_cast<SimTime>(
+            static_cast<double>(message.size()) / params_.bytes_per_us);
+        const SimTime propagation =
+            static_cast<SimTime>(static_cast<double>(params_.latency) * jitter);
+        SimTime deliver_at = 0;
+        if (params_.shared_uplink) {
+            // The sender's NIC transmits one message at a time.
+            const SimTime start =
+                std::max(sim_.now(), uplink_free_[from]);
+            uplink_free_[from] = start + transfer;
+            deliver_at = uplink_free_[from] + propagation;
+        } else {
+            deliver_at = sim_.now() + transfer + propagation;
+        }
+        sim_.schedule_at(
+            deliver_at, [this, from, to, msg = std::move(message)]() mutable {
+                ++stats_.messages_delivered;
+                receivers_[to](from, msg);
+            });
+    }
+
+    /// Sends to every other node (flood).
+    void broadcast(NodeId from, const Bytes& message) {
+        for (NodeId to = 0; to < receivers_.size(); ++to) {
+            if (to != from) send(from, to, message);
+        }
+    }
+
+    [[nodiscard]] const TrafficStats& stats() const { return stats_; }
+    [[nodiscard]] const LinkParams& params() const { return params_; }
+
+private:
+    Simulation& sim_;
+    LinkParams params_;
+    Rng rng_;
+    std::vector<Receiver> receivers_;
+    std::vector<SimTime> uplink_free_;  // per-sender NIC availability
+    TrafficStats stats_;
+};
+
+}  // namespace bcfl::net

@@ -1,0 +1,78 @@
+#include "node/executor.hpp"
+
+#include "common/error.hpp"
+
+namespace bcfl::node {
+
+void VmBlockExecutor::register_genesis(const chain::BlockHeader& genesis,
+                                       vm::WorldState state) {
+    genesis_hash_ = genesis.hash();
+    genesis_state_ = std::move(state);
+    has_genesis_ = true;
+}
+
+chain::ExecutionResult VmBlockExecutor::execute(
+    const chain::BlockHeader& parent, const chain::Block& block) {
+    const Key key{parent.hash(), block.compute_tx_root()};
+    if (const auto it = cache_.find(key); it != cache_.end()) {
+        return it->second.result;
+    }
+
+    // Resolve the parent state.
+    const vm::WorldState* parent_state = nullptr;
+    if (has_genesis_ && parent.hash() == genesis_hash_) {
+        parent_state = &genesis_state_;
+    } else {
+        const Key parent_key{parent.parent_hash, parent.tx_root};
+        const auto it = cache_.find(parent_key);
+        if (it == cache_.end()) {
+            throw Error("executor: unknown parent state");
+        }
+        parent_state = &it->second.state;
+    }
+
+    Entry entry;
+    entry.state = *parent_state;
+    chain::ExecutionResult& result = entry.result;
+
+    for (const chain::Transaction& tx : block.transactions) {
+        chain::Receipt receipt;
+        const std::uint64_t intrinsic = chain::intrinsic_gas(gas_, tx);
+        if (entry.state.has_contract(tx.to)) {
+            vm::CallContext ctx;
+            ctx.contract = tx.to;
+            ctx.caller = tx.sender();
+            ctx.calldata = tx.data;
+            ctx.gas_limit = tx.gas_limit - intrinsic;
+            ctx.block_number = block.header.number;
+            ctx.timestamp_ms = block.header.timestamp_ms;
+            const vm::CallResult call = vm_.call(entry.state, ctx);
+            receipt.success = call.success;
+            receipt.gas_used = intrinsic + call.gas_used;
+            receipt.logs = call.logs;
+            receipt.return_data = call.return_data;
+        } else {
+            // Plain value-less transfer to an externally-owned account.
+            receipt.success = true;
+            receipt.gas_used = intrinsic;
+        }
+        result.gas_used += receipt.gas_used;
+        result.receipts.push_back(std::move(receipt));
+    }
+    result.state_root = entry.state.state_root();
+
+    const auto [it, inserted] = cache_.emplace(key, std::move(entry));
+    (void)inserted;
+    return it->second.result;
+}
+
+const vm::WorldState& VmBlockExecutor::state_after(
+    const chain::BlockHeader& header) const {
+    if (has_genesis_ && header.hash() == genesis_hash_) return genesis_state_;
+    const Key key{header.parent_hash, header.tx_root};
+    const auto it = cache_.find(key);
+    if (it == cache_.end()) throw Error("executor: state not available");
+    return it->second.state;
+}
+
+}  // namespace bcfl::node

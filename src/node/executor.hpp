@@ -1,0 +1,52 @@
+// VmBlockExecutor: deterministic block execution against MiniEVM world state.
+//
+// Each node owns one executor; results are cached by (parent hash, tx root)
+// so sealing a block and re-importing it does not execute twice, and the
+// post-state of every imported block stays queryable (eth_call at head).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "chain/blockchain.hpp"
+#include "vm/evm.hpp"
+#include "vm/state.hpp"
+
+namespace bcfl::node {
+
+class VmBlockExecutor final : public chain::BlockExecutor {
+public:
+    explicit VmBlockExecutor(chain::GasSchedule gas = {})
+        : vm_(gas), gas_(gas) {}
+
+    /// Registers the genesis world state under the genesis header.
+    void register_genesis(const chain::BlockHeader& genesis,
+                          vm::WorldState state);
+
+    chain::ExecutionResult execute(const chain::BlockHeader& parent,
+                                   const chain::Block& block) override;
+
+    /// Post-state of a block (throws if the block was never executed).
+    [[nodiscard]] const vm::WorldState& state_after(
+        const chain::BlockHeader& header) const;
+
+    [[nodiscard]] const vm::Vm& vm() const { return vm_; }
+
+private:
+    using Key = std::pair<Hash32, Hash32>;  // (parent hash, tx root)
+
+    struct Entry {
+        vm::WorldState state;
+        chain::ExecutionResult result;
+    };
+
+    vm::Vm vm_;
+    chain::GasSchedule gas_;
+    std::map<Key, Entry> cache_;
+    bool has_genesis_ = false;
+    Hash32 genesis_hash_;
+    vm::WorldState genesis_state_;
+};
+
+}  // namespace bcfl::node

@@ -1,0 +1,207 @@
+#include "node/node.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace bcfl::node {
+
+vm::WorldState Node::genesis_state() {
+    vm::WorldState state;
+    state.deploy(vm::registry_address(), vm::registry_bytecode());
+    return state;
+}
+
+Node::Node(net::Simulation& sim, net::Network& network, NodeConfig config)
+    : sim_(sim),
+      network_(network),
+      config_(config),
+      key_(crypto::KeyPair::from_seed(config.key_seed)),
+      rng_(config.rng_seed ^ config.key_seed * 0x9e3779b97f4a7c15ull),
+      executor_(std::make_shared<VmBlockExecutor>(config.chain.gas)),
+      pool_(config.chain.gas) {
+    // Genesis must commit to the registry-bearing state.
+    vm::WorldState genesis = genesis_state();
+    const Hash32 genesis_root = genesis.state_root();
+    config_.chain.genesis_timestamp_ms = 0;
+    chain_ = std::make_unique<chain::Blockchain>(config_.chain, executor_);
+    // The default genesis has a zero state root; rebuild it with the real
+    // root so view calls at genesis resolve. Blockchain's genesis is
+    // internal, so instead register the state under the genesis header.
+    (void)genesis_root;
+    executor_->register_genesis(chain_->genesis().header, std::move(genesis));
+    id_ = network_.add_node(
+        [this](net::NodeId from, const Bytes& msg) { handle_message(from, msg); });
+}
+
+void Node::start() {
+    if (started_) return;
+    started_ = true;
+    schedule_mining();
+}
+
+void Node::submit_tx(const chain::Transaction& tx) {
+    if (!pool_.add(tx)) return;
+    ++stats_.txs_submitted;
+    seen_.insert(tx.hash());
+    broadcast(MsgKind::tx, tx.encode());
+}
+
+vm::CallResult Node::call_view(Bytes calldata) const {
+    vm::CallContext ctx;
+    ctx.contract = vm::registry_address();
+    ctx.caller = key_.address();
+    ctx.calldata = calldata;
+    ctx.gas_limit = 500'000'000;
+    ctx.block_number = chain_->head().number;
+    ctx.timestamp_ms = chain_->head().timestamp_ms;
+    return executor_->vm().static_call(head_state(), ctx);
+}
+
+const vm::WorldState& Node::head_state() const {
+    return executor_->state_after(chain_->head());
+}
+
+void Node::set_compute_load(double load) {
+    if (load < 0.0) load = 0.0;
+    if (load > 0.999) load = 0.999;
+    compute_load_ = load;
+    // Memoryless mining: rescheduling with the new rate is statistically
+    // equivalent to continuing.
+    if (started_) schedule_mining();
+}
+
+void Node::broadcast(MsgKind kind, const Bytes& body) {
+    Bytes message;
+    message.reserve(body.size() + 1);
+    message.push_back(static_cast<std::uint8_t>(kind));
+    append(message, body);
+    network_.broadcast(id_, message);
+}
+
+void Node::handle_message(net::NodeId /*from*/, const Bytes& message) {
+    if (message.empty()) return;
+    const auto kind = static_cast<MsgKind>(message[0]);
+    const BytesView body = BytesView(message).subspan(1);
+    try {
+        switch (kind) {
+            case MsgKind::tx: {
+                const chain::Transaction tx = chain::Transaction::decode(body);
+                const Hash32 id = tx.hash();
+                if (seen_.contains(id)) return;
+                seen_.insert(id);
+                if (pool_.add(tx)) broadcast(MsgKind::tx, tx.encode());
+                return;
+            }
+            case MsgKind::block: {
+                const chain::Block block = chain::Block::decode(body);
+                handle_block(block);
+                return;
+            }
+        }
+    } catch (const Error&) {
+        // Malformed gossip is dropped, matching devp2p behaviour.
+    }
+}
+
+void Node::handle_block(const chain::Block& block) {
+    const Hash32 id = block.hash();
+    if (seen_.contains(id)) return;
+    seen_.insert(id);
+    import_block(block, /*relay=*/true);
+}
+
+void Node::import_block(const chain::Block& block, bool relay) {
+    const chain::ImportResult result = chain_->import_block(block);
+    switch (result.status) {
+        case chain::ImportStatus::added_head: {
+            ++stats_.blocks_imported;
+            if (result.reorged) {
+                ++stats_.reorgs;
+                pool_.reinject(result.abandoned_txs);
+            }
+            pool_.remove(block.transactions);
+            if (relay) broadcast(MsgKind::block, block.encode());
+            notify_new_head();
+            retry_orphans();
+            if (started_) schedule_mining();
+            return;
+        }
+        case chain::ImportStatus::added_side:
+            ++stats_.blocks_imported;
+            if (relay) broadcast(MsgKind::block, block.encode());
+            retry_orphans();
+            return;
+        case chain::ImportStatus::orphan:
+            orphans_[block.header.parent_hash].push_back(block);
+            return;
+        case chain::ImportStatus::duplicate:
+            return;
+        case chain::ImportStatus::rejected:
+            ++stats_.blocks_rejected;
+            return;
+    }
+}
+
+void Node::retry_orphans() {
+    // Any buffered child whose parent is now known can be imported.
+    bool progressed = true;
+    while (progressed) {
+        progressed = false;
+        for (auto it = orphans_.begin(); it != orphans_.end();) {
+            if (chain_->block_by_hash(it->first) != nullptr) {
+                std::vector<chain::Block> children = std::move(it->second);
+                it = orphans_.erase(it);
+                for (const chain::Block& child : children) {
+                    import_block(child, /*relay=*/true);
+                }
+                progressed = true;
+                break;  // maps mutated; restart scan
+            }
+            ++it;
+        }
+    }
+}
+
+void Node::schedule_mining() {
+    if (!config_.mine) return;
+    const std::uint64_t generation = ++mining_generation_;
+    const double effective_rate =
+        config_.hash_rate * (1.0 - compute_load_);
+    const std::uint64_t difficulty =
+        chain_->child_difficulty(chain_->head(), net::to_ms(sim_.now()));
+    const double mean_seconds =
+        static_cast<double>(difficulty) / std::max(effective_rate, 1e-9);
+    const double delay_seconds = rng_.exponential(mean_seconds);
+    const auto delay = static_cast<net::SimTime>(delay_seconds * 1e6) + 1;
+    sim_.schedule_after(delay,
+                        [this, generation] { on_block_found(generation); });
+}
+
+void Node::on_block_found(std::uint64_t generation) {
+    if (generation != mining_generation_) return;  // head moved; stale event
+    const std::uint64_t timestamp = net::to_ms(sim_.now());
+    const auto txs =
+        pool_.select(config_.chain.block_gas_limit, chain_->account_nonces());
+    chain::Block block = chain_->build_block(key_.address(), txs, timestamp);
+    const auto nonce =
+        chain::mine_seal(block.header, rng_.next_u64(), config_.max_seal_attempts);
+    if (!nonce.has_value()) {
+        // Difficulty outran the safety cap; back off and retry.
+        schedule_mining();
+        return;
+    }
+    block.header.pow_nonce = *nonce;
+    ++stats_.blocks_mined;
+    seen_.insert(block.hash());
+    import_block(block, /*relay=*/true);
+    // import_block scheduled the next round via added_head.
+}
+
+void Node::notify_new_head() {
+    const chain::Block* head = chain_->block_by_hash(chain_->head_hash());
+    for (const HeadCallback& callback : head_callbacks_) callback(*head);
+}
+
+}  // namespace bcfl::node

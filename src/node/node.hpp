@@ -1,0 +1,114 @@
+// Full node ("geth-lite"): blockchain + mempool + PoW miner + gossip.
+//
+// One Node corresponds to one of the paper's Geth peers. Mining time is
+// simulated (exponential with mean difficulty/hash_rate — the memoryless
+// property makes restart-on-new-head statistically exact), but every sealed
+// block carries a real PoW nonce and every import re-validates it.
+//
+// `set_compute_load` models the paper's observed dual-duty resource
+// exhaustion: while a peer trains, its effective hash rate drops.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "chain/blockchain.hpp"
+#include "chain/txpool.hpp"
+#include "common/rng.hpp"
+#include "crypto/secp256k1.hpp"
+#include "net/network.hpp"
+#include "net/sim.hpp"
+#include "node/executor.hpp"
+#include "vm/registry_contract.hpp"
+
+namespace bcfl::node {
+
+struct NodeConfig {
+    chain::ChainConfig chain;
+    std::uint64_t key_seed = 1;
+    double hash_rate = 200.0;  // hashes/second, drives simulated mining time
+    bool mine = true;
+    std::uint64_t rng_seed = 7;
+    /// Cap on real nonce-search effort when sealing (safety valve).
+    std::uint64_t max_seal_attempts = 50'000'000;
+};
+
+struct NodeStats {
+    std::uint64_t blocks_mined = 0;
+    std::uint64_t blocks_imported = 0;
+    std::uint64_t blocks_rejected = 0;
+    std::uint64_t txs_submitted = 0;
+    std::uint64_t reorgs = 0;
+};
+
+class Node {
+public:
+    Node(net::Simulation& sim, net::Network& network, NodeConfig config);
+
+    /// Begins mining (if enabled). Call after all nodes are constructed.
+    void start();
+
+    /// Local API (web3.eth.sendTransaction): pool + gossip.
+    void submit_tx(const chain::Transaction& tx);
+
+    /// eth_call at the current head (view functions of the registry).
+    [[nodiscard]] vm::CallResult call_view(Bytes calldata) const;
+
+    [[nodiscard]] const chain::Blockchain& chain() const { return *chain_; }
+    [[nodiscard]] const vm::WorldState& head_state() const;
+    [[nodiscard]] net::NodeId id() const { return id_; }
+    [[nodiscard]] const crypto::KeyPair& key() const { return key_; }
+    [[nodiscard]] Address address() const { return key_.address(); }
+    [[nodiscard]] const NodeStats& stats() const { return stats_; }
+    [[nodiscard]] const VmBlockExecutor& executor() const { return *executor_; }
+
+    /// Fraction of CPU consumed by non-mining work (training); reduces the
+    /// effective hash rate to hash_rate * (1 - load).
+    void set_compute_load(double load);
+    [[nodiscard]] double compute_load() const { return compute_load_; }
+
+    using HeadCallback = std::function<void(const chain::Block&)>;
+    void on_new_head(HeadCallback callback) {
+        head_callbacks_.push_back(std::move(callback));
+    }
+
+    /// Builds the genesis world state shared by all nodes: the model
+    /// registry contract deployed at its well-known address.
+    static vm::WorldState genesis_state();
+
+private:
+    enum class MsgKind : std::uint8_t { tx = 1, block = 2 };
+
+    void handle_message(net::NodeId from, const Bytes& message);
+    void handle_block(const chain::Block& block);
+    void import_block(const chain::Block& block, bool relay);
+    void retry_orphans();
+    void schedule_mining();
+    void on_block_found(std::uint64_t generation);
+    void broadcast(MsgKind kind, const Bytes& body);
+    void notify_new_head();
+
+    net::Simulation& sim_;
+    net::Network& network_;
+    NodeConfig config_;
+    crypto::KeyPair key_;
+    Rng rng_;
+    std::shared_ptr<VmBlockExecutor> executor_;
+    std::unique_ptr<chain::Blockchain> chain_;
+    chain::TxPool pool_;
+    net::NodeId id_ = 0;
+    NodeStats stats_;
+    double compute_load_ = 0.0;
+    std::uint64_t mining_generation_ = 0;
+    bool started_ = false;
+    std::unordered_set<Hash32, FixedBytesHasher> seen_;
+    std::unordered_map<Hash32, std::vector<chain::Block>, FixedBytesHasher>
+        orphans_;  // parent hash -> waiting blocks
+    std::vector<HeadCallback> head_callbacks_;
+};
+
+}  // namespace bcfl::node

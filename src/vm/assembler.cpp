@@ -1,0 +1,213 @@
+#include "vm/assembler.hpp"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "vm/opcodes.hpp"
+
+namespace bcfl::vm {
+
+namespace {
+
+struct Token {
+    std::string text;
+    int line;
+};
+
+std::vector<Token> tokenize(std::string_view source) {
+    std::vector<Token> tokens;
+    std::string current;
+    int line = 1;
+    bool in_comment = false;
+    const auto flush = [&] {
+        if (!current.empty()) {
+            tokens.push_back(Token{current, line});
+            current.clear();
+        }
+    };
+    for (char c : source) {
+        if (c == '\n') {
+            flush();
+            in_comment = false;
+            ++line;
+            continue;
+        }
+        if (in_comment) continue;
+        if (c == ';') {
+            flush();
+            in_comment = true;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            flush();
+            continue;
+        }
+        current.push_back(c);
+    }
+    flush();
+    return tokens;
+}
+
+[[noreturn]] void fail(const Token& token, const std::string& message) {
+    std::ostringstream out;
+    out << "asm line " << token.line << ": " << message << " ('" << token.text
+        << "')";
+    throw Error(out.str());
+}
+
+std::optional<std::uint8_t> simple_opcode(const std::string& name) {
+    static const std::map<std::string, Op> kOps = {
+        {"STOP", Op::STOP},       {"ADD", Op::ADD},
+        {"MUL", Op::MUL},         {"SUB", Op::SUB},
+        {"DIV", Op::DIV},         {"MOD", Op::MOD},
+        {"LT", Op::LT},           {"GT", Op::GT},
+        {"EQ", Op::EQ},           {"ISZERO", Op::ISZERO},
+        {"AND", Op::AND},         {"OR", Op::OR},
+        {"XOR", Op::XOR},         {"NOT", Op::NOT},
+        {"SHL", Op::SHL},         {"SHR", Op::SHR},
+        {"SHA3", Op::SHA3},       {"CALLER", Op::CALLER},
+        {"CALLDATALOAD", Op::CALLDATALOAD},
+        {"CALLDATASIZE", Op::CALLDATASIZE},
+        {"CALLDATACOPY", Op::CALLDATACOPY},
+        {"TIMESTAMP", Op::TIMESTAMP},
+        {"NUMBER", Op::NUMBER},   {"POP", Op::POP},
+        {"MLOAD", Op::MLOAD},     {"MSTORE", Op::MSTORE},
+        {"SLOAD", Op::SLOAD},     {"SSTORE", Op::SSTORE},
+        {"JUMP", Op::JUMP},       {"JUMPI", Op::JUMPI},
+        {"PC", Op::PC},           {"GAS", Op::GAS},
+        {"JUMPDEST", Op::JUMPDEST},
+        {"RETURN", Op::RETURN},   {"REVERT", Op::REVERT},
+    };
+    const auto it = kOps.find(name);
+    if (it != kOps.end()) return static_cast<std::uint8_t>(it->second);
+
+    const auto numbered = [&](std::string_view prefix, std::uint8_t base,
+                              int max_n) -> std::optional<std::uint8_t> {
+        if (!name.starts_with(prefix)) return std::nullopt;
+        const std::string digits = name.substr(prefix.size());
+        if (digits.empty() || digits.size() > 2) return std::nullopt;
+        for (char c : digits) {
+            if (!std::isdigit(static_cast<unsigned char>(c))) {
+                return std::nullopt;
+            }
+        }
+        const int n = std::stoi(digits);
+        if (n < (prefix == "LOG" ? 0 : 1) || n > max_n) return std::nullopt;
+        return static_cast<std::uint8_t>(base + n - (prefix == "LOG" ? 0 : 1));
+    };
+    if (auto op = numbered("DUP", 0x80, 16)) return op;
+    if (auto op = numbered("SWAP", 0x90, 16)) return op;
+    if (auto op = numbered("LOG", 0xa0, 4)) return op;
+    return std::nullopt;
+}
+
+/// Parses a PUSH immediate into big-endian bytes of exactly `width`.
+Bytes parse_immediate(const Token& token, std::size_t width) {
+    const std::string& text = token.text;
+    Bytes value;
+    if (text.starts_with("0x") || text.starts_with("0X")) {
+        std::string hex = text.substr(2);
+        if (hex.empty() || hex.size() > width * 2) {
+            fail(token, "immediate does not fit PUSH width");
+        }
+        if (hex.size() % 2 != 0) hex.insert(hex.begin(), '0');
+        value = from_hex(hex);
+    } else {
+        std::uint64_t number = 0;
+        for (char c : text) {
+            if (!std::isdigit(static_cast<unsigned char>(c))) {
+                fail(token, "expected numeric immediate");
+            }
+            number = number * 10 + static_cast<std::uint64_t>(c - '0');
+        }
+        while (number > 0) {
+            value.insert(value.begin(),
+                         static_cast<std::uint8_t>(number & 0xff));
+            number >>= 8;
+        }
+    }
+    if (value.size() > width) fail(token, "immediate does not fit PUSH width");
+    Bytes padded(width - value.size(), 0);
+    append(padded, value);
+    return padded;
+}
+
+std::optional<std::size_t> push_width_of(const std::string& name) {
+    if (!name.starts_with("PUSH")) return std::nullopt;
+    const std::string digits = name.substr(4);
+    if (digits.empty() || digits.size() > 2) return std::nullopt;
+    for (char c : digits) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+    }
+    const int n = std::stoi(digits);
+    if (n < 1 || n > 32) return std::nullopt;
+    return static_cast<std::size_t>(n);
+}
+
+}  // namespace
+
+Bytes assemble(std::string_view source) {
+    const std::vector<Token> tokens = tokenize(source);
+
+    // Pass 1: compute label offsets (all widths are known statically).
+    std::map<std::string, std::size_t> labels;
+    std::size_t offset = 0;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const Token& token = tokens[i];
+        if (token.text.ends_with(":")) {
+            const std::string name = token.text.substr(0, token.text.size() - 1);
+            if (name.empty()) fail(token, "empty label name");
+            if (labels.contains(name)) fail(token, "duplicate label");
+            labels[name] = offset;
+            continue;
+        }
+        if (token.text.starts_with("@")) {
+            offset += 3;  // PUSH2 + 2 bytes
+            continue;
+        }
+        if (const auto width = push_width_of(token.text)) {
+            if (i + 1 >= tokens.size()) fail(token, "PUSH missing immediate");
+            ++i;  // skip immediate token
+            offset += 1 + *width;
+            continue;
+        }
+        if (simple_opcode(token.text)) {
+            offset += 1;
+            continue;
+        }
+        fail(token, "unknown mnemonic");
+    }
+
+    // Pass 2: emit bytes.
+    Bytes code;
+    code.reserve(offset);
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const Token& token = tokens[i];
+        if (token.text.ends_with(":")) continue;
+        if (token.text.starts_with("@")) {
+            const std::string name = token.text.substr(1);
+            const auto it = labels.find(name);
+            if (it == labels.end()) fail(token, "undefined label");
+            if (it->second > 0xffff) fail(token, "label offset exceeds PUSH2");
+            code.push_back(0x61);  // PUSH2
+            code.push_back(static_cast<std::uint8_t>(it->second >> 8));
+            code.push_back(static_cast<std::uint8_t>(it->second & 0xff));
+            continue;
+        }
+        if (const auto width = push_width_of(token.text)) {
+            const Token& imm = tokens[++i];
+            code.push_back(static_cast<std::uint8_t>(0x5f + *width));
+            append(code, parse_immediate(imm, *width));
+            continue;
+        }
+        code.push_back(*simple_opcode(token.text));
+    }
+    return code;
+}
+
+}  // namespace bcfl::vm

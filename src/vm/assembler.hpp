@@ -1,0 +1,25 @@
+// Two-pass text assembler for MiniEVM bytecode.
+//
+// Syntax:
+//   ; comment to end of line
+//   label:            defines a jump target (emits JUMPDEST automatically
+//                     when followed by instructions? no — explicit JUMPDEST)
+//   @label            pushes the label's byte offset (as PUSH2)
+//   PUSHn <imm>       immediate in hex (0x..) or decimal, n in 1..32
+//   MNEMONIC          any opcode mnemonic (ADD, MSTORE, DUP3, LOG2, ...)
+//
+// The model-registry contract in registry_contract.cpp is written in this
+// dialect — the stand-in for the paper's Solidity aggregation contract.
+#pragma once
+
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace bcfl::vm {
+
+/// Assembles source text; throws bcfl::Error with a line-numbered message on
+/// syntax errors, unknown mnemonics, oversized immediates or missing labels.
+[[nodiscard]] Bytes assemble(std::string_view source);
+
+}  // namespace bcfl::vm

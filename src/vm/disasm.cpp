@@ -1,0 +1,54 @@
+#include "vm/disasm.hpp"
+
+#include <sstream>
+
+#include "vm/opcodes.hpp"
+
+namespace bcfl::vm {
+
+std::string disassemble(BytesView code) {
+    std::ostringstream out;
+    std::size_t pc = 0;
+    while (pc < code.size()) {
+        const std::uint8_t byte = code[pc];
+        out << "0x";
+        out.width(4);
+        out.fill('0');
+        out << std::hex << pc << std::dec << "  ";
+
+        if (is_push(byte)) {
+            const std::size_t width = static_cast<std::size_t>(push_width(byte));
+            out << "PUSH" << width << " 0x";
+            for (std::size_t i = 0; i < width; ++i) {
+                if (pc + 1 + i < code.size()) {
+                    const std::uint8_t imm = code[pc + 1 + i];
+                    out << to_hex(BytesView{&imm, 1});
+                } else {
+                    out << "??";  // truncated immediate
+                }
+            }
+            pc += 1 + width;
+        } else if (byte >= 0x80 && byte <= 0x8f) {
+            out << "DUP" << (byte - 0x7f);
+            ++pc;
+        } else if (byte >= 0x90 && byte <= 0x9f) {
+            out << "SWAP" << (byte - 0x8f);
+            ++pc;
+        } else if (byte >= 0xa0 && byte <= 0xa4) {
+            out << "LOG" << (byte - 0xa0);
+            ++pc;
+        } else {
+            const std::string_view name = op_name(byte);
+            if (name.empty()) {
+                out << "INVALID(0x" << to_hex(BytesView{&byte, 1}) << ")";
+            } else {
+                out << name;
+            }
+            ++pc;
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+}  // namespace bcfl::vm

@@ -1,0 +1,15 @@
+// Bytecode disassembler — the inverse of the assembler, used for debugging
+// contracts and inspecting deployed code.
+#pragma once
+
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace bcfl::vm {
+
+/// One line per instruction: "0x0004  PUSH2 0x001a" etc. Unknown bytes are
+/// rendered as "INVALID(0xfe)"; truncated PUSH immediates are flagged.
+[[nodiscard]] std::string disassemble(BytesView code);
+
+}  // namespace bcfl::vm

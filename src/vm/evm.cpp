@@ -1,0 +1,520 @@
+#include "vm/evm.hpp"
+
+#include <algorithm>
+
+#include "crypto/keccak.hpp"
+
+namespace bcfl::vm {
+
+namespace {
+
+using crypto::U256;
+
+/// Thrown internally to abort execution; converted into CallResult.
+struct Abort {
+    std::string reason;
+    bool out_of_gas = false;
+};
+
+struct Machine {
+    const Bytes& code;
+    const CallContext& ctx;
+    WorldState& state;
+    const chain::GasSchedule& gas_table;
+    const VmLimits& limits;
+
+    std::vector<U256> stack;
+    Bytes memory;
+    std::vector<chain::LogEntry> logs;
+    std::uint64_t gas_left = 0;
+    std::size_t pc = 0;
+
+    void charge(std::uint64_t amount) {
+        if (amount > gas_left) throw Abort{"out of gas", true};
+        gas_left -= amount;
+    }
+
+    void push(const U256& value) {
+        if (stack.size() >= limits.max_stack) throw Abort{"stack overflow"};
+        stack.push_back(value);
+    }
+
+    U256 pop() {
+        if (stack.empty()) throw Abort{"stack underflow"};
+        U256 value = stack.back();
+        stack.pop_back();
+        return value;
+    }
+
+    /// Bounded conversion for offsets/sizes.
+    std::size_t pop_size(std::size_t bound, const char* what) {
+        const U256 value = pop();
+        if (value.bit_length() > 32 || value.low64() > bound) {
+            throw Abort{std::string("size/offset out of range: ") + what};
+        }
+        return static_cast<std::size_t>(value.low64());
+    }
+
+    void ensure_memory(std::size_t end) {
+        if (end <= memory.size()) return;
+        if (end > limits.max_memory) throw Abort{"memory limit exceeded"};
+        const std::size_t old_words = (memory.size() + 31) / 32;
+        const std::size_t new_words = (end + 31) / 32;
+        charge(gas_table.vm_memory_word * (new_words - old_words));
+        memory.resize(new_words * 32, 0);
+    }
+
+    U256 mload(std::size_t offset) {
+        ensure_memory(offset + 32);
+        return U256::from_be_bytes(BytesView{memory.data() + offset, 32});
+    }
+
+    void mstore(std::size_t offset, const U256& value) {
+        ensure_memory(offset + 32);
+        const Hash32 be = value.to_hash();
+        std::copy(be.data.begin(), be.data.end(), memory.begin() + offset);
+    }
+
+    U256 calldata_word(std::size_t offset) const {
+        Bytes word(32, 0);
+        for (std::size_t i = 0; i < 32; ++i) {
+            if (offset + i < ctx.calldata.size()) {
+                word[i] = ctx.calldata[offset + i];
+            }
+        }
+        return U256::from_be_bytes(word);
+    }
+};
+
+U256 bool_word(bool v) { return v ? U256{1} : U256{}; }
+
+}  // namespace
+
+std::string_view op_name(std::uint8_t byte) {
+    switch (static_cast<Op>(byte)) {
+        case Op::STOP: return "STOP";
+        case Op::ADD: return "ADD";
+        case Op::MUL: return "MUL";
+        case Op::SUB: return "SUB";
+        case Op::DIV: return "DIV";
+        case Op::MOD: return "MOD";
+        case Op::LT: return "LT";
+        case Op::GT: return "GT";
+        case Op::EQ: return "EQ";
+        case Op::ISZERO: return "ISZERO";
+        case Op::AND: return "AND";
+        case Op::OR: return "OR";
+        case Op::XOR: return "XOR";
+        case Op::NOT: return "NOT";
+        case Op::SHL: return "SHL";
+        case Op::SHR: return "SHR";
+        case Op::SHA3: return "SHA3";
+        case Op::CALLER: return "CALLER";
+        case Op::CALLDATALOAD: return "CALLDATALOAD";
+        case Op::CALLDATASIZE: return "CALLDATASIZE";
+        case Op::CALLDATACOPY: return "CALLDATACOPY";
+        case Op::TIMESTAMP: return "TIMESTAMP";
+        case Op::NUMBER: return "NUMBER";
+        case Op::POP: return "POP";
+        case Op::MLOAD: return "MLOAD";
+        case Op::MSTORE: return "MSTORE";
+        case Op::SLOAD: return "SLOAD";
+        case Op::SSTORE: return "SSTORE";
+        case Op::JUMP: return "JUMP";
+        case Op::JUMPI: return "JUMPI";
+        case Op::PC: return "PC";
+        case Op::GAS: return "GAS";
+        case Op::JUMPDEST: return "JUMPDEST";
+        case Op::RETURN: return "RETURN";
+        case Op::REVERT: return "REVERT";
+        default: break;
+    }
+    if (is_push(byte)) return "PUSH";
+    if (byte >= 0x80 && byte <= 0x8f) return "DUP";
+    if (byte >= 0x90 && byte <= 0x9f) return "SWAP";
+    if (byte >= 0xa0 && byte <= 0xa4) return "LOG";
+    return {};
+}
+
+CallResult Vm::call(WorldState& state, const CallContext& ctx) const {
+    const AccountStorage snapshot = state.storage_snapshot(ctx.contract);
+    CallResult result = execute(state, ctx);
+    if (!result.success) {
+        state.restore_storage(ctx.contract, std::move(snapshot));
+        result.logs.clear();
+        result.gas_used = ctx.gas_limit;  // failure consumes the budget
+    }
+    return result;
+}
+
+CallResult Vm::static_call(const WorldState& state,
+                           const CallContext& ctx) const {
+    WorldState scratch = state;  // storage copies are small (metadata only)
+    return execute(scratch, ctx);
+}
+
+CallResult Vm::execute(WorldState& state, const CallContext& ctx) const {
+    CallResult result;
+    if (!state.has_contract(ctx.contract)) {
+        result.error = "no code at target address";
+        return result;
+    }
+    const Bytes& code = state.code_at(ctx.contract);
+
+    // Pre-scan valid jump destinations (skipping PUSH immediates).
+    std::vector<bool> jumpdest(code.size(), false);
+    for (std::size_t i = 0; i < code.size();) {
+        const std::uint8_t byte = code[i];
+        if (static_cast<Op>(byte) == Op::JUMPDEST) jumpdest[i] = true;
+        i += is_push(byte) ? 1 + static_cast<std::size_t>(push_width(byte)) : 1;
+    }
+
+    Machine m{code, ctx, state, gas_, limits_, {}, {}, {}, ctx.gas_limit, 0};
+
+    try {
+        while (m.pc < code.size()) {
+            const std::uint8_t byte = code[m.pc];
+            const Op op = static_cast<Op>(byte);
+
+            if (is_push(byte)) {
+                m.charge(gas_.vm_base);
+                const std::size_t width =
+                    static_cast<std::size_t>(push_width(byte));
+                if (m.pc + width >= code.size() + 1) {
+                    throw Abort{"push extends past end of code"};
+                }
+                Bytes imm(width, 0);
+                for (std::size_t i = 0; i < width; ++i) {
+                    if (m.pc + 1 + i < code.size()) imm[i] = code[m.pc + 1 + i];
+                }
+                m.push(U256::from_be_bytes(imm));
+                m.pc += 1 + width;
+                continue;
+            }
+            if (byte >= 0x80 && byte <= 0x8f) {  // DUPn
+                m.charge(gas_.vm_base);
+                const std::size_t n = byte - 0x7f;
+                if (m.stack.size() < n) throw Abort{"stack underflow"};
+                m.push(m.stack[m.stack.size() - n]);
+                ++m.pc;
+                continue;
+            }
+            if (byte >= 0x90 && byte <= 0x9f) {  // SWAPn
+                m.charge(gas_.vm_base);
+                const std::size_t n = byte - 0x8f;
+                if (m.stack.size() < n + 1) throw Abort{"stack underflow"};
+                std::swap(m.stack.back(), m.stack[m.stack.size() - 1 - n]);
+                ++m.pc;
+                continue;
+            }
+            if (byte >= 0xa0 && byte <= 0xa4) {  // LOGn
+                const std::size_t topic_count = byte - 0xa0;
+                const std::size_t offset =
+                    m.pop_size(limits_.max_memory, "log offset");
+                const std::size_t size =
+                    m.pop_size(limits_.max_memory, "log size");
+                m.ensure_memory(offset + size);
+                chain::LogEntry log;
+                log.address = ctx.contract;
+                for (std::size_t t = 0; t < topic_count; ++t) {
+                    log.topics.push_back(m.pop().to_hash());
+                }
+                log.data.assign(m.memory.begin() + offset,
+                                m.memory.begin() + offset + size);
+                m.charge(gas_.vm_log_base + gas_.vm_log_topic * topic_count +
+                         gas_.vm_log_data_byte * size);
+                m.logs.push_back(std::move(log));
+                ++m.pc;
+                continue;
+            }
+
+            switch (op) {
+                case Op::STOP:
+                    result.success = true;
+                    result.logs = std::move(m.logs);
+                    result.gas_used = ctx.gas_limit - m.gas_left;
+                    return result;
+                case Op::ADD: {
+                    m.charge(gas_.vm_base);
+                    const U256 a = m.pop();
+                    const U256 b = m.pop();
+                    m.push(crypto::add(a, b));
+                    break;
+                }
+                case Op::MUL: {
+                    m.charge(gas_.vm_low);
+                    const U256 a = m.pop();
+                    const U256 b = m.pop();
+                    m.push(crypto::mul(a, b));
+                    break;
+                }
+                case Op::SUB: {
+                    m.charge(gas_.vm_base);
+                    const U256 a = m.pop();
+                    const U256 b = m.pop();
+                    m.push(crypto::sub(a, b));
+                    break;
+                }
+                case Op::DIV: {
+                    m.charge(gas_.vm_low);
+                    const U256 a = m.pop();
+                    const U256 b = m.pop();
+                    m.push(crypto::divmod(a, b).quotient);
+                    break;
+                }
+                case Op::MOD: {
+                    m.charge(gas_.vm_low);
+                    const U256 a = m.pop();
+                    const U256 b = m.pop();
+                    m.push(crypto::divmod(a, b).remainder);
+                    break;
+                }
+                case Op::LT: {
+                    m.charge(gas_.vm_base);
+                    const U256 a = m.pop();
+                    const U256 b = m.pop();
+                    m.push(bool_word(a < b));
+                    break;
+                }
+                case Op::GT: {
+                    m.charge(gas_.vm_base);
+                    const U256 a = m.pop();
+                    const U256 b = m.pop();
+                    m.push(bool_word(a > b));
+                    break;
+                }
+                case Op::EQ: {
+                    m.charge(gas_.vm_base);
+                    const U256 a = m.pop();
+                    const U256 b = m.pop();
+                    m.push(bool_word(a == b));
+                    break;
+                }
+                case Op::ISZERO: {
+                    m.charge(gas_.vm_base);
+                    m.push(bool_word(m.pop().is_zero()));
+                    break;
+                }
+                case Op::AND: {
+                    m.charge(gas_.vm_base);
+                    const U256 a = m.pop();
+                    const U256 b = m.pop();
+                    m.push(crypto::bit_and(a, b));
+                    break;
+                }
+                case Op::OR: {
+                    m.charge(gas_.vm_base);
+                    const U256 a = m.pop();
+                    const U256 b = m.pop();
+                    m.push(crypto::bit_or(a, b));
+                    break;
+                }
+                case Op::XOR: {
+                    m.charge(gas_.vm_base);
+                    const U256 a = m.pop();
+                    const U256 b = m.pop();
+                    m.push(crypto::bit_xor(a, b));
+                    break;
+                }
+                case Op::NOT: {
+                    m.charge(gas_.vm_base);
+                    m.push(crypto::bit_not(m.pop()));
+                    break;
+                }
+                case Op::SHL: {
+                    m.charge(gas_.vm_base);
+                    const U256 shift = m.pop();
+                    const U256 value = m.pop();
+                    m.push(shift.bit_length() > 9
+                               ? U256{}
+                               : crypto::shl(value, static_cast<unsigned>(
+                                                        shift.low64())));
+                    break;
+                }
+                case Op::SHR: {
+                    m.charge(gas_.vm_base);
+                    const U256 shift = m.pop();
+                    const U256 value = m.pop();
+                    m.push(shift.bit_length() > 9
+                               ? U256{}
+                               : crypto::shr(value, static_cast<unsigned>(
+                                                        shift.low64())));
+                    break;
+                }
+                case Op::SHA3: {
+                    const std::size_t offset =
+                        m.pop_size(limits_.max_memory, "sha3 offset");
+                    const std::size_t size =
+                        m.pop_size(limits_.max_memory, "sha3 size");
+                    m.ensure_memory(offset + size);
+                    m.charge(gas_.vm_sha3_base +
+                             gas_.vm_sha3_word * ((size + 31) / 32));
+                    const Hash32 digest = crypto::keccak256(
+                        BytesView{m.memory.data() + offset, size});
+                    m.push(U256::from_hash(digest));
+                    break;
+                }
+                case Op::CALLER: {
+                    m.charge(gas_.vm_base);
+                    Bytes padded(32, 0);
+                    std::copy(ctx.caller.data.begin(), ctx.caller.data.end(),
+                              padded.begin() + 12);
+                    m.push(U256::from_be_bytes(padded));
+                    break;
+                }
+                case Op::CALLDATALOAD: {
+                    m.charge(gas_.vm_base);
+                    const std::size_t offset = m.pop_size(
+                        std::max(ctx.calldata.size(), std::size_t{1}) + 32,
+                        "calldata offset");
+                    m.push(m.calldata_word(offset));
+                    break;
+                }
+                case Op::CALLDATASIZE:
+                    m.charge(gas_.vm_base);
+                    m.push(U256{ctx.calldata.size()});
+                    break;
+                case Op::CALLDATACOPY: {
+                    const std::size_t mem_offset =
+                        m.pop_size(limits_.max_memory, "mem offset");
+                    const std::size_t data_offset = m.pop_size(
+                        ctx.calldata.size() + 32, "calldata offset");
+                    const std::size_t size =
+                        m.pop_size(limits_.max_memory, "copy size");
+                    m.ensure_memory(mem_offset + size);
+                    m.charge(gas_.vm_base +
+                             gas_.vm_memory_word * ((size + 31) / 32));
+                    for (std::size_t i = 0; i < size; ++i) {
+                        m.memory[mem_offset + i] =
+                            data_offset + i < ctx.calldata.size()
+                                ? ctx.calldata[data_offset + i]
+                                : 0;
+                    }
+                    break;
+                }
+                case Op::TIMESTAMP:
+                    m.charge(gas_.vm_base);
+                    m.push(U256{ctx.timestamp_ms});
+                    break;
+                case Op::NUMBER:
+                    m.charge(gas_.vm_base);
+                    m.push(U256{ctx.block_number});
+                    break;
+                case Op::POP:
+                    m.charge(gas_.vm_base);
+                    (void)m.pop();
+                    break;
+                case Op::MLOAD: {
+                    m.charge(gas_.vm_base);
+                    const std::size_t offset =
+                        m.pop_size(limits_.max_memory, "mload offset");
+                    m.push(m.mload(offset));
+                    break;
+                }
+                case Op::MSTORE: {
+                    m.charge(gas_.vm_base);
+                    const std::size_t offset =
+                        m.pop_size(limits_.max_memory, "mstore offset");
+                    const U256 value = m.pop();
+                    m.mstore(offset, value);
+                    break;
+                }
+                case Op::SLOAD: {
+                    m.charge(gas_.vm_sload);
+                    const U256 key = m.pop();
+                    m.push(state.storage_load(ctx.contract, key));
+                    break;
+                }
+                case Op::SSTORE: {
+                    const U256 key = m.pop();
+                    const U256 value = m.pop();
+                    const bool was_zero =
+                        state.storage_load(ctx.contract, key).is_zero();
+                    m.charge(was_zero && !value.is_zero()
+                                 ? gas_.vm_sstore_set
+                                 : gas_.vm_sstore_reset);
+                    state.storage_store(ctx.contract, key, value);
+                    break;
+                }
+                case Op::JUMP: {
+                    m.charge(gas_.vm_mid);
+                    const std::size_t dest =
+                        m.pop_size(code.size(), "jump dest");
+                    if (dest >= code.size() || !jumpdest[dest]) {
+                        throw Abort{"invalid jump destination"};
+                    }
+                    m.pc = dest;
+                    continue;
+                }
+                case Op::JUMPI: {
+                    m.charge(gas_.vm_mid);
+                    const std::size_t dest =
+                        m.pop_size(code.size(), "jump dest");
+                    const U256 cond = m.pop();
+                    if (!cond.is_zero()) {
+                        if (dest >= code.size() || !jumpdest[dest]) {
+                            throw Abort{"invalid jump destination"};
+                        }
+                        m.pc = dest;
+                        continue;
+                    }
+                    break;
+                }
+                case Op::PC:
+                    m.charge(gas_.vm_base);
+                    m.push(U256{m.pc});
+                    break;
+                case Op::GAS:
+                    m.charge(gas_.vm_base);
+                    m.push(U256{m.gas_left});
+                    break;
+                case Op::JUMPDEST:
+                    m.charge(gas_.vm_base);
+                    break;
+                case Op::RETURN: {
+                    const std::size_t offset =
+                        m.pop_size(limits_.max_memory, "return offset");
+                    const std::size_t size =
+                        m.pop_size(limits_.max_memory, "return size");
+                    m.ensure_memory(offset + size);
+                    result.success = true;
+                    result.return_data.assign(
+                        m.memory.begin() + offset,
+                        m.memory.begin() + offset + size);
+                    result.logs = std::move(m.logs);
+                    result.gas_used = ctx.gas_limit - m.gas_left;
+                    return result;
+                }
+                case Op::REVERT: {
+                    const std::size_t offset =
+                        m.pop_size(limits_.max_memory, "revert offset");
+                    const std::size_t size =
+                        m.pop_size(limits_.max_memory, "revert size");
+                    m.ensure_memory(offset + size);
+                    result.return_data.assign(
+                        m.memory.begin() + offset,
+                        m.memory.begin() + offset + size);
+                    result.error = "revert";
+                    result.gas_used = ctx.gas_limit - m.gas_left;
+                    return result;
+                }
+                default:
+                    throw Abort{"invalid opcode 0x" +
+                                to_hex(BytesView{&byte, 1})};
+            }
+            ++m.pc;
+        }
+        // Fell off the end of code: implicit STOP.
+        result.success = true;
+        result.logs = std::move(m.logs);
+        result.gas_used = ctx.gas_limit - m.gas_left;
+        return result;
+    } catch (const Abort& abort) {
+        result.success = false;
+        result.error = abort.reason;
+        result.gas_used = ctx.gas_limit;
+        return result;
+    }
+}
+
+}  // namespace bcfl::vm

@@ -1,0 +1,64 @@
+// MiniEVM interpreter: a gas-metered, 256-bit stack machine executing the
+// opcode subset in opcodes.hpp against WorldState storage.
+//
+// Semantics follow the EVM where implemented (stack order, zero-division
+// rules, JUMPDEST validation, revert-on-failure with storage rollback). The
+// one documented simplification: memory expansion cost is linear per 32-byte
+// word rather than quadratic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chain/gas.hpp"
+#include "chain/types.hpp"
+#include "common/bytes.hpp"
+#include "vm/opcodes.hpp"
+#include "vm/state.hpp"
+
+namespace bcfl::vm {
+
+struct CallContext {
+    Address contract;          // executing contract (storage owner)
+    Address caller;            // CALLER opcode
+    BytesView calldata;
+    std::uint64_t gas_limit = 0;
+    std::uint64_t block_number = 0;
+    std::uint64_t timestamp_ms = 0;
+};
+
+struct CallResult {
+    bool success = false;
+    std::uint64_t gas_used = 0;
+    Bytes return_data;
+    std::vector<chain::LogEntry> logs;
+    std::string error;  // human-readable failure reason (empty on success)
+};
+
+struct VmLimits {
+    std::size_t max_stack = 1024;
+    std::size_t max_memory = 4 << 20;  // 4 MiB
+};
+
+class Vm {
+public:
+    explicit Vm(chain::GasSchedule gas = {}, VmLimits limits = {})
+        : gas_(gas), limits_(limits) {}
+
+    /// Executes the contract installed at `ctx.contract`. On failure the
+    /// contract's storage is rolled back and all gas is consumed.
+    CallResult call(WorldState& state, const CallContext& ctx) const;
+
+    /// Read-only call: storage mutations are always rolled back (web3
+    /// `eth_call` equivalent, used by the FL layer for view functions).
+    CallResult static_call(const WorldState& state,
+                           const CallContext& ctx) const;
+
+private:
+    CallResult execute(WorldState& state, const CallContext& ctx) const;
+
+    chain::GasSchedule gas_;
+    VmLimits limits_;
+};
+
+}  // namespace bcfl::vm

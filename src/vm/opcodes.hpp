@@ -1,0 +1,63 @@
+// MiniEVM opcode set — a faithful subset of the EVM instruction set, with
+// byte values matching the real machine so disassemblies read familiarly.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace bcfl::vm {
+
+enum class Op : std::uint8_t {
+    STOP = 0x00,
+    ADD = 0x01,
+    MUL = 0x02,
+    SUB = 0x03,
+    DIV = 0x04,
+    MOD = 0x06,
+    LT = 0x10,
+    GT = 0x11,
+    EQ = 0x14,
+    ISZERO = 0x15,
+    AND = 0x16,
+    OR = 0x17,
+    XOR = 0x18,
+    NOT = 0x19,
+    SHL = 0x1b,
+    SHR = 0x1c,
+    SHA3 = 0x20,
+    CALLER = 0x33,
+    CALLDATALOAD = 0x35,
+    CALLDATASIZE = 0x36,
+    CALLDATACOPY = 0x37,
+    TIMESTAMP = 0x42,
+    NUMBER = 0x43,
+    POP = 0x50,
+    MLOAD = 0x51,
+    MSTORE = 0x52,
+    SLOAD = 0x54,
+    SSTORE = 0x55,
+    JUMP = 0x56,
+    JUMPI = 0x57,
+    PC = 0x58,
+    GAS = 0x5a,
+    JUMPDEST = 0x5b,
+    PUSH1 = 0x60,   // PUSH1..PUSH32 are 0x60..0x7f
+    DUP1 = 0x80,    // DUP1..DUP16 are 0x80..0x8f
+    SWAP1 = 0x90,   // SWAP1..SWAP16 are 0x90..0x9f
+    LOG0 = 0xa0,    // LOG0..LOG4 are 0xa0..0xa4
+    RETURN = 0xf3,
+    REVERT = 0xfd,
+};
+
+/// Mnemonic for an opcode byte, or empty when the byte is not an opcode.
+[[nodiscard]] std::string_view op_name(std::uint8_t byte);
+
+/// True if the byte is a PUSH1..PUSH32 opcode.
+[[nodiscard]] constexpr bool is_push(std::uint8_t byte) {
+    return byte >= 0x60 && byte <= 0x7f;
+}
+[[nodiscard]] constexpr int push_width(std::uint8_t byte) {
+    return byte - 0x5f;
+}
+
+}  // namespace bcfl::vm

@@ -1,0 +1,307 @@
+#include "vm/registry_contract.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "crypto/keccak.hpp"
+#include "vm/assembler.hpp"
+
+namespace bcfl::vm {
+
+namespace {
+
+// Function signatures (Solidity-style, used only to derive selectors).
+constexpr std::string_view kSigPublish =
+    "publishModel(uint256,bytes32,uint256,uint256)";
+constexpr std::string_view kSigChunk = "storeChunk(uint256,uint256,bytes)";
+constexpr std::string_view kSigGetModel = "getModel(uint256,address)";
+constexpr std::string_view kSigCount = "participantCount(uint256)";
+constexpr std::string_view kSigAt = "participantAt(uint256,uint256)";
+constexpr std::string_view kSigDigest =
+    "chunkDigest(uint256,address,uint256)";
+
+// Event signatures.
+constexpr std::string_view kEvtPublished =
+    "ModelPublished(uint256,address,bytes32,uint256,uint256)";
+constexpr std::string_view kEvtChunk = "ChunkStored(uint256,address,uint256)";
+
+std::string selector_hex(std::string_view signature) {
+    const Hash32 digest = crypto::keccak256(str_bytes(signature));
+    return to_hex(BytesView{digest.data.data(), 4});
+}
+
+std::string topic_hex(std::string_view signature) {
+    return crypto::keccak256(str_bytes(signature)).hex();
+}
+
+Bytes word_u64(std::uint64_t value) {
+    Bytes out(32, 0);
+    for (int i = 0; i < 8; ++i) {
+        out[static_cast<std::size_t>(31 - i)] =
+            static_cast<std::uint8_t>(value >> (8 * i));
+    }
+    return out;
+}
+
+Bytes word_address(const Address& address) {
+    Bytes out(32, 0);
+    std::copy(address.data.begin(), address.data.end(), out.begin() + 12);
+    return out;
+}
+
+Bytes selector_bytes(std::string_view signature) {
+    const Hash32 digest = crypto::keccak256(str_bytes(signature));
+    return Bytes(digest.data.begin(), digest.data.begin() + 4);
+}
+
+std::uint64_t word_at(BytesView data, std::size_t offset) {
+    if (offset + 32 > data.size()) throw DecodeError("abi: word out of range");
+    std::uint64_t value = 0;
+    for (std::size_t i = 24; i < 32; ++i) {
+        value = (value << 8) | data[offset + i];
+    }
+    return value;
+}
+
+}  // namespace
+
+const std::string& registry_source() {
+    static const std::string source = [] {
+        std::ostringstream s;
+        s <<
+R"(; ------------------------------------------------------------------
+; bcfl model registry (MiniEVM assembly)
+; storage layout:
+;   H(round, owner, 2)      -> modelHash      (+1 chunkCount, +2 size)
+;   H(round, 1)             -> participant count; entries at +1+i
+;   H(round, owner, i, 3)   -> keccak256(chunk i payload)
+; ------------------------------------------------------------------
+PUSH1 0x00 CALLDATALOAD PUSH1 0xe0 SHR
+DUP1 PUSH4 0x)" << selector_hex(kSigPublish) << R"( EQ @publish JUMPI
+DUP1 PUSH4 0x)" << selector_hex(kSigChunk) << R"( EQ @chunk JUMPI
+DUP1 PUSH4 0x)" << selector_hex(kSigGetModel) << R"( EQ @getmodel JUMPI
+DUP1 PUSH4 0x)" << selector_hex(kSigCount) << R"( EQ @pcount JUMPI
+DUP1 PUSH4 0x)" << selector_hex(kSigAt) << R"( EQ @pat JUMPI
+DUP1 PUSH4 0x)" << selector_hex(kSigDigest) << R"( EQ @cdigest JUMPI
+
+fail: JUMPDEST
+PUSH1 0x00 PUSH1 0x00 REVERT
+
+; ---- publishModel(round@4, modelHash@36, chunkCount@68, size@100) ----
+publish: JUMPDEST
+PUSH1 132 CALLDATASIZE LT @fail JUMPI
+PUSH1 0x04 CALLDATALOAD PUSH1 0x00 MSTORE
+CALLER PUSH1 0x20 MSTORE
+PUSH1 0x02 PUSH1 0x40 MSTORE
+PUSH1 0x60 PUSH1 0x00 SHA3
+DUP1 SLOAD ISZERO ISZERO @skip_append JUMPI
+PUSH1 0x04 CALLDATALOAD PUSH1 0x00 MSTORE
+PUSH1 0x01 PUSH1 0x20 MSTORE
+PUSH1 0x40 PUSH1 0x00 SHA3
+DUP1 SLOAD
+DUP2 DUP2 ADD PUSH1 1 ADD
+CALLER SWAP1 SSTORE
+PUSH1 1 ADD
+SWAP1 SSTORE
+skip_append: JUMPDEST
+PUSH1 0x24 CALLDATALOAD DUP2 SSTORE
+PUSH1 0x44 CALLDATALOAD DUP2 PUSH1 1 ADD SSTORE
+PUSH1 0x64 CALLDATALOAD DUP2 PUSH1 2 ADD SSTORE
+POP
+CALLER PUSH1 0x80 MSTORE
+PUSH1 0x24 CALLDATALOAD PUSH1 0xa0 MSTORE
+PUSH1 0x44 CALLDATALOAD PUSH1 0xc0 MSTORE
+PUSH1 0x64 CALLDATALOAD PUSH1 0xe0 MSTORE
+PUSH1 0x04 CALLDATALOAD
+PUSH32 0x)" << topic_hex(kEvtPublished) << R"(
+PUSH1 0x80 PUSH1 0x80 LOG2
+STOP
+
+; ---- storeChunk(round@4, index@36, payload@68..) ----
+chunk: JUMPDEST
+PUSH1 68 CALLDATASIZE LT @fail JUMPI
+PUSH1 68 CALLDATASIZE SUB
+DUP1 PUSH1 68 PUSH1 0x80 CALLDATACOPY
+DUP1 PUSH1 0x80 SHA3
+PUSH1 0x04 CALLDATALOAD PUSH1 0x00 MSTORE
+CALLER PUSH1 0x20 MSTORE
+PUSH1 0x24 CALLDATALOAD PUSH1 0x40 MSTORE
+PUSH1 0x03 PUSH1 0x60 MSTORE
+PUSH1 0x80 PUSH1 0x00 SHA3
+SSTORE
+CALLER PUSH1 0x80 MSTORE
+DUP1 PUSH1 0xa0 MSTORE
+PUSH1 0x24 CALLDATALOAD
+PUSH1 0x04 CALLDATALOAD
+PUSH32 0x)" << topic_hex(kEvtChunk) << R"(
+PUSH1 0x40 PUSH1 0x80 LOG3
+POP
+STOP
+
+; ---- getModel(round@4, owner@36) -> (hash, chunkCount, size) ----
+getmodel: JUMPDEST
+PUSH1 0x04 CALLDATALOAD PUSH1 0x00 MSTORE
+PUSH1 0x24 CALLDATALOAD PUSH1 0x20 MSTORE
+PUSH1 0x02 PUSH1 0x40 MSTORE
+PUSH1 0x60 PUSH1 0x00 SHA3
+DUP1 SLOAD PUSH1 0x80 MSTORE
+DUP1 PUSH1 1 ADD SLOAD PUSH1 0xa0 MSTORE
+PUSH1 2 ADD SLOAD PUSH1 0xc0 MSTORE
+PUSH1 0x60 PUSH1 0x80 RETURN
+
+; ---- participantCount(round@4) ----
+pcount: JUMPDEST
+PUSH1 0x04 CALLDATALOAD PUSH1 0x00 MSTORE
+PUSH1 0x01 PUSH1 0x20 MSTORE
+PUSH1 0x40 PUSH1 0x00 SHA3 SLOAD PUSH1 0x80 MSTORE
+PUSH1 0x20 PUSH1 0x80 RETURN
+
+; ---- participantAt(round@4, index@36) ----
+pat: JUMPDEST
+PUSH1 0x04 CALLDATALOAD PUSH1 0x00 MSTORE
+PUSH1 0x01 PUSH1 0x20 MSTORE
+PUSH1 0x40 PUSH1 0x00 SHA3
+DUP1 SLOAD
+PUSH1 0x24 CALLDATALOAD
+LT
+ISZERO @fail JUMPI
+PUSH1 0x24 CALLDATALOAD ADD PUSH1 1 ADD SLOAD
+PUSH1 0x80 MSTORE
+PUSH1 0x20 PUSH1 0x80 RETURN
+
+; ---- chunkDigest(round@4, owner@36, index@68) ----
+cdigest: JUMPDEST
+PUSH1 0x04 CALLDATALOAD PUSH1 0x00 MSTORE
+PUSH1 0x24 CALLDATALOAD PUSH1 0x20 MSTORE
+PUSH1 0x44 CALLDATALOAD PUSH1 0x40 MSTORE
+PUSH1 0x03 PUSH1 0x60 MSTORE
+PUSH1 0x80 PUSH1 0x00 SHA3 SLOAD PUSH1 0x80 MSTORE
+PUSH1 0x20 PUSH1 0x80 RETURN
+)";
+        return s.str();
+    }();
+    return source;
+}
+
+const Bytes& registry_bytecode() {
+    static const Bytes code = assemble(registry_source());
+    return code;
+}
+
+Address registry_address() {
+    // Fixed, well-known address (like a precompile slot).
+    Address address;
+    address.data[19] = 0x42;
+    return address;
+}
+
+namespace registry_abi {
+
+Bytes publish_calldata(std::uint64_t round, const Hash32& model_hash,
+                       std::uint64_t chunk_count, std::uint64_t size_bytes) {
+    Bytes out = selector_bytes(kSigPublish);
+    append(out, word_u64(round));
+    append(out, model_hash.view());
+    append(out, word_u64(chunk_count));
+    append(out, word_u64(size_bytes));
+    return out;
+}
+
+Bytes chunk_calldata(std::uint64_t round, std::uint64_t index,
+                     BytesView payload) {
+    Bytes out = selector_bytes(kSigChunk);
+    append(out, word_u64(round));
+    append(out, word_u64(index));
+    append(out, payload);
+    return out;
+}
+
+Bytes get_model_calldata(std::uint64_t round, const Address& owner) {
+    Bytes out = selector_bytes(kSigGetModel);
+    append(out, word_u64(round));
+    append(out, word_address(owner));
+    return out;
+}
+
+Bytes participant_count_calldata(std::uint64_t round) {
+    Bytes out = selector_bytes(kSigCount);
+    append(out, word_u64(round));
+    return out;
+}
+
+Bytes participant_at_calldata(std::uint64_t round, std::uint64_t index) {
+    Bytes out = selector_bytes(kSigAt);
+    append(out, word_u64(round));
+    append(out, word_u64(index));
+    return out;
+}
+
+Bytes chunk_digest_calldata(std::uint64_t round, const Address& owner,
+                            std::uint64_t index) {
+    Bytes out = selector_bytes(kSigDigest);
+    append(out, word_u64(round));
+    append(out, word_address(owner));
+    append(out, word_u64(index));
+    return out;
+}
+
+ModelRecord decode_model(BytesView return_data) {
+    if (return_data.size() != 96) throw DecodeError("getModel returns 96 bytes");
+    ModelRecord record;
+    record.model_hash = Hash32::from(return_data.subspan(0, 32));
+    record.chunk_count = word_at(return_data, 32);
+    record.size_bytes = word_at(return_data, 64);
+    return record;
+}
+
+std::uint64_t decode_word(BytesView return_data) {
+    if (return_data.size() != 32) throw DecodeError("expected one word");
+    return word_at(return_data, 0);
+}
+
+Address decode_address(BytesView return_data) {
+    if (return_data.size() != 32) throw DecodeError("expected one word");
+    return Address::from(return_data.subspan(12, 20));
+}
+
+Hash32 published_topic() { return crypto::keccak256(str_bytes(kEvtPublished)); }
+Hash32 chunk_topic() { return crypto::keccak256(str_bytes(kEvtChunk)); }
+
+std::optional<PublishedEvent> parse_published(const chain::LogEntry& log) {
+    if (log.topics.size() != 2 || log.topics[0] != published_topic()) {
+        return std::nullopt;
+    }
+    if (log.data.size() != 128) return std::nullopt;
+    PublishedEvent event;
+    event.round = word_at(log.topics[1].view(), 0);
+    event.publisher = Address::from(BytesView(log.data).subspan(12, 20));
+    event.model_hash = Hash32::from(BytesView(log.data).subspan(32, 32));
+    event.chunk_count = word_at(log.data, 64);
+    event.size_bytes = word_at(log.data, 96);
+    return event;
+}
+
+std::optional<ChunkEvent> parse_chunk(const chain::LogEntry& log) {
+    if (log.topics.size() != 3 || log.topics[0] != chunk_topic()) {
+        return std::nullopt;
+    }
+    if (log.data.size() != 64) return std::nullopt;
+    ChunkEvent event;
+    event.round = word_at(log.topics[1].view(), 0);
+    event.index = word_at(log.topics[2].view(), 0);
+    event.publisher = Address::from(BytesView(log.data).subspan(12, 20));
+    event.payload_size = word_at(log.data, 32);
+    return event;
+}
+
+std::optional<Bytes> chunk_payload(BytesView calldata) {
+    const Bytes expected = selector_bytes(kSigChunk);
+    if (calldata.size() < 68) return std::nullopt;
+    for (std::size_t i = 0; i < 4; ++i) {
+        if (calldata[i] != expected[i]) return std::nullopt;
+    }
+    return Bytes(calldata.begin() + 68, calldata.end());
+}
+
+}  // namespace registry_abi
+}  // namespace bcfl::vm

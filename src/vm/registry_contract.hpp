@@ -1,0 +1,89 @@
+// The FL model registry contract — the stand-in for the paper's Solidity
+// aggregation contract on the private Ethereum network.
+//
+// On-chain responsibilities (all executed by the MiniEVM):
+//   * publishModel(round, modelHash, chunkCount, sizeBytes)
+//       records the caller's model announcement for a round, appends the
+//       caller to the round's participant list (first publish only) and
+//       emits a ModelPublished event.
+//   * storeChunk(round, chunkIndex, payload)
+//       carries a weight chunk in calldata (calldata-as-data-availability),
+//       stores keccak256(payload) on chain and emits a ChunkStored event.
+//   * getModel / participantCount / participantAt / chunkDigest
+//       view functions used by peers (the web3 pattern: read registry state
+//       and events, fetch chunk payloads from transaction calldata).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "chain/types.hpp"
+#include "common/bytes.hpp"
+
+namespace bcfl::vm {
+
+/// Assembly source of the registry (selectors baked in).
+[[nodiscard]] const std::string& registry_source();
+
+/// Assembled bytecode.
+[[nodiscard]] const Bytes& registry_bytecode();
+
+/// Well-known address the registry is deployed to at genesis.
+[[nodiscard]] Address registry_address();
+
+/// Calldata builders and return/event decoders for the registry ABI.
+namespace registry_abi {
+
+[[nodiscard]] Bytes publish_calldata(std::uint64_t round,
+                                     const Hash32& model_hash,
+                                     std::uint64_t chunk_count,
+                                     std::uint64_t size_bytes);
+[[nodiscard]] Bytes chunk_calldata(std::uint64_t round, std::uint64_t index,
+                                   BytesView payload);
+[[nodiscard]] Bytes get_model_calldata(std::uint64_t round,
+                                       const Address& owner);
+[[nodiscard]] Bytes participant_count_calldata(std::uint64_t round);
+[[nodiscard]] Bytes participant_at_calldata(std::uint64_t round,
+                                            std::uint64_t index);
+[[nodiscard]] Bytes chunk_digest_calldata(std::uint64_t round,
+                                          const Address& owner,
+                                          std::uint64_t index);
+
+struct ModelRecord {
+    Hash32 model_hash;
+    std::uint64_t chunk_count = 0;
+    std::uint64_t size_bytes = 0;
+};
+[[nodiscard]] ModelRecord decode_model(BytesView return_data);
+[[nodiscard]] std::uint64_t decode_word(BytesView return_data);
+[[nodiscard]] Address decode_address(BytesView return_data);
+
+/// topic0 values of the two events.
+[[nodiscard]] Hash32 published_topic();
+[[nodiscard]] Hash32 chunk_topic();
+
+struct PublishedEvent {
+    std::uint64_t round = 0;
+    Address publisher;
+    Hash32 model_hash;
+    std::uint64_t chunk_count = 0;
+    std::uint64_t size_bytes = 0;
+};
+[[nodiscard]] std::optional<PublishedEvent> parse_published(
+    const chain::LogEntry& log);
+
+struct ChunkEvent {
+    std::uint64_t round = 0;
+    std::uint64_t index = 0;
+    Address publisher;
+    std::uint64_t payload_size = 0;
+};
+[[nodiscard]] std::optional<ChunkEvent> parse_chunk(const chain::LogEntry& log);
+
+/// Extracts the chunk payload from a storeChunk transaction's calldata.
+[[nodiscard]] std::optional<Bytes> chunk_payload(BytesView calldata);
+
+}  // namespace registry_abi
+
+}  // namespace bcfl::vm

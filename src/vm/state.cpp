@@ -1,0 +1,65 @@
+#include "vm/state.hpp"
+
+#include "common/error.hpp"
+#include "crypto/keccak.hpp"
+
+namespace bcfl::vm {
+
+void WorldState::deploy(const Address& address, Bytes code) {
+    accounts_[address].code = std::move(code);
+}
+
+bool WorldState::has_contract(const Address& address) const {
+    const auto it = accounts_.find(address);
+    return it != accounts_.end() && !it->second.code.empty();
+}
+
+const Bytes& WorldState::code_at(const Address& address) const {
+    const auto it = accounts_.find(address);
+    if (it == accounts_.end()) throw Error("no contract at address");
+    return it->second.code;
+}
+
+crypto::U256 WorldState::storage_load(const Address& address,
+                                      const crypto::U256& key) const {
+    const auto account_it = accounts_.find(address);
+    if (account_it == accounts_.end()) return {};
+    const auto slot_it = account_it->second.storage.find(key);
+    return slot_it == account_it->second.storage.end() ? crypto::U256{}
+                                                       : slot_it->second;
+}
+
+void WorldState::storage_store(const Address& address, const crypto::U256& key,
+                               const crypto::U256& value) {
+    if (value.is_zero()) {
+        const auto it = accounts_.find(address);
+        if (it != accounts_.end()) it->second.storage.erase(key);
+        return;
+    }
+    accounts_[address].storage[key] = value;
+}
+
+AccountStorage WorldState::storage_snapshot(const Address& address) const {
+    const auto it = accounts_.find(address);
+    return it == accounts_.end() ? AccountStorage{} : it->second.storage;
+}
+
+void WorldState::restore_storage(const Address& address,
+                                 AccountStorage snapshot) {
+    accounts_[address].storage = std::move(snapshot);
+}
+
+Hash32 WorldState::state_root() const {
+    Bytes preimage;
+    for (const auto& [address, account] : accounts_) {
+        append(preimage, address.view());
+        append(preimage, crypto::keccak256(account.code).view());
+        for (const auto& [key, value] : account.storage) {
+            append(preimage, key.to_hash().view());
+            append(preimage, value.to_hash().view());
+        }
+    }
+    return crypto::keccak256(preimage);
+}
+
+}  // namespace bcfl::vm

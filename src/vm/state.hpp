@@ -1,0 +1,50 @@
+// Contract world state: per-address key/value storage plus deployed code.
+//
+// The state root is a deterministic commitment over the sorted storage
+// contents; every node recomputes it after executing a block and the value is
+// sealed into the block header, so divergent execution is detected at import.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "crypto/u256.hpp"
+
+namespace bcfl::vm {
+
+/// Storage of a single contract account (ordered map so the commitment is
+/// canonical without sorting at hash time).
+using AccountStorage = std::map<crypto::U256, crypto::U256>;
+
+class WorldState {
+public:
+    /// Installs contract code at an address (genesis-style deployment).
+    void deploy(const Address& address, Bytes code);
+
+    [[nodiscard]] bool has_contract(const Address& address) const;
+    [[nodiscard]] const Bytes& code_at(const Address& address) const;
+
+    [[nodiscard]] crypto::U256 storage_load(const Address& address,
+                                            const crypto::U256& key) const;
+    void storage_store(const Address& address, const crypto::U256& key,
+                       const crypto::U256& value);
+
+    /// Snapshot of an account's storage (used for revert semantics).
+    [[nodiscard]] AccountStorage storage_snapshot(const Address& address) const;
+    void restore_storage(const Address& address, AccountStorage snapshot);
+
+    /// Canonical commitment over all accounts (code hash + storage).
+    [[nodiscard]] Hash32 state_root() const;
+
+    [[nodiscard]] std::size_t contract_count() const { return accounts_.size(); }
+
+private:
+    struct Account {
+        Bytes code;
+        AccountStorage storage;
+    };
+    std::map<Address, Account> accounts_;
+};
+
+}  // namespace bcfl::vm

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace bcfl {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+    const Bytes data{0x00, 0x01, 0xab, 0xff};
+    EXPECT_EQ(to_hex(data), "0001abff");
+    EXPECT_EQ(from_hex("0001abff"), data);
+    EXPECT_EQ(from_hex("0x0001ABFF"), data);
+}
+
+TEST(Bytes, HexRejectsBadInput) {
+    EXPECT_THROW(from_hex("abc"), DecodeError);
+    EXPECT_THROW(from_hex("zz"), DecodeError);
+}
+
+TEST(Bytes, BigEndianU64) {
+    EXPECT_EQ(to_hex(be_bytes(0x0102030405060708ull)), "0102030405060708");
+    EXPECT_EQ(be_u64(be_bytes(42)), 42u);
+    const Bytes wide(9, 0xff);
+    EXPECT_THROW((void)be_u64(wide), DecodeError);
+}
+
+TEST(Bytes, FixedBytesBasics) {
+    Hash32 h;
+    EXPECT_TRUE(h.is_zero());
+    h.data[31] = 1;
+    EXPECT_FALSE(h.is_zero());
+    EXPECT_EQ(h.hex().size(), 64u);
+
+    const Address a = Address::from(from_hex("00112233445566778899"));
+    EXPECT_EQ(a.data[0], 0x00);
+    EXPECT_EQ(a.data[9], 0x99);
+    EXPECT_EQ(a.data[10], 0x00);  // zero-padded
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+    const Bytes a{1, 2, 3};
+    const Bytes b{1, 2, 3};
+    const Bytes c{1, 2, 4};
+    EXPECT_TRUE(bytes_equal(a, b));
+    EXPECT_FALSE(bytes_equal(a, c));
+    EXPECT_FALSE(bytes_equal(a, Bytes{1, 2}));
+}
+
+TEST(Rng, Deterministic) {
+    Rng a(7);
+    Rng b(7);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next_u64() == b.next_u64()) ++equal;
+    }
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformDoubleInRange) {
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.next_double();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, NormalMoments) {
+    Rng rng(11);
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    constexpr int kSamples = 20000;
+    for (int i = 0; i < kSamples; ++i) {
+        const double v = rng.normal();
+        sum += v;
+        sum_sq += v * v;
+    }
+    EXPECT_NEAR(sum / kSamples, 0.0, 0.05);
+    EXPECT_NEAR(sum_sq / kSamples, 1.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+    Rng rng(13);
+    double sum = 0.0;
+    constexpr int kSamples = 20000;
+    for (int i = 0; i < kSamples; ++i) sum += rng.exponential(5.0);
+    EXPECT_NEAR(sum / kSamples, 5.0, 0.25);
+}
+
+TEST(Rng, DirichletSumsToOne) {
+    Rng rng(17);
+    for (double alpha : {0.1, 0.5, 1.0, 10.0}) {
+        const auto v = rng.dirichlet(alpha, 10);
+        const double total = std::accumulate(v.begin(), v.end(), 0.0);
+        EXPECT_NEAR(total, 1.0, 1e-9) << "alpha=" << alpha;
+        EXPECT_TRUE(std::all_of(v.begin(), v.end(),
+                                [](double x) { return x >= 0.0; }));
+    }
+}
+
+TEST(Rng, DirichletConcentration) {
+    // Small alpha should produce peakier distributions than large alpha.
+    Rng rng(19);
+    double max_small = 0.0;
+    double max_large = 0.0;
+    for (int i = 0; i < 50; ++i) {
+        const auto s = rng.dirichlet(0.1, 10);
+        const auto l = rng.dirichlet(100.0, 10);
+        max_small += *std::max_element(s.begin(), s.end());
+        max_large += *std::max_element(l.begin(), l.end());
+    }
+    EXPECT_GT(max_small / 50, max_large / 50 + 0.2);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+    Rng rng(23);
+    std::array<int, 16> items{};
+    std::iota(items.begin(), items.end(), 0);
+    auto shuffled = items;
+    rng.shuffle(std::span<int>(shuffled));
+    auto sorted = shuffled;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, items);
+}
+
+}  // namespace
+}  // namespace bcfl

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "fl/combinations.hpp"
+#include "fl/fedavg.hpp"
+#include "fl/task.hpp"
+#include "fl/vanilla.hpp"
+
+namespace bcfl::fl {
+namespace {
+
+// ------------------------------------------------------------------ FedAvg
+
+TEST(FedAvg, EqualWeightsAverage) {
+    std::vector<ModelUpdate> updates{{{1.0f, 2.0f}, 1.0},
+                                     {{3.0f, 4.0f}, 1.0}};
+    EXPECT_EQ(fedavg(updates), (std::vector<float>{2.0f, 3.0f}));
+}
+
+TEST(FedAvg, SampleCountWeighting) {
+    std::vector<ModelUpdate> updates{{{0.0f}, 1.0}, {{10.0f}, 3.0}};
+    const auto avg = fedavg(updates);
+    EXPECT_NEAR(avg[0], 7.5f, 1e-6);
+}
+
+TEST(FedAvg, IdentityForSingleUpdate) {
+    std::vector<ModelUpdate> updates{{{5.5f, -1.0f}, 7.0}};
+    EXPECT_EQ(fedavg(updates), updates[0].weights);
+}
+
+TEST(FedAvg, RejectsDimensionMismatch) {
+    std::vector<ModelUpdate> updates{{{1.0f, 2.0f}, 1.0}, {{1.0f}, 1.0}};
+    EXPECT_THROW(fedavg(updates), ShapeError);
+}
+
+TEST(FedAvg, RejectsEmpty) {
+    std::vector<ModelUpdate> updates;
+    EXPECT_THROW(fedavg(updates), ShapeError);
+}
+
+TEST(FedAvg, SubsetSelection) {
+    std::vector<ModelUpdate> updates{
+        {{0.0f}, 1.0}, {{6.0f}, 1.0}, {{100.0f}, 1.0}};
+    const std::vector<std::size_t> indices{0, 1};
+    EXPECT_NEAR(fedavg_subset(updates, indices)[0], 3.0f, 1e-6);
+    const std::vector<std::size_t> bad{5};
+    EXPECT_THROW(fedavg_subset(updates, bad), ShapeError);
+}
+
+// ------------------------------------------------------------ Combinations
+
+TEST(Combinations, AllSubsetsOfThree) {
+    const auto combos = all_combinations(3);
+    EXPECT_EQ(combos.size(), 7u);  // 2^3 - 1
+    EXPECT_EQ(combos[0], (Combination{0}));
+    EXPECT_EQ(combos.back(), (Combination{0, 1, 2}));
+}
+
+TEST(Combinations, PaperRowsForClientA) {
+    // Client A (index 0) of three: A; A,B; A,C; B,C; A,B,C.
+    const auto combos = paper_combinations(3, 0);
+    ASSERT_EQ(combos.size(), 5u);
+    EXPECT_EQ(combos[0], (Combination{0}));
+    EXPECT_EQ(combos[1], (Combination{0, 1}));
+    EXPECT_EQ(combos[2], (Combination{0, 2}));
+    EXPECT_EQ(combos[3], (Combination{1, 2}));
+    EXPECT_EQ(combos[4], (Combination{0, 1, 2}));
+}
+
+TEST(Combinations, PaperRowsForClientB) {
+    const auto combos = paper_combinations(3, 1);
+    ASSERT_EQ(combos.size(), 5u);
+    EXPECT_EQ(combos[0], (Combination{1}));
+    EXPECT_EQ(combos[3], (Combination{0, 2}));
+}
+
+TEST(Combinations, Labels) {
+    EXPECT_EQ(combination_label({0, 2}, "ABC"), "A,C");
+    EXPECT_EQ(combination_label({1}, "ABC"), "B");
+    EXPECT_EQ(combination_label({0, 1, 2}, "ABC"), "A,B,C");
+}
+
+// ------------------------------------------------------------------- Tasks
+
+ml::FederatedData small_data(double alpha = 0.5) {
+    ml::SyntheticCifarConfig config;
+    config.train_per_client = 120;
+    config.test_per_client = 60;
+    config.global_test = 100;
+    config.dirichlet_alpha = alpha;
+    config.seed = 11;
+    return ml::make_synthetic_cifar(config);
+}
+
+TEST(Task, SimpleModelsShareInitialWeights) {
+    const auto data = small_data();
+    const FlTask task = make_simple_nn_task(data, 3);
+    auto a = task.make_model();
+    auto b = task.make_model();
+    EXPECT_EQ(a->weights(), b->weights());
+    EXPECT_GT(a->weight_count(), 40'000u);
+}
+
+TEST(Task, SimpleTrainingImprovesLocalAccuracy) {
+    const auto data = small_data();
+    const FlTask task = make_simple_nn_task(data, 3);
+    auto model = task.make_model();
+    const double before = model->evaluate(task.client_test[0]);
+    ml::TrainConfig config = task.train_template;
+    config.epochs = 6;
+    model->train_local(task.client_train[0], config);
+    EXPECT_GT(model->evaluate(task.client_test[0]), before);
+}
+
+TEST(Task, EffnetTaskEmbedsAndTrainsHead) {
+    const auto data = small_data();
+    EffnetTaskOptions options;
+    options.pretrain_samples = 300;
+    options.pretrain_epochs = 2;
+    const FlTask task = make_effnet_task(data, 5, options);
+    // Embedded datasets are {N, 64}.
+    EXPECT_EQ(task.client_train[0].images.rank(), 2u);
+    EXPECT_EQ(task.client_train[0].images.dim(1), 64u);
+
+    auto model = task.make_model();
+    // Whole-model weights (backbone + head) are exchanged.
+    EXPECT_GT(model->weight_count(), 64u * 10u);
+    const double before = model->evaluate(task.client_test[0]);
+    model->train_local(task.client_train[0], task.train_template);
+    EXPECT_GE(model->evaluate(task.client_test[0]), before);
+}
+
+TEST(Task, EffnetSetWeightsRoundTrip) {
+    const auto data = small_data();
+    EffnetTaskOptions options;
+    options.pretrain_samples = 200;
+    options.pretrain_epochs = 1;
+    const FlTask task = make_effnet_task(data, 5, options);
+    auto a = task.make_model();
+    auto b = task.make_model();
+    auto weights = a->weights();
+    // Perturb the head segment (tail of the vector).
+    weights.back() += 1.0f;
+    b->set_weights(weights);
+    EXPECT_EQ(b->weights().back(), weights.back());
+    weights.pop_back();
+    EXPECT_THROW(b->set_weights(weights), ShapeError);
+}
+
+// --------------------------------------------------------------- VanillaFL
+
+TEST(Vanilla, AccuracyImprovesOverRounds) {
+    const auto data = small_data();
+    const FlTask task = make_simple_nn_task(data, 3);
+    VanillaConfig config;
+    config.rounds = 4;
+    config.mode = AggregationMode::not_consider;
+    const VanillaResult result = run_vanilla(task, config);
+    ASSERT_EQ(result.rounds.size(), 4u);
+    const auto mean_acc = [](const VanillaRound& r) {
+        double acc = 0.0;
+        for (double a : r.client_accuracy) acc += a;
+        return acc / static_cast<double>(r.client_accuracy.size());
+    };
+    EXPECT_GT(mean_acc(result.rounds.back()), mean_acc(result.rounds.front()));
+}
+
+TEST(Vanilla, NotConsiderAlwaysUsesAllClients) {
+    const auto data = small_data();
+    const FlTask task = make_simple_nn_task(data, 3);
+    VanillaConfig config;
+    config.rounds = 2;
+    config.mode = AggregationMode::not_consider;
+    const VanillaResult result = run_vanilla(task, config);
+    for (const VanillaRound& round : result.rounds) {
+        EXPECT_EQ(round.chosen, (Combination{0, 1, 2}));
+    }
+}
+
+TEST(Vanilla, ConsiderPicksNonEmptyCombos) {
+    const auto data = small_data(0.3);
+    const FlTask task = make_simple_nn_task(data, 3);
+    VanillaConfig config;
+    config.rounds = 3;
+    config.mode = AggregationMode::consider;
+    const VanillaResult result = run_vanilla(task, config);
+    for (const VanillaRound& round : result.rounds) {
+        EXPECT_FALSE(round.chosen.empty());
+        EXPECT_LE(round.chosen.size(), 3u);
+        EXPECT_GT(round.aggregator_accuracy, 0.0);
+    }
+}
+
+TEST(Vanilla, DeterministicGivenSeed) {
+    const auto data = small_data();
+    const FlTask task = make_simple_nn_task(data, 3);
+    VanillaConfig config;
+    config.rounds = 2;
+    config.seed = 9;
+    const VanillaResult a = run_vanilla(task, config);
+    const VanillaResult b = run_vanilla(task, config);
+    EXPECT_EQ(a.rounds[1].client_accuracy, b.rounds[1].client_accuracy);
+}
+
+}  // namespace
+}  // namespace bcfl::fl

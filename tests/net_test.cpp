@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/sim.hpp"
+
+namespace bcfl::net {
+namespace {
+
+TEST(Simulation, EventsRunInTimeOrder) {
+    Simulation sim;
+    std::vector<int> order;
+    sim.schedule_at(300, [&] { order.push_back(3); });
+    sim.schedule_at(100, [&] { order.push_back(1); });
+    sim.schedule_at(200, [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), 300u);
+}
+
+TEST(Simulation, TiesBreakByScheduleOrder) {
+    Simulation sim;
+    std::vector<int> order;
+    sim.schedule_at(100, [&] { order.push_back(1); });
+    sim.schedule_at(100, [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulation, HandlersCanScheduleMoreEvents) {
+    Simulation sim;
+    int fired = 0;
+    sim.schedule_at(10, [&] {
+        ++fired;
+        sim.schedule_after(5, [&] { ++fired; });
+    });
+    sim.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(sim.now(), 15u);
+}
+
+TEST(Simulation, RunUntilStopsAtDeadline) {
+    Simulation sim;
+    int fired = 0;
+    sim.schedule_at(100, [&] { ++fired; });
+    sim.schedule_at(200, [&] { ++fired; });
+    sim.run_until(150);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now(), 150u);
+    EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulation, PastEventsClampToNow) {
+    Simulation sim;
+    sim.schedule_at(100, [] {});
+    sim.run();
+    int fired = 0;
+    sim.schedule_at(50, [&] { ++fired; });  // in the past
+    sim.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now(), 100u);  // did not go backwards
+}
+
+TEST(Network, DeliversWithLatency) {
+    Simulation sim;
+    LinkParams params;
+    params.latency = ms(10);
+    params.jitter_fraction = 0.0;
+    params.bytes_per_us = 1000.0;
+    Network network(sim, params);
+
+    SimTime delivered_at = 0;
+    Bytes received;
+    const NodeId a = network.add_node([](NodeId, const Bytes&) {});
+    const NodeId b = network.add_node([&](NodeId, const Bytes& msg) {
+        delivered_at = sim.now();
+        received = msg;
+    });
+
+    network.send(a, b, str_bytes("hello"));
+    sim.run();
+    EXPECT_EQ(received, str_bytes("hello"));
+    EXPECT_GE(delivered_at, ms(10));
+    EXPECT_LT(delivered_at, ms(11));
+}
+
+TEST(Network, BandwidthDelaysLargeMessages) {
+    Simulation sim;
+    LinkParams params;
+    params.latency = 0;
+    params.jitter_fraction = 0.0;
+    params.bytes_per_us = 10.0;  // 10 bytes / us
+    params.shared_uplink = false;
+    Network network(sim, params);
+
+    SimTime small_time = 0;
+    SimTime big_time = 0;
+    const NodeId a = network.add_node([](NodeId, const Bytes&) {});
+    const NodeId b = network.add_node([&](NodeId, const Bytes& msg) {
+        (msg.size() > 1000 ? big_time : small_time) = sim.now();
+    });
+    network.send(a, b, Bytes(100, 0));      // 10 us
+    network.send(a, b, Bytes(100'000, 0));  // 10'000 us
+    sim.run();
+    EXPECT_EQ(small_time, 10u);
+    EXPECT_EQ(big_time, 10'000u);
+}
+
+TEST(Network, BroadcastReachesAllButSender) {
+    Simulation sim;
+    Network network(sim, LinkParams{});
+    int deliveries = 0;
+    std::vector<NodeId> nodes;
+    for (int i = 0; i < 5; ++i) {
+        nodes.push_back(network.add_node(
+            [&](NodeId, const Bytes&) { ++deliveries; }));
+    }
+    network.broadcast(nodes[0], str_bytes("x"));
+    sim.run();
+    EXPECT_EQ(deliveries, 4);
+    EXPECT_EQ(network.stats().messages_sent, 4u);
+    EXPECT_EQ(network.stats().messages_delivered, 4u);
+}
+
+TEST(Network, LossDropsMessages) {
+    Simulation sim;
+    LinkParams params;
+    params.loss_rate = 1.0;
+    Network network(sim, params);
+    int deliveries = 0;
+    const NodeId a = network.add_node([](NodeId, const Bytes&) {});
+    const NodeId b =
+        network.add_node([&](NodeId, const Bytes&) { ++deliveries; });
+    network.send(a, b, str_bytes("gone"));
+    sim.run();
+    EXPECT_EQ(deliveries, 0);
+    EXPECT_EQ(network.stats().messages_dropped, 1u);
+}
+
+TEST(Network, SelfSendIgnored) {
+    Simulation sim;
+    Network network(sim, LinkParams{});
+    int deliveries = 0;
+    const NodeId a =
+        network.add_node([&](NodeId, const Bytes&) { ++deliveries; });
+    network.send(a, a, str_bytes("loop"));
+    sim.run();
+    EXPECT_EQ(deliveries, 0);
+}
+
+}  // namespace
+}  // namespace bcfl::net

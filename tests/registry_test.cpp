@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "crypto/keccak.hpp"
+#include "crypto/secp256k1.hpp"
+#include "vm/evm.hpp"
+#include "vm/registry_contract.hpp"
+#include "vm/state.hpp"
+
+namespace bcfl::vm {
+namespace {
+
+namespace abi = registry_abi;
+
+class RegistryTest : public ::testing::Test {
+protected:
+    RegistryTest() {
+        state_.deploy(registry_address(), registry_bytecode());
+        alice_ = crypto::KeyPair::from_seed(1).address();
+        bob_ = crypto::KeyPair::from_seed(2).address();
+    }
+
+    CallResult call_as(const Address& caller, Bytes calldata) {
+        CallContext ctx;
+        ctx.contract = registry_address();
+        ctx.caller = caller;
+        ctx.calldata = calldata;
+        ctx.gas_limit = 50'000'000;
+        ctx.block_number = 1;
+        ctx.timestamp_ms = 1000;
+        return vm_.call(state_, ctx);
+    }
+
+    CallResult view(Bytes calldata) {
+        CallContext ctx;
+        ctx.contract = registry_address();
+        ctx.caller = Address{};
+        ctx.calldata = calldata;
+        ctx.gas_limit = 50'000'000;
+        return vm_.static_call(state_, ctx);
+    }
+
+    WorldState state_;
+    Vm vm_;
+    Address alice_;
+    Address bob_;
+};
+
+TEST_F(RegistryTest, BytecodeAssembles) {
+    EXPECT_GT(registry_bytecode().size(), 100u);
+}
+
+TEST_F(RegistryTest, PublishAndGetModel) {
+    const Hash32 model_hash = crypto::keccak256(str_bytes("weights"));
+    const auto r =
+        call_as(alice_, abi::publish_calldata(3, model_hash, 5, 123'456));
+    ASSERT_TRUE(r.success) << r.error;
+
+    const auto g = view(abi::get_model_calldata(3, alice_));
+    ASSERT_TRUE(g.success) << g.error;
+    const auto record = abi::decode_model(g.return_data);
+    EXPECT_EQ(record.model_hash, model_hash);
+    EXPECT_EQ(record.chunk_count, 5u);
+    EXPECT_EQ(record.size_bytes, 123'456u);
+}
+
+TEST_F(RegistryTest, PublishEmitsEvent) {
+    const Hash32 model_hash = crypto::keccak256(str_bytes("w"));
+    const auto r = call_as(alice_, abi::publish_calldata(7, model_hash, 2, 99));
+    ASSERT_TRUE(r.success) << r.error;
+    ASSERT_EQ(r.logs.size(), 1u);
+    const auto event = abi::parse_published(r.logs[0]);
+    ASSERT_TRUE(event.has_value());
+    EXPECT_EQ(event->round, 7u);
+    EXPECT_EQ(event->publisher, alice_);
+    EXPECT_EQ(event->model_hash, model_hash);
+    EXPECT_EQ(event->chunk_count, 2u);
+    EXPECT_EQ(event->size_bytes, 99u);
+}
+
+TEST_F(RegistryTest, ParticipantListPerRound) {
+    const Hash32 h = crypto::keccak256(str_bytes("x"));
+    ASSERT_TRUE(call_as(alice_, abi::publish_calldata(1, h, 1, 10)).success);
+    ASSERT_TRUE(call_as(bob_, abi::publish_calldata(1, h, 1, 10)).success);
+    ASSERT_TRUE(call_as(alice_, abi::publish_calldata(2, h, 1, 10)).success);
+
+    auto count1 = view(abi::participant_count_calldata(1));
+    ASSERT_TRUE(count1.success) << count1.error;
+    EXPECT_EQ(abi::decode_word(count1.return_data), 2u);
+
+    auto count2 = view(abi::participant_count_calldata(2));
+    ASSERT_TRUE(count2.success);
+    EXPECT_EQ(abi::decode_word(count2.return_data), 1u);
+
+    auto at0 = view(abi::participant_at_calldata(1, 0));
+    ASSERT_TRUE(at0.success);
+    EXPECT_EQ(abi::decode_address(at0.return_data), alice_);
+    auto at1 = view(abi::participant_at_calldata(1, 1));
+    ASSERT_TRUE(at1.success);
+    EXPECT_EQ(abi::decode_address(at1.return_data), bob_);
+}
+
+TEST_F(RegistryTest, RepublishDoesNotDuplicateParticipant) {
+    const Hash32 h1 = crypto::keccak256(str_bytes("v1"));
+    const Hash32 h2 = crypto::keccak256(str_bytes("v2"));
+    ASSERT_TRUE(call_as(alice_, abi::publish_calldata(4, h1, 1, 10)).success);
+    ASSERT_TRUE(call_as(alice_, abi::publish_calldata(4, h2, 2, 20)).success);
+
+    auto count = view(abi::participant_count_calldata(4));
+    ASSERT_TRUE(count.success);
+    EXPECT_EQ(abi::decode_word(count.return_data), 1u);
+
+    // Record updated to the latest publish.
+    auto g = view(abi::get_model_calldata(4, alice_));
+    ASSERT_TRUE(g.success);
+    EXPECT_EQ(abi::decode_model(g.return_data).model_hash, h2);
+}
+
+TEST_F(RegistryTest, ParticipantAtOutOfRangeReverts) {
+    const auto r = view(abi::participant_at_calldata(1, 0));
+    EXPECT_FALSE(r.success);
+    EXPECT_EQ(r.error, "revert");
+}
+
+TEST_F(RegistryTest, StoreChunkRecordsDigestAndEvent) {
+    const Bytes payload = str_bytes("chunk-payload-bytes-0123456789");
+    const auto r = call_as(alice_, abi::chunk_calldata(5, 2, payload));
+    ASSERT_TRUE(r.success) << r.error;
+
+    // On-chain digest matches host-side keccak.
+    const auto d = view(abi::chunk_digest_calldata(5, alice_, 2));
+    ASSERT_TRUE(d.success) << d.error;
+    EXPECT_EQ(Hash32::from(d.return_data), crypto::keccak256(payload));
+
+    // Event carries round, index, publisher and payload size.
+    ASSERT_EQ(r.logs.size(), 1u);
+    const auto event = abi::parse_chunk(r.logs[0]);
+    ASSERT_TRUE(event.has_value());
+    EXPECT_EQ(event->round, 5u);
+    EXPECT_EQ(event->index, 2u);
+    EXPECT_EQ(event->publisher, alice_);
+    EXPECT_EQ(event->payload_size, payload.size());
+}
+
+TEST_F(RegistryTest, ChunkPayloadRoundTrip) {
+    const Bytes payload(1000, 0x5c);
+    const Bytes calldata = abi::chunk_calldata(9, 0, payload);
+    const auto extracted = abi::chunk_payload(calldata);
+    ASSERT_TRUE(extracted.has_value());
+    EXPECT_EQ(*extracted, payload);
+    // Non-chunk calldata is rejected.
+    EXPECT_FALSE(abi::chunk_payload(
+                     abi::publish_calldata(1, Hash32{}, 1, 1))
+                     .has_value());
+}
+
+TEST_F(RegistryTest, LargeChunkDigest) {
+    Bytes payload(128 * 1024);
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+        payload[i] = static_cast<std::uint8_t>(i * 2654435761u >> 24);
+    }
+    const auto r = call_as(bob_, abi::chunk_calldata(1, 0, payload));
+    ASSERT_TRUE(r.success) << r.error;
+    const auto d = view(abi::chunk_digest_calldata(1, bob_, 0));
+    ASSERT_TRUE(d.success);
+    EXPECT_EQ(Hash32::from(d.return_data), crypto::keccak256(payload));
+}
+
+TEST_F(RegistryTest, ChunksKeyedByOwnerRoundIndex) {
+    const Bytes pa = str_bytes("alice-chunk");
+    const Bytes pb = str_bytes("bob-chunk");
+    ASSERT_TRUE(call_as(alice_, abi::chunk_calldata(1, 0, pa)).success);
+    ASSERT_TRUE(call_as(bob_, abi::chunk_calldata(1, 0, pb)).success);
+    const auto da = view(abi::chunk_digest_calldata(1, alice_, 0));
+    const auto db = view(abi::chunk_digest_calldata(1, bob_, 0));
+    ASSERT_TRUE(da.success);
+    ASSERT_TRUE(db.success);
+    EXPECT_EQ(Hash32::from(da.return_data), crypto::keccak256(pa));
+    EXPECT_EQ(Hash32::from(db.return_data), crypto::keccak256(pb));
+}
+
+TEST_F(RegistryTest, UnknownSelectorReverts) {
+    const auto r = call_as(alice_, str_bytes("\x12\x34\x56\x78"));
+    EXPECT_FALSE(r.success);
+}
+
+TEST_F(RegistryTest, ShortPublishCalldataReverts) {
+    Bytes calldata = abi::publish_calldata(1, Hash32{}, 1, 1);
+    calldata.resize(60);
+    const auto r = call_as(alice_, calldata);
+    EXPECT_FALSE(r.success);
+}
+
+TEST_F(RegistryTest, GetModelForUnknownOwnerIsZero) {
+    const auto g = view(abi::get_model_calldata(1, bob_));
+    ASSERT_TRUE(g.success);
+    const auto record = abi::decode_model(g.return_data);
+    EXPECT_TRUE(record.model_hash.is_zero());
+    EXPECT_EQ(record.chunk_count, 0u);
+}
+
+TEST_F(RegistryTest, FailedPublishRollsBackState) {
+    const Hash32 root_before = state_.state_root();
+    Bytes calldata = abi::publish_calldata(1, Hash32{}, 1, 1);
+    calldata.resize(60);  // forces revert
+    ASSERT_FALSE(call_as(alice_, calldata).success);
+    EXPECT_EQ(state_.state_root(), root_before);
+}
+
+}  // namespace
+}  // namespace bcfl::vm

@@ -1,0 +1,409 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "crypto/keccak.hpp"
+#include "vm/assembler.hpp"
+#include "vm/disasm.hpp"
+#include "vm/registry_contract.hpp"
+#include "vm/evm.hpp"
+#include "vm/opcodes.hpp"
+#include "vm/state.hpp"
+
+namespace bcfl::vm {
+namespace {
+
+using crypto::U256;
+
+constexpr std::uint64_t kGas = 10'000'000;
+
+Address contract_address() {
+    Address a;
+    a.data[19] = 0x01;
+    return a;
+}
+
+Address caller_address() {
+    Address a;
+    a.data[19] = 0x99;
+    return a;
+}
+
+/// Assembles `source`, deploys it and runs it with the given calldata.
+CallResult run(std::string_view source, Bytes calldata = {},
+               WorldState* external_state = nullptr) {
+    WorldState local;
+    WorldState& state = external_state ? *external_state : local;
+    if (!state.has_contract(contract_address())) {
+        state.deploy(contract_address(), assemble(source));
+    }
+    Vm vm;
+    CallContext ctx;
+    ctx.contract = contract_address();
+    ctx.caller = caller_address();
+    ctx.calldata = calldata;
+    ctx.gas_limit = kGas;
+    ctx.block_number = 7;
+    ctx.timestamp_ms = 123'456;
+    return vm.call(state, ctx);
+}
+
+U256 word_of(const Bytes& data) { return U256::from_be_bytes(data); }
+
+// -------------------------------------------------------------- Assembler
+
+TEST(Assembler, EmitsSimpleOpcodes) {
+    const Bytes code = assemble("PUSH1 0x01 PUSH1 0x02 ADD STOP");
+    const Bytes expected{0x60, 0x01, 0x60, 0x02, 0x01, 0x00};
+    EXPECT_EQ(code, expected);
+}
+
+TEST(Assembler, HandlesLabels) {
+    const Bytes code = assemble("@end JUMP end: JUMPDEST STOP");
+    // PUSH2 0x0004 JUMP JUMPDEST STOP
+    const Bytes expected{0x61, 0x00, 0x04, 0x56, 0x5b, 0x00};
+    EXPECT_EQ(code, expected);
+}
+
+TEST(Assembler, CommentsIgnored)  {
+    EXPECT_EQ(assemble("; nothing here\nSTOP ; trailing"), Bytes{0x00});
+}
+
+TEST(Assembler, DecimalImmediates) {
+    EXPECT_EQ(assemble("PUSH2 1024"), (Bytes{0x61, 0x04, 0x00}));
+}
+
+TEST(Assembler, RejectsUnknownMnemonic) {
+    EXPECT_THROW(assemble("FLY"), Error);
+}
+
+TEST(Assembler, RejectsOversizedImmediate) {
+    EXPECT_THROW(assemble("PUSH1 0x0102"), Error);
+}
+
+TEST(Assembler, RejectsUndefinedLabel) {
+    EXPECT_THROW(assemble("@nowhere JUMP"), Error);
+}
+
+TEST(Assembler, RejectsDuplicateLabel) {
+    EXPECT_THROW(assemble("a: JUMPDEST a: JUMPDEST"), Error);
+}
+
+TEST(Assembler, DupSwapLogVariants) {
+    const Bytes code = assemble("DUP1 DUP16 SWAP1 SWAP16 LOG0 LOG4");
+    const Bytes expected{0x80, 0x8f, 0x90, 0x9f, 0xa0, 0xa4};
+    EXPECT_EQ(code, expected);
+}
+
+// ------------------------------------------------------------ Interpreter
+
+TEST(Vm, ArithmeticAndReturn) {
+    // return 3 + 4
+    const auto r = run(
+        "PUSH1 3 PUSH1 4 ADD PUSH1 0x00 MSTORE "
+        "PUSH1 0x20 PUSH1 0x00 RETURN");
+    ASSERT_TRUE(r.success) << r.error;
+    EXPECT_EQ(word_of(r.return_data), U256{7});
+}
+
+TEST(Vm, MulDivMod) {
+    const auto r = run(
+        "PUSH1 7 PUSH1 6 MUL "          // 42
+        "PUSH1 5 SWAP1 DIV "            // 42/5 = 8
+        "PUSH1 3 SWAP1 MOD "            // 8%3 = 2
+        "PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+    ASSERT_TRUE(r.success) << r.error;
+    EXPECT_EQ(word_of(r.return_data), U256{2});
+}
+
+TEST(Vm, DivByZeroYieldsZero) {
+    const auto r = run(
+        "PUSH1 0 PUSH1 9 DIV PUSH1 0x00 MSTORE "
+        "PUSH1 0x20 PUSH1 0x00 RETURN");
+    ASSERT_TRUE(r.success) << r.error;
+    EXPECT_EQ(word_of(r.return_data), U256{0});
+}
+
+TEST(Vm, ComparisonAndLogic) {
+    // (1 < 2) AND (5 > 3) XOR 0 == 1
+    const auto r = run(
+        "PUSH1 2 PUSH1 1 LT "       // 1<2 -> 1
+        "PUSH1 3 PUSH1 5 GT "       // 5>3 -> 1
+        "AND "
+        "PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+    ASSERT_TRUE(r.success) << r.error;
+    EXPECT_EQ(word_of(r.return_data), U256{1});
+}
+
+TEST(Vm, ShiftOps) {
+    const auto r = run(
+        "PUSH1 1 PUSH1 8 SHL "      // 1 << 8 = 256
+        "PUSH1 4 SHR "              // 256 >> 4 = 16
+        "PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+    ASSERT_TRUE(r.success) << r.error;
+    EXPECT_EQ(word_of(r.return_data), U256{16});
+}
+
+TEST(Vm, MemoryRoundTrip) {
+    const auto r = run(
+        "PUSH2 0xbeef PUSH1 0x40 MSTORE "
+        "PUSH1 0x40 MLOAD PUSH1 0x00 MSTORE "
+        "PUSH1 0x20 PUSH1 0x00 RETURN");
+    ASSERT_TRUE(r.success) << r.error;
+    EXPECT_EQ(word_of(r.return_data), U256{0xbeef});
+}
+
+TEST(Vm, StoragePersistsAcrossCalls) {
+    WorldState state;
+    const std::string source =
+        "PUSH1 0x00 CALLDATALOAD ISZERO @read JUMPI "
+        "PUSH1 42 PUSH1 5 SSTORE STOP "
+        "read: JUMPDEST "
+        "PUSH1 5 SLOAD PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN";
+    // First call (calldata word != 0): write path.
+    Bytes write_flag(32, 0);
+    write_flag[31] = 1;
+    ASSERT_TRUE(run(source, write_flag, &state).success);
+    // Second call (empty calldata -> word 0): read path.
+    const auto r = run(source, {}, &state);
+    ASSERT_TRUE(r.success) << r.error;
+    EXPECT_EQ(word_of(r.return_data), U256{42});
+}
+
+TEST(Vm, Sha3MatchesHostKeccak) {
+    const auto r = run(
+        "PUSH1 0xab PUSH1 0x00 MSTORE "  // memory[0..32) = 0x00..ab
+        "PUSH1 0x20 PUSH1 0x00 SHA3 "
+        "PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+    ASSERT_TRUE(r.success) << r.error;
+    Bytes preimage(32, 0);
+    preimage[31] = 0xab;
+    EXPECT_EQ(Hash32::from(r.return_data), crypto::keccak256(preimage));
+}
+
+TEST(Vm, CallerAndEnvOpcodes) {
+    const auto r = run(
+        "CALLER PUSH1 0x00 MSTORE "
+        "NUMBER PUSH1 0x20 MSTORE "
+        "TIMESTAMP PUSH1 0x40 MSTORE "
+        "PUSH1 0x60 PUSH1 0x00 RETURN");
+    ASSERT_TRUE(r.success) << r.error;
+    ASSERT_EQ(r.return_data.size(), 96u);
+    EXPECT_EQ(Address::from(BytesView(r.return_data).subspan(12, 20)),
+              caller_address());
+    EXPECT_EQ(word_of(Bytes(r.return_data.begin() + 32,
+                            r.return_data.begin() + 64)),
+              U256{7});  // block number
+    EXPECT_EQ(word_of(Bytes(r.return_data.begin() + 64, r.return_data.end())),
+              U256{123'456});  // timestamp
+}
+
+TEST(Vm, CalldataOpcodes) {
+    Bytes calldata;
+    for (int i = 0; i < 40; ++i) {
+        calldata.push_back(static_cast<std::uint8_t>(i));
+    }
+    const auto r = run(
+        "CALLDATASIZE PUSH1 0x00 MSTORE "
+        "PUSH1 4 CALLDATALOAD PUSH1 0x20 MSTORE "
+        "PUSH1 0x40 PUSH1 0x00 RETURN",
+        calldata);
+    ASSERT_TRUE(r.success) << r.error;
+    EXPECT_EQ(word_of(Bytes(r.return_data.begin(), r.return_data.begin() + 32)),
+              U256{40});
+    // CALLDATALOAD(4) = bytes 4..36 zero-padded past the end.
+    Bytes expected(32, 0);
+    for (int i = 0; i < 32; ++i) {
+        expected[static_cast<std::size_t>(i)] =
+            4 + i < 40 ? static_cast<std::uint8_t>(4 + i) : 0;
+    }
+    EXPECT_EQ(Bytes(r.return_data.begin() + 32, r.return_data.end()), expected);
+}
+
+TEST(Vm, JumpLoopComputesSum) {
+    // sum 1..10 via loop: i in [1..10], acc += i
+    const auto r = run(
+        "PUSH1 0 PUSH1 1 "                 // acc=0 i=1
+        "loop: JUMPDEST "
+        "DUP1 PUSH1 10 LT "                 // 10 < i ?
+        "@done JUMPI "
+        "DUP1 SWAP2 ADD SWAP1 "             // acc+=i, keep order [acc, i]
+        "PUSH1 1 ADD "                      // i+=1
+        "@loop JUMP "
+        "done: JUMPDEST "
+        "POP PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+    ASSERT_TRUE(r.success) << r.error;
+    EXPECT_EQ(word_of(r.return_data), U256{55});
+}
+
+TEST(Vm, InvalidJumpFails) {
+    const auto r = run("PUSH1 3 JUMP STOP");
+    EXPECT_FALSE(r.success);
+    EXPECT_EQ(r.error, "invalid jump destination");
+    EXPECT_EQ(r.gas_used, kGas);  // failure consumes the gas budget
+}
+
+TEST(Vm, StackUnderflowFails) {
+    const auto r = run("ADD");
+    EXPECT_FALSE(r.success);
+    EXPECT_EQ(r.error, "stack underflow");
+}
+
+TEST(Vm, InvalidOpcodeFails) {
+    WorldState state;
+    state.deploy(contract_address(), Bytes{0xfe});
+    Vm vm;
+    CallContext ctx;
+    ctx.contract = contract_address();
+    ctx.caller = caller_address();
+    ctx.gas_limit = kGas;
+    const auto r = vm.call(state, ctx);
+    EXPECT_FALSE(r.success);
+}
+
+TEST(Vm, OutOfGasFails) {
+    WorldState state;
+    state.deploy(contract_address(),
+                 assemble("loop: JUMPDEST @loop JUMP"));
+    Vm vm;
+    CallContext ctx;
+    ctx.contract = contract_address();
+    ctx.caller = caller_address();
+    ctx.gas_limit = 10'000;
+    const auto r = vm.call(state, ctx);
+    EXPECT_FALSE(r.success);
+    EXPECT_EQ(r.error, "out of gas");
+    EXPECT_EQ(r.gas_used, 10'000u);
+}
+
+TEST(Vm, RevertRollsBackStorage) {
+    WorldState state;
+    state.deploy(contract_address(),
+                 assemble("PUSH1 9 PUSH1 1 SSTORE "
+                          "PUSH1 0x00 PUSH1 0x00 REVERT"));
+    Vm vm;
+    CallContext ctx;
+    ctx.contract = contract_address();
+    ctx.caller = caller_address();
+    ctx.gas_limit = kGas;
+    const auto r = vm.call(state, ctx);
+    EXPECT_FALSE(r.success);
+    EXPECT_EQ(r.error, "revert");
+    EXPECT_TRUE(state.storage_load(contract_address(), U256{1}).is_zero());
+}
+
+TEST(Vm, LogsEmittedAndDiscardedOnRevert) {
+    const auto ok = run(
+        "PUSH1 0xff PUSH1 0x00 MSTORE "
+        "PUSH1 7 "                      // topic0
+        "PUSH1 0x20 PUSH1 0x00 LOG1 STOP");
+    ASSERT_TRUE(ok.success) << ok.error;
+    ASSERT_EQ(ok.logs.size(), 1u);
+    EXPECT_EQ(ok.logs[0].topics.size(), 1u);
+    EXPECT_EQ(crypto::U256::from_hash(ok.logs[0].topics[0]), U256{7});
+    EXPECT_EQ(ok.logs[0].data.size(), 32u);
+
+    const auto bad = run(
+        "PUSH1 7 PUSH1 0x20 PUSH1 0x00 LOG1 "
+        "PUSH1 0x00 PUSH1 0x00 REVERT");
+    EXPECT_FALSE(bad.success);
+    EXPECT_TRUE(bad.logs.empty());
+}
+
+TEST(Vm, StaticCallDoesNotMutate) {
+    WorldState state;
+    state.deploy(contract_address(),
+                 assemble("PUSH1 5 PUSH1 0 SSTORE STOP"));
+    Vm vm;
+    CallContext ctx;
+    ctx.contract = contract_address();
+    ctx.caller = caller_address();
+    ctx.gas_limit = kGas;
+    const auto r = vm.static_call(state, ctx);
+    EXPECT_TRUE(r.success);
+    EXPECT_TRUE(state.storage_load(contract_address(), U256{0}).is_zero());
+}
+
+TEST(Vm, GasAccountingIsDeterministic) {
+    const auto a = run("PUSH1 1 PUSH1 2 ADD POP STOP");
+    const auto b = run("PUSH1 1 PUSH1 2 ADD POP STOP");
+    ASSERT_TRUE(a.success);
+    EXPECT_EQ(a.gas_used, b.gas_used);
+    EXPECT_GT(a.gas_used, 0u);
+    EXPECT_LT(a.gas_used, 100u);
+}
+
+TEST(Vm, SstoreChargesMoreForFreshSlot) {
+    const auto fresh = run("PUSH1 1 PUSH1 1 SSTORE STOP");
+    const auto rewrite = run("PUSH1 1 PUSH1 1 SSTORE PUSH1 2 PUSH1 1 SSTORE STOP");
+    ASSERT_TRUE(fresh.success);
+    ASSERT_TRUE(rewrite.success);
+    chain::GasSchedule gas;
+    // Second store on a warm slot costs vm_sstore_reset, not vm_sstore_set.
+    EXPECT_LT(rewrite.gas_used - fresh.gas_used, gas.vm_sstore_set);
+}
+
+
+// ------------------------------------------------------------ Disassembler
+
+TEST(Disasm, RoundTripsAssemblerOutput) {
+    const std::string source = "PUSH1 0x2a PUSH2 0x0102 ADD @end JUMP end: JUMPDEST STOP";
+    const Bytes code = assemble(source);
+    const std::string listing = disassemble(code);
+    EXPECT_NE(listing.find("PUSH1 0x2a"), std::string::npos);
+    EXPECT_NE(listing.find("PUSH2 0x0102"), std::string::npos);
+    EXPECT_NE(listing.find("ADD"), std::string::npos);
+    EXPECT_NE(listing.find("JUMPDEST"), std::string::npos);
+    EXPECT_NE(listing.find("STOP"), std::string::npos);
+}
+
+TEST(Disasm, FlagsInvalidAndTruncated) {
+    EXPECT_NE(disassemble(Bytes{0xfe}).find("INVALID(0xfe)"),
+              std::string::npos);
+    // PUSH2 with only one immediate byte.
+    EXPECT_NE(disassemble(Bytes{0x61, 0xaa}).find("??"), std::string::npos);
+}
+
+TEST(Disasm, RegistryContractListsAllEntryPoints) {
+    const std::string listing = disassemble(registry_bytecode());
+    // The dispatcher compares four-byte selectors; expect 6 PUSH4s.
+    std::size_t push4_count = 0;
+    std::size_t pos = 0;
+    while ((pos = listing.find("PUSH4", pos)) != std::string::npos) {
+        ++push4_count;
+        pos += 5;
+    }
+    EXPECT_EQ(push4_count, 6u);
+    EXPECT_NE(listing.find("SHA3"), std::string::npos);
+    EXPECT_NE(listing.find("SSTORE"), std::string::npos);
+    EXPECT_NE(listing.find("LOG3"), std::string::npos);
+    EXPECT_NE(listing.find("REVERT"), std::string::npos);
+}
+
+// ------------------------------------------------------------- WorldState
+
+TEST(WorldState, RootChangesWithStorage) {
+    WorldState state;
+    state.deploy(contract_address(), Bytes{0x00});
+    const Hash32 before = state.state_root();
+    state.storage_store(contract_address(), U256{1}, U256{2});
+    const Hash32 after = state.state_root();
+    EXPECT_NE(before, after);
+    // Deleting (storing zero) restores the original root.
+    state.storage_store(contract_address(), U256{1}, U256{});
+    EXPECT_EQ(state.state_root(), before);
+}
+
+TEST(WorldState, RootIndependentOfInsertionOrder) {
+    WorldState a;
+    WorldState b;
+    a.deploy(contract_address(), Bytes{0x00});
+    b.deploy(contract_address(), Bytes{0x00});
+    a.storage_store(contract_address(), U256{1}, U256{10});
+    a.storage_store(contract_address(), U256{2}, U256{20});
+    b.storage_store(contract_address(), U256{2}, U256{20});
+    b.storage_store(contract_address(), U256{1}, U256{10});
+    EXPECT_EQ(a.state_root(), b.state_root());
+}
+
+}  // namespace
+}  // namespace bcfl::vm
