@@ -5,7 +5,9 @@
 // (a) a single miner under increasing training CPU load: block interval
 //     inflates as 1/(1-load);
 // (b) the full three-peer deployment with and without contention: per-round
-//     wall clock grows when peers mine and train on the same CPU.
+//     wall clock grows when peers mine and train on the same CPU. The
+//     deployment runs the paper's default policies from the factory
+//     (paper_chain_config: "wait_all" + "best_combination").
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hpp"

@@ -27,13 +27,12 @@ struct DefenseOutcome {
     double mean_filtered_per_round = 0.0;
 };
 
-DefenseOutcome run_defense(const fl::FlTask& task, bool aggregate_all,
-                           double threshold) {
+DefenseOutcome run_defense(const fl::FlTask& task,
+                           const std::string& aggregation_spec) {
     core::DecentralizedConfig config = core::paper_chain_config();
     config.rounds = 5;
     config.poisoned_peers = {2};  // client C is malicious
-    config.aggregate_all = aggregate_all;
-    config.fitness_threshold = threshold;
+    config.aggregation = aggregation_spec;
     const auto result = core::run_decentralized(task, config);
 
     DefenseOutcome outcome;
@@ -60,27 +59,29 @@ void BM_PoisoningDefense(benchmark::State& state) {
         bench::print_title(
             "E7 — poisoning defense (client C publishes sign-flipped "
             "updates; honest peers' final accuracy)");
-        std::printf("%-36s %16s %18s\n", "aggregation policy",
+        std::printf("%-42s %16s %18s\n", "aggregation strategy (factory spec)",
                     "final accuracy", "filtered/round");
 
-        const DefenseOutcome vanilla = run_defense(task, true, 0.0);
-        std::printf("%-36s %16.4f %18.2f\n",
-                    "not consider (FedAvg everything)", vanilla.final_accuracy,
-                    vanilla.mean_filtered_per_round);
+        // Every defense is just an AggregationStrategy spec now.
+        const struct {
+            const char* label;
+            const char* spec;
+        } defenses[] = {
+            {"fedavg_all (not consider)", "fedavg_all"},
+            {"best_combination (consider)", "best_combination"},
+            {"best_combination,fitness=0.15", "best_combination,fitness=0.15"},
+            {"trimmed_mean,trim=1 (robust)", "trimmed_mean,trim=1"},
+        };
+        for (const auto& defense : defenses) {
+            const DefenseOutcome outcome = run_defense(task, defense.spec);
+            std::printf("%-42s %16.4f %18.2f\n", defense.label,
+                        outcome.final_accuracy,
+                        outcome.mean_filtered_per_round);
+        }
 
-        const DefenseOutcome consider = run_defense(task, false, 0.0);
-        std::printf("%-36s %16.4f %18.2f\n", "consider (combination search)",
-                    consider.final_accuracy,
-                    consider.mean_filtered_per_round);
-
-        const DefenseOutcome threshold = run_defense(task, false, 0.15);
-        std::printf("%-36s %16.4f %18.2f\n",
-                    "consider + fitness threshold 0.15",
-                    threshold.final_accuracy,
-                    threshold.mean_filtered_per_round);
-
-        std::printf("\nexpected shape: not-consider < consider <= "
-                    "consider+threshold; the pre-filter\nremoves the poisoned "
+        std::printf("\nexpected shape: fedavg_all < best_combination <= "
+                    "+fitness, with trimmed_mean\nrecovering most of the "
+                    "clean accuracy; the pre-filter removes the poisoned\n"
                     "model ~once per round per honest peer.\n");
     }
 }

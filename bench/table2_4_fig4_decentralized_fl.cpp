@@ -5,10 +5,16 @@
 // through the registry contract, reads the others' models from chain data,
 // and evaluates five combinations on its local test set: self, self+each
 // other, the other pair, and all three — the rows of the paper's tables.
+// The round loop runs the paper's default policies from the factory:
+// wait_all (sync + safety valve) and best_combination ("consider").
 //
 // Paper shape to reproduce: for the Simple NN the combination rows are
 // nearly identical (pairs ~ all, self slightly behind); for Efficient-B0 the
 // full combination A,B,C wins in most rounds and self-only clearly trails.
+//
+// Results are also emitted as BENCH_table2_4_fig4.json (per-combination
+// accuracy series + figure-4 summary + chain metrics) for cross-PR
+// tracking.
 #include <benchmark/benchmark.h>
 
 #include <map>
@@ -19,6 +25,90 @@
 namespace {
 
 using namespace bcfl;
+
+/// The Figure-4 summary: how often the full combination was the per-round
+/// winner, and the mean gap between the full combo and self-only.
+struct Fig4Stats {
+    std::size_t full_wins = 0;
+    std::size_t peer_rounds = 0;
+    double mean_full_minus_self = 0.0;
+};
+
+Fig4Stats compute_fig4(const core::DecentralizedResult& result) {
+    Fig4Stats stats;
+    double full_minus_self = 0.0;
+    for (const auto& records : result.peer_records) {
+        for (const core::PeerRoundRecord& record : records) {
+            double self_acc = 0.0, full_acc = 0.0, best = -1.0;
+            std::string best_label;
+            for (const core::ComboAccuracy& combo : record.combos) {
+                if (combo.combo.size() == 1) self_acc = combo.accuracy;
+                if (combo.combo.size() == 3) full_acc = combo.accuracy;
+                if (combo.accuracy > best) {
+                    best = combo.accuracy;
+                    best_label = combo.label;
+                }
+            }
+            if (best_label == "A,B,C") ++stats.full_wins;
+            full_minus_self += full_acc - self_acc;
+            ++stats.peer_rounds;
+        }
+    }
+    if (stats.peer_rounds > 0) {
+        stats.mean_full_minus_self =
+            full_minus_self / static_cast<double>(stats.peer_rounds);
+    }
+    return stats;
+}
+
+bench::Json decentralized_json(const std::string& model_name,
+                               const core::DecentralizedConfig& config,
+                               const core::DecentralizedResult& result) {
+    bench::Json peers = bench::Json::array();
+    for (std::size_t peer = 0; peer < result.peer_records.size(); ++peer) {
+        std::vector<std::string> order;
+        std::map<std::string, std::vector<double>> rows;
+        bench::Json chosen = bench::Json::array();
+        for (const core::PeerRoundRecord& record : result.peer_records[peer]) {
+            for (const core::ComboAccuracy& combo : record.combos) {
+                if (!rows.contains(combo.label)) order.push_back(combo.label);
+                rows[combo.label].push_back(combo.accuracy);
+            }
+            chosen.push(record.chosen_label);
+        }
+        bench::Json combos = bench::Json::object();
+        for (const std::string& label : order) {
+            bench::Json series = bench::Json::array();
+            for (double acc : rows[label]) series.push(acc);
+            combos.set(label, std::move(series));
+        }
+        peers.push(bench::Json::object()
+                       .set("client", std::string(1, 'A' + char(peer)))
+                       .set("combos", std::move(combos))
+                       .set("chosen", std::move(chosen)));
+    }
+    const Fig4Stats fig4 = compute_fig4(result);
+    return bench::Json::object()
+        .set("model", model_name)
+        .set("rounds", config.rounds)
+        .set("wait_policy", config.wait_policy)
+        .set("aggregation", config.aggregation)
+        .set("peers", std::move(peers))
+        .set("figure4",
+             bench::Json::object()
+                 .set("full_combo_wins", fig4.full_wins)
+                 .set("peer_rounds", fig4.peer_rounds)
+                 .set("mean_full_minus_self", fig4.mean_full_minus_self))
+        .set("chain",
+             bench::Json::object()
+                 .set("height", result.chain_height)
+                 .set("reorgs", result.total_reorgs)
+                 .set("mean_round_s", result.mean_round_seconds)
+                 .set("mean_wait_s", result.mean_wait_seconds)
+                 .set("bytes_sent", result.traffic.bytes_sent)
+                 .set("messages_delivered",
+                      result.traffic.messages_delivered));
+}
 
 void print_decentralized_tables(const std::string& model_name,
                                 const core::DecentralizedResult& result,
@@ -51,30 +141,11 @@ void print_decentralized_tables(const std::string& model_name,
 
     // Figure 4 is the same data plotted per client; print the summary the
     // figure conveys: how often the full combination won.
-    std::size_t full_wins = 0;
-    std::size_t total = 0;
-    double full_minus_self = 0.0;
-    for (const auto& records : result.peer_records) {
-        for (const core::PeerRoundRecord& record : records) {
-            double self_acc = 0.0, full_acc = 0.0, best = -1.0;
-            std::string best_label;
-            for (const core::ComboAccuracy& combo : record.combos) {
-                if (combo.combo.size() == 1) self_acc = combo.accuracy;
-                if (combo.combo.size() == 3) full_acc = combo.accuracy;
-                if (combo.accuracy > best) {
-                    best = combo.accuracy;
-                    best_label = combo.label;
-                }
-            }
-            if (best_label == "A,B,C") ++full_wins;
-            full_minus_self += full_acc - self_acc;
-            ++total;
-        }
-    }
+    const Fig4Stats fig4 = compute_fig4(result);
     std::printf("\nFigure 4 summary (%s): full combo best in %zu/%zu "
                 "peer-rounds; mean (ABC - self) = %+.4f\n",
-                model_name.c_str(), full_wins, total,
-                full_minus_self / static_cast<double>(total));
+                model_name.c_str(), fig4.full_wins, fig4.peer_rounds,
+                fig4.mean_full_minus_self);
     std::printf("chain: height=%llu reorgs=%llu; mean round=%.1fs, "
                 "mean wait-for-models=%.1fs; network: %.2f MB in %llu msgs\n",
                 static_cast<unsigned long long>(result.chain_height),
@@ -85,6 +156,8 @@ void print_decentralized_tables(const std::string& model_name,
                     result.traffic.messages_delivered));
 }
 
+bench::Json g_results = bench::Json::array();
+
 void BM_Tables2to4_SimpleNN(benchmark::State& state) {
     const auto data = ml::make_synthetic_cifar(core::paper_data_config());
     const fl::FlTask task = core::paper_simple_task(data);
@@ -92,6 +165,7 @@ void BM_Tables2to4_SimpleNN(benchmark::State& state) {
     for (auto _ : state) {
         const auto result = core::run_decentralized(task, config);
         print_decentralized_tables("Simple NN", result, config.rounds);
+        g_results.push(decentralized_json("simple_nn", config, result));
     }
 }
 
@@ -103,6 +177,7 @@ void BM_Tables2to4_EffNetB0(benchmark::State& state) {
         const auto result = core::run_decentralized(task, config);
         print_decentralized_tables("Efficient-B0 (lite)", result,
                                    config.rounds);
+        g_results.push(decentralized_json("effnet_b0", config, result));
     }
 }
 
@@ -110,4 +185,14 @@ void BM_Tables2to4_EffNetB0(benchmark::State& state) {
 
 BENCHMARK(BM_Tables2to4_SimpleNN)->Unit(benchmark::kSecond)->Iterations(1);
 BENCHMARK(BM_Tables2to4_EffNetB0)->Unit(benchmark::kSecond)->Iterations(1);
-BENCHMARK_MAIN();
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    bench::write_bench_json("table2_4_fig4",
+                            bench::Json::object()
+                                .set("bench", "table2_4_fig4_decentralized_fl")
+                                .set("runs", std::move(g_results)));
+    return 0;
+}

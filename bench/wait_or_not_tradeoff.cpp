@@ -5,35 +5,43 @@
 // Sweep: wait-for-K aggregation (K = 1, 2, 3) for both model families, with
 // the chain carrying payloads at the *paper-reported* byte sizes (Simple NN
 // 248 KB, EfficientNet-B0 21.2 MB — ballast pads our miniature weights up to
-// the deployment scale; see DESIGN.md §3.4).
+// the deployment scale; see DESIGN.md §3.4). Wait policies are selected
+// through the core/policy.hpp factory; on top of the paper's K sweep we run
+// the §V "middle ground" AdaptiveDeadline policy, which extends its deadline
+// while models are still arriving.
 //
 // Expected shape (paper conclusion): asynchronous aggregation cuts the round
 // time substantially; for the simple model the accuracy cost is negligible
 // (<~1 point), for the complex model waiting for all models buys visibly
 // more accuracy (self/partial combos trail the full aggregation).
+//
+// Results are also emitted as BENCH_wait_or_not_tradeoff.json so the
+// speed/precision trajectory can be tracked across PRs.
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hpp"
 #include "core/paper_setup.hpp"
+#include "core/policy.hpp"
 
 namespace {
 
 using namespace bcfl;
 
 struct SweepRow {
-    std::size_t wait_k;
-    double mean_round_s;
-    double mean_wait_s;
-    double mean_models_used;
-    double final_accuracy;  // mean chosen accuracy, last round, over peers
+    std::string label;      // table label, e.g. "K=3" or "adaptive"
+    std::string wait_spec;  // the policy spec the factory received
+    double mean_round_s = 0.0;
+    double mean_wait_s = 0.0;
+    double mean_models_used = 0.0;
+    double final_accuracy = 0.0;  // mean chosen accuracy, last round
 };
 
-SweepRow run_point(const fl::FlTask& task, std::size_t wait_k,
-                   std::size_t payload_bytes, std::size_t rounds) {
+SweepRow run_point(const fl::FlTask& task, const std::string& label,
+                   const std::string& wait_spec, std::size_t payload_bytes,
+                   std::size_t rounds) {
     core::DecentralizedConfig config = core::paper_chain_config();
     config.rounds = rounds;
-    config.wait_for_models = wait_k;
-    config.wait_timeout = net::seconds(600);
+    config.wait_policy = wait_spec;
     config.chunk_bytes = 512 * 1024;
     // Ballast on top of the real serialized weights, up to the paper size.
     const std::size_t real_bytes = 13 + 4 * 42'538 + 32;  // upper bound
@@ -43,7 +51,8 @@ SweepRow run_point(const fl::FlTask& task, std::size_t wait_k,
         core::run_decentralized(task, config);
 
     SweepRow row;
-    row.wait_k = wait_k;
+    row.label = label;
+    row.wait_spec = wait_spec;
     row.mean_round_s = result.mean_round_seconds;
     row.mean_wait_s = result.mean_wait_seconds;
     double models = 0.0;
@@ -63,32 +72,68 @@ SweepRow run_point(const fl::FlTask& task, std::size_t wait_k,
     return row;
 }
 
-void run_sweep(const std::string& name, const fl::FlTask& task,
-               std::size_t payload_bytes, std::size_t rounds) {
+std::vector<SweepRow> run_sweep(const std::string& name,
+                                const fl::FlTask& task,
+                                std::size_t payload_bytes,
+                                std::size_t rounds) {
     bench::print_title(
-        "E4 — wait-for-K sweep, " + name + " (payload on chain: " +
+        "E4 — wait-policy sweep, " + name + " (payload on chain: " +
         std::to_string(payload_bytes / 1024) + " KB per model)");
-    std::printf("%8s %16s %16s %14s %16s %18s\n", "K", "round time (s)",
-                "wait time (s)", "models used", "final accuracy",
-                "acc vs sync");
-    double sync_accuracy = 0.0;
+    std::printf("%10s %32s %14s %14s %13s %15s %12s\n", "policy",
+                "spec", "round (s)", "wait (s)", "models used",
+                "final accuracy", "acc vs sync");
     std::vector<SweepRow> rows;
+    // The paper's K sweep, expressed through the policy factory...
     for (std::size_t k : {3u, 2u, 1u}) {
-        rows.push_back(run_point(task, k, payload_bytes, rounds));
-        if (k == 3) sync_accuracy = rows.back().final_accuracy;
+        rows.push_back(run_point(task, "K=" + std::to_string(k),
+                                 "wait_for=" + std::to_string(k) +
+                                     ",timeout=600s",
+                                 payload_bytes, rounds));
     }
+    // ...plus the §V middle ground the API makes a one-liner.
+    rows.push_back(run_point(task, "adaptive",
+                             "adaptive,base=60s,extend=45s,max=600s",
+                             payload_bytes, rounds));
+    const double sync_accuracy = rows.front().final_accuracy;
     for (const SweepRow& row : rows) {
-        std::printf("%8zu %16.1f %16.1f %14.2f %16.4f %+17.4f\n", row.wait_k,
+        std::printf("%10s %32s %14.1f %14.1f %13.2f %15.4f %+11.4f\n",
+                    row.label.c_str(), row.wait_spec.c_str(),
                     row.mean_round_s, row.mean_wait_s, row.mean_models_used,
                     row.final_accuracy, row.final_accuracy - sync_accuracy);
     }
+    return rows;
 }
+
+bench::Json sweep_json(const std::string& model, std::size_t payload_bytes,
+                       std::size_t rounds,
+                       const std::vector<SweepRow>& rows) {
+    bench::Json points = bench::Json::array();
+    for (const SweepRow& row : rows) {
+        points.push(bench::Json::object()
+                        .set("policy", row.label)
+                        .set("wait_spec", row.wait_spec)
+                        .set("mean_round_s", row.mean_round_s)
+                        .set("mean_wait_s", row.mean_wait_s)
+                        .set("mean_models_used", row.mean_models_used)
+                        .set("final_accuracy", row.final_accuracy));
+    }
+    return bench::Json::object()
+        .set("model", model)
+        .set("payload_bytes", payload_bytes)
+        .set("rounds", rounds)
+        .set("points", std::move(points));
+}
+
+bench::Json g_results = bench::Json::array();
 
 void BM_Tradeoff_SimpleNN(benchmark::State& state) {
     const auto data = ml::make_synthetic_cifar(core::paper_data_config());
     const fl::FlTask task = core::paper_simple_task(data);
     for (auto _ : state) {
-        run_sweep("Simple NN", task, core::kPaperSimpleModelBytes, 6);
+        const auto rows =
+            run_sweep("Simple NN", task, core::kPaperSimpleModelBytes, 6);
+        g_results.push(
+            sweep_json("simple_nn", core::kPaperSimpleModelBytes, 6, rows));
     }
 }
 
@@ -96,8 +141,10 @@ void BM_Tradeoff_EffNetB0(benchmark::State& state) {
     const auto data = ml::make_synthetic_cifar(core::paper_data_config());
     const fl::FlTask task = core::paper_effnet_task(data);
     for (auto _ : state) {
-        run_sweep("Efficient-B0 (21.2 MB on chain)", task,
-                  core::kPaperEffnetModelBytes, 4);
+        const auto rows = run_sweep("Efficient-B0 (21.2 MB on chain)", task,
+                                    core::kPaperEffnetModelBytes, 4);
+        g_results.push(
+            sweep_json("effnet_b0", core::kPaperEffnetModelBytes, 4, rows));
     }
 }
 
@@ -105,4 +152,15 @@ void BM_Tradeoff_EffNetB0(benchmark::State& state) {
 
 BENCHMARK(BM_Tradeoff_SimpleNN)->Unit(benchmark::kSecond)->Iterations(1);
 BENCHMARK(BM_Tradeoff_EffNetB0)->Unit(benchmark::kSecond)->Iterations(1);
-BENCHMARK_MAIN();
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    bench::write_bench_json(
+        "wait_or_not_tradeoff",
+        bench::Json::object()
+            .set("bench", "wait_or_not_tradeoff")
+            .set("sweeps", std::move(g_results)));
+    return 0;
+}

@@ -3,20 +3,27 @@
 // Run any deployment configuration without recompiling:
 //
 //   $ ./build/examples/bcfl_cli --model=simple --rounds=4 --wait=2
-//   $ ./build/examples/bcfl_cli --model=effnet --alpha=0.3 --poison=2 \
-//         --threshold=0.15
+//   $ ./build/examples/bcfl_cli --wait-policy=adaptive,base=60s,max=300s
+//   $ ./build/examples/bcfl_cli --agg=trimmed_mean,trim=1 --poison=2
 //   $ ./build/examples/bcfl_cli --mode=vanilla --policy=consider
 //
 // Flags (all optional):
 //   --mode=decentralized|vanilla   experiment family        [decentralized]
 //   --model=simple|effnet          model family             [simple]
 //   --rounds=N                     communication rounds     [3]
-//   --wait=K                       wait-for-K aggregation   [3]
+//   --wait-policy=SPEC             WaitPolicy factory spec (core/policy.hpp):
+//                                  wait_for=K[,timeout=T] | wait_all[,...]
+//                                  | deadline=T | adaptive[,base=T]
+//                                  [,extend=T][,max=T]
+//   --agg=SPEC                     AggregationStrategy factory spec:
+//                                  best_combination[,fitness=F] |
+//                                  fedavg_all | trimmed_mean[,trim=M]
+//   --wait=K                       deprecated: wait-for-K   [3]
 //   --alpha=F                      Dirichlet heterogeneity  [30.0]
 //   --train=N                      samples per client       [300]
 //   --seed=N                       experiment seed          [2024]
 //   --poison=I                     peer index publishing poisoned updates
-//   --threshold=F                  fitness pre-filter       [0]
+//   --threshold=F                  deprecated: fitness pre-filter [0]
 //   --policy=consider|not-consider vanilla aggregation      [consider]
 //   --pad=BYTES                    payload ballast (chain)  [0]
 #include <cstdio>
@@ -24,7 +31,9 @@
 #include <cstring>
 #include <string>
 
+#include "common/error.hpp"
 #include "core/paper_setup.hpp"
+#include "core/policy.hpp"
 #include "fl/vanilla.hpp"
 
 namespace {
@@ -35,13 +44,17 @@ struct CliOptions {
     std::string mode = "decentralized";
     std::string model = "simple";
     std::string policy = "consider";
+    std::string wait_policy;  // WaitPolicy factory spec (core/policy.hpp)
+    std::string agg;          // AggregationStrategy factory spec
     std::size_t rounds = 3;
     std::size_t wait = 3;
+    bool wait_set = false;       // deprecated --wait given explicitly
     double alpha = 30.0;
     std::size_t train = 300;
     std::uint64_t seed = 2024;
     int poison = -1;
     double threshold = 0.0;
+    bool threshold_set = false;  // deprecated --threshold given explicitly
     std::size_t pad = 0;
 };
 
@@ -59,13 +72,15 @@ CliOptions parse(int argc, char** argv) {
         if (parse_flag(argv[i], "--mode", value)) options.mode = value;
         else if (parse_flag(argv[i], "--model", value)) options.model = value;
         else if (parse_flag(argv[i], "--policy", value)) options.policy = value;
+        else if (parse_flag(argv[i], "--wait-policy", value)) options.wait_policy = value;
+        else if (parse_flag(argv[i], "--agg", value)) options.agg = value;
         else if (parse_flag(argv[i], "--rounds", value)) options.rounds = std::stoul(value);
-        else if (parse_flag(argv[i], "--wait", value)) options.wait = std::stoul(value);
+        else if (parse_flag(argv[i], "--wait", value)) { options.wait = std::stoul(value); options.wait_set = true; }
         else if (parse_flag(argv[i], "--alpha", value)) options.alpha = std::stod(value);
         else if (parse_flag(argv[i], "--train", value)) options.train = std::stoul(value);
         else if (parse_flag(argv[i], "--seed", value)) options.seed = std::stoull(value);
         else if (parse_flag(argv[i], "--poison", value)) options.poison = std::stoi(value);
-        else if (parse_flag(argv[i], "--threshold", value)) options.threshold = std::stod(value);
+        else if (parse_flag(argv[i], "--threshold", value)) { options.threshold = std::stod(value); options.threshold_set = true; }
         else if (parse_flag(argv[i], "--pad", value)) options.pad = std::stoul(value);
         else {
             std::fprintf(stderr, "unknown flag: %s (see header comment)\n",
@@ -108,14 +123,50 @@ int run_vanilla_mode(const CliOptions& options, const fl::FlTask& task) {
 }
 
 int run_decentralized_mode(const CliOptions& options, const fl::FlTask& task) {
+    // Mirror BcflPeer's ignored-knob guard at the flag level: a deprecated
+    // flag alongside its replacement would be silently dead — refuse it.
+    if (!options.wait_policy.empty() && options.wait_set) {
+        std::fprintf(stderr,
+                     "use either --wait-policy or the deprecated --wait\n");
+        return 2;
+    }
+    if (!options.agg.empty() && options.threshold_set) {
+        std::fprintf(stderr,
+                     "use either --agg (with fitness=F) or the deprecated "
+                     "--threshold\n");
+        return 2;
+    }
     core::DecentralizedConfig config = core::paper_chain_config();
     config.rounds = options.rounds;
-    config.wait_for_models = options.wait;
     config.seed = options.seed;
     config.payload_pad_bytes = options.pad;
-    config.fitness_threshold = options.threshold;
+    // Explicit specs win; the deprecated --wait / --threshold flags forward
+    // into the same factory.
+    config.wait_policy = options.wait_policy.empty()
+                             ? core::legacy_wait_spec(options.wait,
+                                                      net::seconds(900))
+                             : options.wait_policy;
+    config.aggregation =
+        options.agg.empty()
+            ? core::legacy_aggregation_spec(false, options.threshold)
+            : options.agg;
     if (options.poison >= 0) {
         config.poisoned_peers = {static_cast<std::size_t>(options.poison)};
+    }
+
+    // Validate the specs up front so a typo is a clean CLI error instead of
+    // a mid-deployment throw.
+    try {
+        std::printf("wait policy: %s (%s) | aggregation: %s (%s)\n\n",
+                    core::make_wait_policy(config.wait_policy)->name().c_str(),
+                    config.wait_policy.c_str(),
+                    core::make_aggregation_strategy(config.aggregation)
+                        ->name()
+                        .c_str(),
+                    config.aggregation.c_str());
+    } catch (const Error& error) {
+        std::fprintf(stderr, "%s\n", error.what());
+        return 2;
     }
     const core::DecentralizedResult result =
         core::run_decentralized(task, config);

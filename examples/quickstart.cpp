@@ -24,9 +24,13 @@ int main() {
                 task.make_model()->weight_count());
 
     // 3. The decentralized deployment: PoW chain, registry contract, gossip.
+    //    The round loop is policy-driven (core/policy.hpp): the paper's
+    //    default is synchronous waiting + "consider" combination search.
     core::DecentralizedConfig config = core::paper_chain_config();
     config.rounds = 2;
     config.train_duration = net::seconds(20);
+    std::printf("wait policy: %s | aggregation: %s\n",
+                config.wait_policy.c_str(), config.aggregation.c_str());
 
     const core::DecentralizedResult result =
         core::run_decentralized(task, config);

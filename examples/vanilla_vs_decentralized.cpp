@@ -28,7 +28,9 @@ int main() {
     vanilla_config.mode = fl::AggregationMode::consider;
     const fl::VanillaResult considered = run_vanilla(task, vanilla_config);
 
-    // (b) Blockchain-based FL (fully coupled peers).
+    // (b) Blockchain-based FL (fully coupled peers). paper_chain_config
+    // selects the paper's policies through the factory: "wait_all" +
+    // "best_combination" (see core/policy.hpp).
     core::DecentralizedConfig chain_config = core::paper_chain_config();
     chain_config.rounds = kRounds;
     chain_config.train_duration = net::seconds(20);

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification + strict-warnings build, exactly what CI runs.
+#
+#   $ scripts/ci.sh            # from the repo root
+#
+# 1. Default configure, full build, ctest (the ROADMAP tier-1 line).
+# 2. A second configure with -Wall -Wextra -Werror to keep the tree
+#    warning-clean.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S .
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+echo "== strict: -Wall -Wextra -Werror build =="
+cmake -B build-werror -S . -DBCFL_WERROR=ON
+cmake --build build-werror -j "${JOBS}"
+
+echo "ci.sh: all green"

@@ -40,9 +40,13 @@ DecentralizedResult run_decentralized(const fl::FlTask& task,
         peer_config.train_duration = config.train_duration;
         peer_config.train_cpu_load = config.train_cpu_load;
         peer_config.chunk_bytes = config.chunk_bytes;
+        peer_config.payload_pad_bytes = config.payload_pad_bytes;
+        // Policy specs win; empty specs fall back to the deprecated knobs
+        // (forwarded into the same factory inside BcflPeer).
+        peer_config.wait_policy = config.wait_policy;
+        peer_config.aggregation = config.aggregation;
         peer_config.wait_for_models = config.wait_for_models;
         peer_config.wait_timeout = config.wait_timeout;
-        peer_config.payload_pad_bytes = config.payload_pad_bytes;
         peer_config.fitness_threshold = config.fitness_threshold;
         peer_config.aggregate_all = config.aggregate_all;
         for (std::size_t poisoned : config.poisoned_peers) {

@@ -19,9 +19,22 @@ namespace bcfl::core {
 struct DecentralizedConfig {
     std::size_t peers = 3;
     std::size_t rounds = 10;
-    /// K in wait-for-K aggregation; peers.size() = synchronous.
+
+    /// WaitPolicy factory spec applied by every peer (see core/policy.hpp),
+    /// e.g. "wait_all,timeout=900s" or "adaptive,base=60s,extend=30s,
+    /// max=300s". Empty: derived from the deprecated wait knobs below.
+    std::string wait_policy;
+    /// AggregationStrategy factory spec applied by every peer, e.g.
+    /// "best_combination" or "trimmed_mean,trim=1". Empty: derived from the
+    /// deprecated aggregation knobs below.
+    std::string aggregation;
+
+    /// \deprecated Use `wait_policy`. K in wait-for-K aggregation;
+    /// peers.size() = synchronous.
     std::size_t wait_for_models = 3;
+    /// \deprecated Use `wait_policy`.
     net::SimTime wait_timeout = net::seconds(900);
+
     net::SimTime train_duration = net::seconds(30);
     double train_cpu_load = 0.8;
     std::size_t chunk_bytes = 24 * 1024;
@@ -38,12 +51,13 @@ struct DecentralizedConfig {
     /// Simulated-time safety cap.
     net::SimTime max_sim_time = net::seconds(200'000);
 
-    /// §III-A fitness pre-filter threshold applied by every honest peer
-    /// (0 disables).
+    /// \deprecated Use `aggregation`. §III-A fitness pre-filter threshold
+    /// applied by every honest peer (0 disables).
     double fitness_threshold = 0.0;
     /// Peers (by index) that publish poisoned updates.
     std::vector<std::size_t> poisoned_peers;
-    /// All peers aggregate everything ("not consider" baseline).
+    /// \deprecated Use `aggregation`. All peers aggregate everything
+    /// ("not consider" baseline).
     bool aggregate_all = false;
 };
 

@@ -56,7 +56,11 @@ inline DecentralizedConfig paper_chain_config() {
     DecentralizedConfig config;
     config.peers = 3;
     config.rounds = 10;
-    config.wait_for_models = 3;
+    // The paper's default mode expressed through the policy factory:
+    // synchronous aggregation with the asynchronous safety valve, and the
+    // personalized "consider" combination search.
+    config.wait_policy = "wait_all,timeout=900s";
+    config.aggregation = "best_combination";
     config.train_duration = net::seconds(45);
     config.train_cpu_load = 0.8;
     config.chunk_bytes = 64 * 1024;

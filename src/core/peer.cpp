@@ -18,19 +18,47 @@ BcflPeer::BcflPeer(net::Simulation& sim, node::Node& node,
       node_(node),
       task_(task),
       roster_(std::move(roster)),
-      config_(config),
+      config_(std::move(config)),
+      wait_policy_(make_wait_policy(
+          config_.wait_policy.empty()
+              ? legacy_wait_spec(config_.wait_for_models, config_.wait_timeout)
+              : config_.wait_policy)),
+      aggregation_(make_aggregation_strategy(
+          config_.aggregation.empty()
+              ? legacy_aggregation_spec(config_.aggregate_all,
+                                        config_.fitness_threshold)
+              : config_.aggregation)),
       model_(task.make_model()),
       probe_(task.make_model()),
       global_weights_(model_->weights()) {
     if (config_.index >= roster_.size()) {
         throw Error("peer: index outside roster");
     }
+    // Guard against silently ignored knobs: once a policy spec is set, the
+    // deprecated fields are dead — changing them is almost certainly a bug
+    // at the call site (e.g. paper_chain_config() + wait_for_models = 1).
+    const PeerConfig defaults;
+    if (!config_.wait_policy.empty() &&
+        (config_.wait_for_models != defaults.wait_for_models ||
+         config_.wait_timeout != defaults.wait_timeout)) {
+        throw Error(
+            "peer: wait_policy spec is set; the deprecated wait_for_models/"
+            "wait_timeout knobs would be ignored — set one or the other");
+    }
+    if (!config_.aggregation.empty() &&
+        (config_.aggregate_all != defaults.aggregate_all ||
+         config_.fitness_threshold != defaults.fitness_threshold)) {
+        throw Error(
+            "peer: aggregation spec is set; the deprecated aggregate_all/"
+            "fitness_threshold knobs would be ignored — set one or the "
+            "other");
+    }
     if (roster_[config_.index] != node_.address()) {
         throw Error("peer: node key does not match roster entry");
     }
     // React to chain progress: every new head may complete a model.
     node_.on_new_head([this](const chain::Block&) {
-        if (waiting_) check_aggregation();
+        if (waiting_) poll_wait_policy();
     });
 }
 
@@ -77,13 +105,13 @@ void BcflPeer::finish_training() {
     }
     records_.back().published_at = sim_.now();
 
-    // Wait for peers (or time out -> asynchronous aggregation).
+    // Hand control to the WaitPolicy: it decides, from the evolving chain
+    // view, when this round's aggregation happens.
     waiting_ = true;
-    const std::uint64_t generation = ++wait_generation_;
-    sim_.schedule_after(config_.wait_timeout, [this, generation] {
-        if (waiting_ && generation == wait_generation_) aggregate(true);
-    });
-    check_aggregation();
+    ++wait_generation_;
+    timer_pending_ = false;
+    wait_policy_->begin_wait(round_view());
+    poll_wait_policy();
 }
 
 void BcflPeer::publish_weights(const std::vector<float>& weights) {
@@ -137,110 +165,113 @@ std::optional<std::vector<float>> BcflPeer::chain_weights(
     }
 }
 
-void BcflPeer::check_aggregation() {
-    if (!waiting_) return;
+RoundView BcflPeer::round_view() {
     store_.sync(node_.chain());
-
-    std::size_t available = 0;
+    RoundView view;
+    view.round = current_round_;
+    view.roster_size = roster_.size();
+    view.now = sim_.now();
+    view.wait_started = records_.back().published_at;
     for (std::size_t c = 0; c < roster_.size(); ++c) {
         if (c == config_.index) {
-            ++available;  // own update is local
+            ++view.models_available;  // own update is local
             continue;
         }
         if (const PublishedModel* m = store_.find(current_round_, roster_[c]);
             m != nullptr && m->complete()) {
-            ++available;
+            ++view.models_available;
         }
     }
-    if (available >= std::min(config_.wait_for_models, roster_.size())) {
-        aggregate(false);
+    return view;
+}
+
+void BcflPeer::poll_wait_policy() {
+    if (!waiting_) return;
+    const RoundView view = round_view();
+    switch (wait_policy_->decide(view)) {
+        case WaitDecision::aggregate_now:
+            aggregate(false);
+            return;
+        case WaitDecision::timed_out:
+            aggregate(true);
+            return;
+        case WaitDecision::keep_waiting:
+            break;
     }
+    if (const auto deadline = wait_policy_->next_deadline(view);
+        deadline.has_value()) {
+        schedule_policy_timer(*deadline);
+    }
+}
+
+void BcflPeer::schedule_policy_timer(net::SimTime when) {
+    when = std::max(when, sim_.now());
+    // An earlier-or-equal timer is already in flight; it will re-poll and
+    // reschedule if the policy's deadline has moved (AdaptiveDeadline).
+    if (timer_pending_ && timer_at_ <= when) return;
+    timer_pending_ = true;
+    timer_at_ = when;
+    const std::uint64_t generation = wait_generation_;
+    sim_.schedule_at(when, [this, generation, when] {
+        if (generation != wait_generation_) return;  // round already closed
+        if (timer_pending_ && timer_at_ == when) timer_pending_ = false;
+        poll_wait_policy();
+    });
 }
 
 void BcflPeer::aggregate(bool timed_out) {
     waiting_ = false;
-    ++wait_generation_;  // cancels the pending timeout
+    ++wait_generation_;  // cancels pending policy timers
+    timer_pending_ = false;
     store_.sync(node_.chain());
 
     PeerRoundRecord& record = records_.back();
 
-    // Collect this round's updates in roster order, applying the §III-A
-    // fitness pre-filter to models received from others.
+    // Collect this round's available updates in roster order; what to do
+    // with them (combination search, FedAvg, robust trimming, fitness
+    // filtering) is entirely the AggregationStrategy's business.
     std::vector<fl::ModelUpdate> updates;
-    std::vector<std::size_t> roster_index_of_update;
+    std::vector<std::size_t> roster_indices;
+    std::size_t self_pos = 0;
     for (std::size_t c = 0; c < roster_.size(); ++c) {
         if (c == config_.index) {
+            self_pos = updates.size();
             updates.push_back(
                 {own_update_,
                  static_cast<double>(task_.client_train[c].size())});
-            roster_index_of_update.push_back(c);
+            roster_indices.push_back(c);
             continue;
         }
         auto weights = chain_weights(current_round_, roster_[c]);
         if (!weights.has_value()) continue;
-        if (config_.fitness_threshold > 0.0) {
-            probe_->set_weights(*weights);
-            const double solo =
-                probe_->evaluate(task_.client_test[config_.index]);
-            if (solo < config_.fitness_threshold) {
-                record.filtered_out.push_back(c);
-                continue;
-            }
-        }
         updates.push_back(
             {std::move(*weights),
              static_cast<double>(task_.client_train[c].size())});
-        roster_index_of_update.push_back(c);
+        roster_indices.push_back(c);
     }
 
-    record.models_available = updates.size();
     record.timed_out = timed_out;
 
-    // Where did our own update land in the update list?
-    std::size_t self_pos = 0;
-    for (std::size_t i = 0; i < roster_index_of_update.size(); ++i) {
-        if (roster_index_of_update[i] == config_.index) self_pos = i;
-    }
-
-    std::vector<fl::Combination> combos;
-    if (config_.aggregate_all) {
-        fl::Combination all(updates.size());
-        for (std::size_t i = 0; i < updates.size(); ++i) all[i] = i;
-        combos.push_back(std::move(all));
-    } else {
-        combos = fl::paper_combinations(updates.size(), self_pos);
-    }
-    double best_accuracy = -1.0;
-    std::vector<float> best_weights;
-    std::string best_label;
-
-    for (const fl::Combination& combo : combos) {
-        const std::vector<float> candidate = fl::fedavg_subset(updates, combo);
+    AggregationInput input;
+    input.updates = updates;
+    input.roster_indices = roster_indices;
+    input.self_pos = self_pos;
+    input.roster_size = roster_.size();
+    input.names = client_names();
+    input.evaluate = [this](std::span<const float> candidate) {
         probe_->set_weights(candidate);
-        const double accuracy =
-            probe_->evaluate(task_.client_test[config_.index]);
+        return probe_->evaluate(task_.client_test[config_.index]);
+    };
+    AggregationResult outcome = aggregation_->aggregate(input);
 
-        // Translate update positions back to roster letters for the label.
-        fl::Combination roster_combo;
-        for (std::size_t pos : combo) {
-            roster_combo.push_back(roster_index_of_update[pos]);
-        }
-        ComboAccuracy row;
-        row.combo = roster_combo;
-        row.label = fl::combination_label(roster_combo, client_names());
-        row.accuracy = accuracy;
-        record.combos.push_back(row);
-
-        if (accuracy > best_accuracy) {
-            best_accuracy = accuracy;
-            best_weights = candidate;
-            best_label = row.label;
-        }
-    }
-
-    global_weights_ = std::move(best_weights);
-    record.chosen_label = best_label;
-    record.chosen_accuracy = best_accuracy;
+    global_weights_ = std::move(outcome.weights);
+    record.combos = std::move(outcome.combos);
+    record.filtered_out = std::move(outcome.filtered_out);
+    // Models that actually entered aggregation (fitness-filtered updates
+    // excluded, matching the pre-policy-API record semantics).
+    record.models_available = updates.size() - record.filtered_out.size();
+    record.chosen_label = std::move(outcome.chosen_label);
+    record.chosen_accuracy = outcome.chosen_accuracy;
     record.aggregated_at = sim_.now();
     ++completed_rounds_;
 

@@ -5,12 +5,15 @@
 //   1. trains locally (simulated duration + CPU contention with its miner),
 //   2. serializes its weights, chunks them and publishes them through the
 //      registry contract (publish tx + chunk txs),
-//   3. waits until `wait_for_models` complete models for the round are
-//      visible on its own chain view — or until `wait_timeout` expires
-//      (asynchronous aggregation: "not to wait"),
-//   4. evaluates every model combination on its *local* test set, adopts the
-//      best one (personalized / "consider" aggregation), and records every
-//      combination's accuracy — the rows of Tables II, III and IV.
+//   3. consults its WaitPolicy whenever its chain view changes (or a policy
+//      deadline fires) until the policy says to aggregate — synchronously,
+//      after K arrivals, at a (possibly adaptive) deadline, or by giving up
+//      ("not to wait": asynchronous aggregation),
+//   4. hands the available updates to its AggregationStrategy, which picks
+//      the next global model and reports the per-combination accuracy rows
+//      — the rows of Tables II, III and IV.
+//
+// The wait/aggregation axis is fully pluggable: see core/policy.hpp.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +22,7 @@
 #include <vector>
 
 #include "core/model_store.hpp"
+#include "core/policy.hpp"
 #include "fl/combinations.hpp"
 #include "fl/task.hpp"
 #include "net/sim.hpp"
@@ -33,33 +37,36 @@ struct PeerConfig {
     /// CPU fraction consumed while training (contends with mining).
     double train_cpu_load = 0.8;
     std::size_t chunk_bytes = 24 * 1024;
-    /// Aggregate as soon as this many complete models (incl. own) exist.
-    std::size_t wait_for_models = 3;
-    /// Asynchronous safety valve: aggregate with whatever is available.
-    net::SimTime wait_timeout = net::seconds(900);
     std::uint64_t gas_price = 1;
     /// Extra ballast bytes appended to the published payload to emulate
     /// paper-scale model sizes (e.g. EfficientNet-B0's 21.2 MB) — see E4.
     std::size_t payload_pad_bytes = 0;
-    /// §III-A fitness pre-filter: a received model whose *solo* accuracy on
-    /// this peer's test set falls below the threshold is excluded from the
-    /// combination search (0 disables). Defends against poisoned or noisy
-    /// updates without attributing intent.
-    double fitness_threshold = 0.0;
     /// Fault injection for the poisoning experiments: when true this peer
     /// publishes a corrupted update (sign-flipped, noise-scaled weights)
     /// while still participating in consensus honestly.
     bool poison_updates = false;
-    /// Vanilla behaviour ("not consider"): always FedAvg every available
-    /// update instead of searching combinations.
-    bool aggregate_all = false;
-};
 
-struct ComboAccuracy {
-    fl::Combination combo;   // indices into the client roster
-    std::string label;       // e.g. "A,C"
-    double accuracy = 0.0;
-    bool available = true;   // all members' models were on chain
+    /// WaitPolicy factory spec (see core/policy.hpp), e.g.
+    /// "wait_for=3,timeout=900s" or "adaptive,base=60s,extend=30s,max=300s".
+    /// Empty: derived from the deprecated knobs below via legacy_wait_spec.
+    std::string wait_policy;
+    /// AggregationStrategy factory spec, e.g. "best_combination" or
+    /// "trimmed_mean,trim=1". Empty: derived from the deprecated knobs
+    /// below via legacy_aggregation_spec.
+    std::string aggregation;
+
+    /// \deprecated Use `wait_policy`. Aggregate as soon as this many
+    /// complete models (incl. own) exist; forwarded into the factory.
+    std::size_t wait_for_models = 3;
+    /// \deprecated Use `wait_policy`. Asynchronous safety valve.
+    net::SimTime wait_timeout = net::seconds(900);
+    /// \deprecated Use `aggregation`. §III-A fitness pre-filter: a received
+    /// model whose *solo* accuracy on this peer's test set falls below the
+    /// threshold is excluded from aggregation (0 disables).
+    double fitness_threshold = 0.0;
+    /// \deprecated Use `aggregation`. Vanilla behaviour ("not consider"):
+    /// always FedAvg every available update.
+    bool aggregate_all = false;
 };
 
 struct PeerRoundRecord {
@@ -96,12 +103,22 @@ public:
     }
     [[nodiscard]] std::size_t index() const { return config_.index; }
     [[nodiscard]] const node::Node& node() const { return node_; }
+    [[nodiscard]] const WaitPolicy& wait_policy() const {
+        return *wait_policy_;
+    }
+    [[nodiscard]] const AggregationStrategy& aggregation() const {
+        return *aggregation_;
+    }
 
 private:
     void begin_round();
     void finish_training();
     void publish_weights(const std::vector<float>& weights);
-    void check_aggregation();
+    /// Consults the WaitPolicy against the current chain view and either
+    /// aggregates or (re)schedules the policy's next deadline.
+    void poll_wait_policy();
+    void schedule_policy_timer(net::SimTime when);
+    [[nodiscard]] RoundView round_view();
     void aggregate(bool timed_out);
     [[nodiscard]] std::string client_names() const;
     [[nodiscard]] std::optional<std::vector<float>> chain_weights(
@@ -112,6 +129,9 @@ private:
     const fl::FlTask& task_;
     std::vector<Address> roster_;
     PeerConfig config_;
+
+    std::unique_ptr<WaitPolicy> wait_policy_;
+    std::unique_ptr<AggregationStrategy> aggregation_;
 
     std::unique_ptr<fl::FlModel> model_;   // training instance
     std::unique_ptr<fl::FlModel> probe_;   // evaluation instance
@@ -125,6 +145,8 @@ private:
     std::uint64_t next_nonce_ = 0;
     bool waiting_ = false;
     std::uint64_t wait_generation_ = 0;
+    bool timer_pending_ = false;           // a policy deadline is scheduled
+    net::SimTime timer_at_ = 0;
     std::vector<PeerRoundRecord> records_;
 };
 

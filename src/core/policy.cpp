@@ -1,0 +1,483 @@
+#include "core/policy.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace bcfl::core {
+
+// ------------------------------------------------------------- WaitPolicy
+
+WaitDecision WaitForK::decide(const RoundView& view) {
+    if (view.models_available >= std::min(k_, view.roster_size)) {
+        return WaitDecision::aggregate_now;
+    }
+    if (view.now >= view.wait_started + timeout_) {
+        return WaitDecision::timed_out;
+    }
+    return WaitDecision::keep_waiting;
+}
+
+std::optional<net::SimTime> WaitForK::next_deadline(
+    const RoundView& view) const {
+    return view.wait_started + timeout_;
+}
+
+std::string WaitForK::spec() const {
+    return "wait_for=" + std::to_string(k_) +
+           ",timeout=" + format_duration(timeout_);
+}
+
+WaitDecision WaitAll::decide(const RoundView& view) {
+    if (view.models_available >= view.roster_size) {
+        return WaitDecision::aggregate_now;
+    }
+    if (view.now >= view.wait_started + timeout_) {
+        return WaitDecision::timed_out;
+    }
+    return WaitDecision::keep_waiting;
+}
+
+std::optional<net::SimTime> WaitAll::next_deadline(
+    const RoundView& view) const {
+    return view.wait_started + timeout_;
+}
+
+std::string WaitAll::spec() const {
+    return "wait_all,timeout=" + format_duration(timeout_);
+}
+
+WaitDecision Deadline::decide(const RoundView& view) {
+    if (view.models_available >= view.roster_size) {
+        return WaitDecision::aggregate_now;
+    }
+    if (view.now >= view.wait_started + after_) {
+        // The deadline is the policy's normal aggregation point, but the set
+        // is incomplete — report it as the asynchronous path.
+        return WaitDecision::timed_out;
+    }
+    return WaitDecision::keep_waiting;
+}
+
+std::optional<net::SimTime> Deadline::next_deadline(
+    const RoundView& view) const {
+    return view.wait_started + after_;
+}
+
+std::string Deadline::spec() const {
+    return "deadline=" + format_duration(after_);
+}
+
+void AdaptiveDeadline::begin_wait(const RoundView& view) {
+    deadline_ = view.wait_started + base_;
+    hard_cap_ = view.wait_started + max_;
+    deadline_ = std::min(deadline_, hard_cap_);
+    seen_models_ = view.models_available;
+}
+
+WaitDecision AdaptiveDeadline::decide(const RoundView& view) {
+    if (view.models_available >= view.roster_size) {
+        return WaitDecision::aggregate_now;
+    }
+    if (view.models_available > seen_models_) {
+        // Models are still arriving: evidence that patience will pay.
+        // Extend once per newly observed model, never past the hard cap.
+        const std::size_t fresh = view.models_available - seen_models_;
+        seen_models_ = view.models_available;
+        deadline_ = std::min(
+            hard_cap_,
+            std::max(deadline_, view.now) +
+                extend_ * static_cast<net::SimTime>(fresh));
+    }
+    if (view.now >= deadline_) return WaitDecision::timed_out;
+    return WaitDecision::keep_waiting;
+}
+
+std::optional<net::SimTime> AdaptiveDeadline::next_deadline(
+    const RoundView& view) const {
+    (void)view;
+    return deadline_;
+}
+
+std::string AdaptiveDeadline::spec() const {
+    return "adaptive,base=" + format_duration(base_) +
+           ",extend=" + format_duration(extend_) +
+           ",max=" + format_duration(max_);
+}
+
+// ---------------------------------------------------- AggregationStrategy
+
+namespace {
+
+/// Maps combination positions (into `kept`) back to roster indices and
+/// builds the table row for one evaluated candidate.
+ComboAccuracy make_row(const fl::Combination& kept_combo,
+                       std::span<const std::size_t> kept,
+                       const AggregationInput& input, double accuracy) {
+    fl::Combination roster_combo;
+    roster_combo.reserve(kept_combo.size());
+    for (std::size_t pos : kept_combo) {
+        roster_combo.push_back(input.roster_indices[kept[pos]]);
+    }
+    ComboAccuracy row;
+    row.combo = roster_combo;
+    row.label = fl::combination_label(roster_combo, input.names);
+    row.accuracy = accuracy;
+    return row;
+}
+
+std::string format_double(double v) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%g", v);
+    return buffer;
+}
+
+std::string fitness_suffix(double threshold) {
+    if (threshold <= 0.0) return "";
+    return ",fitness=" + format_double(threshold);
+}
+
+}  // namespace
+
+std::vector<std::size_t> AggregationStrategy::fitness_filter(
+    const AggregationInput& input, double threshold,
+    AggregationResult& result) {
+    std::vector<std::size_t> kept;
+    kept.reserve(input.updates.size());
+    for (std::size_t i = 0; i < input.updates.size(); ++i) {
+        if (i != input.self_pos && threshold > 0.0) {
+            const double solo = input.evaluate(input.updates[i].weights);
+            if (solo < threshold) {
+                result.filtered_out.push_back(input.roster_indices[i]);
+                continue;
+            }
+        }
+        kept.push_back(i);
+    }
+    return kept;
+}
+
+AggregationResult BestCombination::aggregate(const AggregationInput& input) {
+    AggregationResult result;
+    const std::vector<std::size_t> kept =
+        fitness_filter(input, fitness_threshold_, result);
+
+    std::size_t self_in_kept = 0;
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+        if (kept[i] == input.self_pos) self_in_kept = i;
+    }
+
+    double best_accuracy = -1.0;
+    for (const fl::Combination& combo :
+         fl::paper_combinations(kept.size(), self_in_kept)) {
+        fl::Combination update_positions;
+        update_positions.reserve(combo.size());
+        for (std::size_t pos : combo) update_positions.push_back(kept[pos]);
+        std::vector<float> candidate =
+            fl::fedavg_subset(input.updates, update_positions);
+        const double accuracy = input.evaluate(candidate);
+        result.combos.push_back(make_row(combo, kept, input, accuracy));
+        if (accuracy > best_accuracy) {
+            best_accuracy = accuracy;
+            result.weights = std::move(candidate);
+            result.chosen_label = result.combos.back().label;
+        }
+    }
+    result.chosen_accuracy = best_accuracy;
+    return result;
+}
+
+std::string BestCombination::spec() const {
+    return "best_combination" + fitness_suffix(fitness_threshold_);
+}
+
+AggregationResult FedAvgAll::aggregate(const AggregationInput& input) {
+    AggregationResult result;
+    const std::vector<std::size_t> kept =
+        fitness_filter(input, fitness_threshold_, result);
+
+    result.weights = fl::fedavg_subset(input.updates, kept);
+    const double accuracy = input.evaluate(result.weights);
+    fl::Combination identity(kept.size());
+    for (std::size_t i = 0; i < kept.size(); ++i) identity[i] = i;
+    result.combos.push_back(make_row(identity, kept, input, accuracy));
+    result.chosen_label = result.combos.back().label;
+    result.chosen_accuracy = accuracy;
+    return result;
+}
+
+std::string FedAvgAll::spec() const {
+    return "fedavg_all" + fitness_suffix(fitness_threshold_);
+}
+
+std::vector<float> trimmed_mean(std::span<const fl::ModelUpdate> updates,
+                                std::span<const std::size_t> positions,
+                                std::size_t trim) {
+    if (positions.empty()) throw ShapeError("trimmed_mean: no updates");
+    if (positions.size() <= 2 * trim) {
+        // Too few updates to trim from both ends: plain FedAvg.
+        return fl::fedavg_subset(updates, positions);
+    }
+    const std::size_t dim = updates[positions[0]].weights.size();
+    for (std::size_t pos : positions) {
+        if (pos >= updates.size() || updates[pos].weights.size() != dim) {
+            throw ShapeError("trimmed_mean: update shape mismatch");
+        }
+    }
+    std::vector<float> result(dim, 0.0f);
+    std::vector<float> column(positions.size());
+    const std::size_t keep = positions.size() - 2 * trim;
+    for (std::size_t d = 0; d < dim; ++d) {
+        for (std::size_t i = 0; i < positions.size(); ++i) {
+            column[i] = updates[positions[i]].weights[d];
+        }
+        std::sort(column.begin(), column.end());
+        double acc = 0.0;
+        for (std::size_t i = trim; i < trim + keep; ++i) acc += column[i];
+        result[d] = static_cast<float>(acc / static_cast<double>(keep));
+    }
+    return result;
+}
+
+AggregationResult TrimmedMean::aggregate(const AggregationInput& input) {
+    AggregationResult result;
+    const std::vector<std::size_t> kept =
+        fitness_filter(input, fitness_threshold_, result);
+
+    result.weights = trimmed_mean(input.updates, kept, trim_);
+    const double accuracy = input.evaluate(result.weights);
+    fl::Combination identity(kept.size());
+    for (std::size_t i = 0; i < kept.size(); ++i) identity[i] = i;
+    result.combos.push_back(make_row(identity, kept, input, accuracy));
+    result.chosen_label = result.combos.back().label;
+    result.chosen_accuracy = accuracy;
+    return result;
+}
+
+std::string TrimmedMean::spec() const {
+    return "trimmed_mean,trim=" + std::to_string(trim_) +
+           fitness_suffix(fitness_threshold_);
+}
+
+// ---------------------------------------------------------------- Factory
+
+namespace {
+
+struct SpecToken {
+    std::string key;
+    std::string value;  // empty when the token has no '='
+    bool has_value = false;
+};
+
+std::vector<SpecToken> tokenize_spec(const std::string& spec) {
+    std::vector<SpecToken> tokens;
+    std::size_t begin = 0;
+    while (begin <= spec.size()) {
+        std::size_t end = spec.find(',', begin);
+        if (end == std::string::npos) end = spec.size();
+        std::string token = spec.substr(begin, end - begin);
+        // Trim surrounding whitespace.
+        const auto first = token.find_first_not_of(" \t");
+        const auto last = token.find_last_not_of(" \t");
+        token = first == std::string::npos
+                    ? std::string{}
+                    : token.substr(first, last - first + 1);
+        if (!token.empty()) {
+            SpecToken parsed;
+            const std::size_t eq = token.find('=');
+            if (eq == std::string::npos) {
+                parsed.key = token;
+            } else {
+                parsed.key = token.substr(0, eq);
+                parsed.value = token.substr(eq + 1);
+                parsed.has_value = true;
+            }
+            tokens.push_back(std::move(parsed));
+        }
+        if (end == spec.size()) break;
+        begin = end + 1;
+    }
+    return tokens;
+}
+
+[[noreturn]] void bad_spec(const std::string& spec, const std::string& why) {
+    throw Error("policy spec \"" + spec + "\": " + why);
+}
+
+std::uint64_t parse_uint(const std::string& spec, const SpecToken& token) {
+    if (!token.has_value) bad_spec(spec, token.key + " needs a value");
+    std::uint64_t out = 0;
+    const auto [ptr, ec] = std::from_chars(
+        token.value.data(), token.value.data() + token.value.size(), out);
+    if (ec != std::errc{} || ptr != token.value.data() + token.value.size()) {
+        bad_spec(spec, "bad integer \"" + token.value + "\"");
+    }
+    return out;
+}
+
+double parse_double(const std::string& spec, const SpecToken& token) {
+    if (!token.has_value) bad_spec(spec, token.key + " needs a value");
+    try {
+        std::size_t used = 0;
+        const double out = std::stod(token.value, &used);
+        if (used != token.value.size()) throw std::invalid_argument("tail");
+        return out;
+    } catch (const std::exception&) {
+        bad_spec(spec, "bad number \"" + token.value + "\"");
+    }
+}
+
+/// "900" / "900s" -> seconds; "500ms" -> milliseconds.
+net::SimTime parse_duration(const std::string& spec, const SpecToken& token) {
+    if (!token.has_value) bad_spec(spec, token.key + " needs a duration");
+    std::string digits = token.value;
+    net::SimTime unit = net::seconds(1);
+    if (digits.size() >= 2 && digits.ends_with("ms")) {
+        unit = net::ms(1);
+        digits.resize(digits.size() - 2);
+    } else if (!digits.empty() && digits.back() == 's') {
+        digits.resize(digits.size() - 1);
+    }
+    std::uint64_t amount = 0;
+    const auto [ptr, ec] =
+        std::from_chars(digits.data(), digits.data() + digits.size(), amount);
+    if (digits.empty() || ec != std::errc{} ||
+        ptr != digits.data() + digits.size()) {
+        bad_spec(spec, "bad duration \"" + token.value + "\"");
+    }
+    return amount * unit;
+}
+
+}  // namespace
+
+std::string format_duration(net::SimTime t) {
+    if (t % net::seconds(1) == 0) {
+        return std::to_string(t / net::seconds(1)) + "s";
+    }
+    return std::to_string(net::to_ms(t)) + "ms";
+}
+
+std::unique_ptr<WaitPolicy> make_wait_policy(const std::string& spec) {
+    const std::vector<SpecToken> tokens = tokenize_spec(spec);
+    if (tokens.empty()) bad_spec(spec, "empty wait-policy spec");
+    const std::string& head = tokens.front().key;
+
+    if (head == "wait_for") {
+        const std::size_t k = parse_uint(spec, tokens.front());
+        if (k == 0) bad_spec(spec, "wait_for needs K >= 1");
+        net::SimTime timeout = net::seconds(900);
+        for (std::size_t i = 1; i < tokens.size(); ++i) {
+            if (tokens[i].key == "timeout") {
+                timeout = parse_duration(spec, tokens[i]);
+            } else {
+                bad_spec(spec, "unknown key \"" + tokens[i].key + "\"");
+            }
+        }
+        return std::make_unique<WaitForK>(k, timeout);
+    }
+    if (head == "wait_all" || head == "sync") {
+        if (tokens.front().has_value) {
+            bad_spec(spec, head + " takes no value (use timeout=T)");
+        }
+        net::SimTime timeout = net::seconds(900);
+        for (std::size_t i = 1; i < tokens.size(); ++i) {
+            if (tokens[i].key == "timeout") {
+                timeout = parse_duration(spec, tokens[i]);
+            } else {
+                bad_spec(spec, "unknown key \"" + tokens[i].key + "\"");
+            }
+        }
+        return std::make_unique<WaitAll>(timeout);
+    }
+    if (head == "deadline") {
+        std::optional<net::SimTime> after;
+        if (tokens.front().has_value) {
+            after = parse_duration(spec, tokens.front());
+        }
+        for (std::size_t i = 1; i < tokens.size(); ++i) {
+            if (tokens[i].key == "after") {
+                after = parse_duration(spec, tokens[i]);
+            } else {
+                bad_spec(spec, "unknown key \"" + tokens[i].key + "\"");
+            }
+        }
+        if (!after.has_value()) bad_spec(spec, "deadline needs a duration");
+        return std::make_unique<Deadline>(*after);
+    }
+    if (head == "adaptive") {
+        if (tokens.front().has_value) {
+            bad_spec(spec, "adaptive takes no value (use base=T/extend=T/max=T)");
+        }
+        net::SimTime base = net::seconds(60);
+        net::SimTime extend = net::seconds(30);
+        net::SimTime max = net::seconds(300);
+        for (std::size_t i = 1; i < tokens.size(); ++i) {
+            if (tokens[i].key == "base") {
+                base = parse_duration(spec, tokens[i]);
+            } else if (tokens[i].key == "extend") {
+                extend = parse_duration(spec, tokens[i]);
+            } else if (tokens[i].key == "max") {
+                max = parse_duration(spec, tokens[i]);
+            } else {
+                bad_spec(spec, "unknown key \"" + tokens[i].key + "\"");
+            }
+        }
+        if (max < base) bad_spec(spec, "adaptive needs max >= base");
+        return std::make_unique<AdaptiveDeadline>(base, extend, max);
+    }
+    bad_spec(spec, "unknown wait policy \"" + head + "\"");
+}
+
+std::unique_ptr<AggregationStrategy> make_aggregation_strategy(
+    const std::string& spec) {
+    const std::vector<SpecToken> tokens = tokenize_spec(spec);
+    if (tokens.empty()) bad_spec(spec, "empty aggregation spec");
+    const std::string& head = tokens.front().key;
+    if (tokens.front().has_value) {
+        bad_spec(spec,
+                 head + " takes no value (use fitness=F / trim=M keys)");
+    }
+
+    double fitness = 0.0;
+    std::optional<std::size_t> trim;
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+        if (tokens[i].key == "fitness") {
+            fitness = parse_double(spec, tokens[i]);
+        } else if (tokens[i].key == "trim" && head == "trimmed_mean") {
+            trim = parse_uint(spec, tokens[i]);
+        } else {
+            bad_spec(spec, "unknown key \"" + tokens[i].key + "\"");
+        }
+    }
+
+    if (head == "best_combination" || head == "consider") {
+        return std::make_unique<BestCombination>(fitness);
+    }
+    if (head == "fedavg_all" || head == "not_consider" || head == "all") {
+        return std::make_unique<FedAvgAll>(fitness);
+    }
+    if (head == "trimmed_mean") {
+        return std::make_unique<TrimmedMean>(trim.value_or(1), fitness);
+    }
+    bad_spec(spec, "unknown aggregation strategy \"" + head + "\"");
+}
+
+std::string legacy_wait_spec(std::size_t wait_for_models,
+                             net::SimTime wait_timeout) {
+    // The old code treated K=0 as "aggregate immediately"; K=1 is the same
+    // behaviour (the peer's own update is always available), and keeps the
+    // spec inside the factory's K >= 1 domain.
+    const std::size_t k = std::max<std::size_t>(1, wait_for_models);
+    return "wait_for=" + std::to_string(k) +
+           ",timeout=" + format_duration(wait_timeout);
+}
+
+std::string legacy_aggregation_spec(bool aggregate_all,
+                                    double fitness_threshold) {
+    std::string spec = aggregate_all ? "fedavg_all" : "best_combination";
+    return spec + fitness_suffix(fitness_threshold);
+}
+
+}  // namespace bcfl::core

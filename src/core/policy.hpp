@@ -1,0 +1,329 @@
+// Pluggable round-loop policies — the paper's wait-or-not-to-wait axis as a
+// first-class API instead of config booleans.
+//
+// Two small strategy interfaces drive a BcflPeer's round loop:
+//
+//   * WaitPolicy — consulted whenever the peer's chain view changes (new
+//     head may complete a model) or a policy deadline fires. From a
+//     RoundView of on-chain models + simulated time it decides: aggregate
+//     now, keep waiting, or give up (asynchronous aggregation with whatever
+//     arrived — the paper's "not to wait" path).
+//
+//   * AggregationStrategy — turns the round's available updates into the
+//     peer's next global model, and reports the per-combination accuracy
+//     rows that make up the paper's Tables II-IV.
+//
+// Concrete policies cover the paper and beyond: WaitForK / WaitAll /
+// Deadline / AdaptiveDeadline (the §V "middle ground": the deadline extends
+// while models are still arriving); BestCombination ("consider"), FedAvgAll
+// ("not consider") and TrimmedMean (robust aggregation for the poisoning
+// scenario). `make_wait_policy` / `make_aggregation_strategy` build any of
+// them from compact string specs such as "wait_for=3,timeout=900s", so
+// deployments (and bcfl_cli) can select policies without recompiling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fl/combinations.hpp"
+#include "fl/fedavg.hpp"
+#include "net/sim.hpp"
+
+namespace bcfl::core {
+
+// ------------------------------------------------------------- WaitPolicy
+
+/// What a peer can observe while deciding whether to aggregate: its own
+/// chain view condensed to "how many complete models for this round", plus
+/// the simulated clock.
+struct RoundView {
+    std::size_t round = 0;             // 1-based communication round
+    std::size_t roster_size = 0;       // total participants
+    std::size_t models_available = 0;  // complete models visible (incl. own)
+    net::SimTime now = 0;              // current simulated time
+    net::SimTime wait_started = 0;     // when this peer began waiting
+};
+
+enum class WaitDecision {
+    keep_waiting,    // not yet — re-consult on the next event or deadline
+    aggregate_now,   // the policy's arrival condition is met
+    timed_out,       // give up and aggregate the incomplete set (async path)
+};
+
+class WaitPolicy {
+public:
+    virtual ~WaitPolicy() = default;
+
+    /// Resets per-round state; called once when the peer starts waiting.
+    virtual void begin_wait(const RoundView& view) { (void)view; }
+
+    /// The decision for the current view. May update internal state (e.g.
+    /// AdaptiveDeadline tracks arrivals), so call once per observed change.
+    [[nodiscard]] virtual WaitDecision decide(const RoundView& view) = 0;
+
+    /// Absolute simulated time at which `decide` must be consulted again
+    /// even if no new model arrives (nullopt: purely arrival-driven).
+    [[nodiscard]] virtual std::optional<net::SimTime> next_deadline(
+        const RoundView& view) const = 0;
+
+    /// Short human-readable policy name, e.g. "wait_for_k".
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    /// Canonical factory spec: `make_wait_policy(p.spec())` reproduces `p`.
+    [[nodiscard]] virtual std::string spec() const = 0;
+};
+
+/// Aggregate as soon as K complete models (incl. own) are visible; fall back
+/// to asynchronous aggregation after `timeout`. K >= roster size behaves as
+/// the paper's synchronous mode. Spec: "wait_for=3,timeout=900s".
+class WaitForK final : public WaitPolicy {
+public:
+    explicit WaitForK(std::size_t k, net::SimTime timeout = net::seconds(900))
+        : k_(k), timeout_(timeout) {}
+
+    [[nodiscard]] WaitDecision decide(const RoundView& view) override;
+    [[nodiscard]] std::optional<net::SimTime> next_deadline(
+        const RoundView& view) const override;
+    [[nodiscard]] std::string name() const override { return "wait_for_k"; }
+    [[nodiscard]] std::string spec() const override;
+
+    [[nodiscard]] std::size_t k() const { return k_; }
+    [[nodiscard]] net::SimTime timeout() const { return timeout_; }
+
+private:
+    std::size_t k_;
+    net::SimTime timeout_;
+};
+
+/// Synchronous mode: wait for every roster member (safety-valve timeout).
+/// Spec: "wait_all,timeout=900s".
+class WaitAll final : public WaitPolicy {
+public:
+    explicit WaitAll(net::SimTime timeout = net::seconds(900))
+        : timeout_(timeout) {}
+
+    [[nodiscard]] WaitDecision decide(const RoundView& view) override;
+    [[nodiscard]] std::optional<net::SimTime> next_deadline(
+        const RoundView& view) const override;
+    [[nodiscard]] std::string name() const override { return "wait_all"; }
+    [[nodiscard]] std::string spec() const override;
+
+    [[nodiscard]] net::SimTime timeout() const { return timeout_; }
+
+private:
+    net::SimTime timeout_;
+};
+
+/// Pure deadline aggregation: take whatever is on chain `after` the wait
+/// began (aggregating early only if the full roster arrives first).
+/// Spec: "deadline=120s".
+class Deadline final : public WaitPolicy {
+public:
+    explicit Deadline(net::SimTime after) : after_(after) {}
+
+    [[nodiscard]] WaitDecision decide(const RoundView& view) override;
+    [[nodiscard]] std::optional<net::SimTime> next_deadline(
+        const RoundView& view) const override;
+    [[nodiscard]] std::string name() const override { return "deadline"; }
+    [[nodiscard]] std::string spec() const override;
+
+    [[nodiscard]] net::SimTime after() const { return after_; }
+
+private:
+    net::SimTime after_;
+};
+
+/// The paper's §V middle ground: start from a base deadline and push it out
+/// by `extend` every time another model lands — models still arriving are
+/// evidence that waiting a little longer will pay — but never beyond
+/// `max` after the wait began. Spec: "adaptive,base=60s,extend=30s,max=300s".
+class AdaptiveDeadline final : public WaitPolicy {
+public:
+    AdaptiveDeadline(net::SimTime base, net::SimTime extend, net::SimTime max)
+        : base_(base), extend_(extend), max_(max) {}
+
+    void begin_wait(const RoundView& view) override;
+    [[nodiscard]] WaitDecision decide(const RoundView& view) override;
+    [[nodiscard]] std::optional<net::SimTime> next_deadline(
+        const RoundView& view) const override;
+    [[nodiscard]] std::string name() const override { return "adaptive"; }
+    [[nodiscard]] std::string spec() const override;
+
+    [[nodiscard]] net::SimTime base() const { return base_; }
+    [[nodiscard]] net::SimTime extend() const { return extend_; }
+    [[nodiscard]] net::SimTime max() const { return max_; }
+    /// Current absolute deadline (valid between begin_wait and aggregation).
+    [[nodiscard]] net::SimTime current_deadline() const { return deadline_; }
+
+private:
+    net::SimTime base_;
+    net::SimTime extend_;
+    net::SimTime max_;
+    // Per-round state.
+    net::SimTime deadline_ = 0;
+    net::SimTime hard_cap_ = 0;
+    std::size_t seen_models_ = 0;
+};
+
+// ---------------------------------------------------- AggregationStrategy
+
+/// One row of the paper's per-peer tables: a candidate combination and its
+/// accuracy on this peer's local test set.
+struct ComboAccuracy {
+    fl::Combination combo;   // indices into the client roster
+    std::string label;       // e.g. "A,C"
+    double accuracy = 0.0;
+    bool available = true;   // all members' models were on chain
+};
+
+/// Everything an AggregationStrategy may consult. `updates` holds the
+/// round's available updates in roster order (own update always present);
+/// `roster_indices[i]` is the roster position of `updates[i]`; `evaluate`
+/// scores a candidate weight vector on the peer's local test set.
+struct AggregationInput {
+    std::span<const fl::ModelUpdate> updates;
+    std::span<const std::size_t> roster_indices;
+    std::size_t self_pos = 0;     // position of the peer's own update
+    std::size_t roster_size = 0;
+    std::string names;            // roster letters, e.g. "ABC"
+    std::function<double(std::span<const float>)> evaluate;
+};
+
+struct AggregationResult {
+    std::vector<float> weights;           // the next global model
+    std::string chosen_label;
+    double chosen_accuracy = 0.0;
+    std::vector<ComboAccuracy> combos;    // table rows (may be one)
+    std::vector<std::size_t> filtered_out;  // roster indices dropped by the
+                                            // §III-A fitness pre-filter
+};
+
+class AggregationStrategy {
+public:
+    virtual ~AggregationStrategy() = default;
+
+    [[nodiscard]] virtual AggregationResult aggregate(
+        const AggregationInput& input) = 0;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+    /// Canonical factory spec (round-trips through
+    /// `make_aggregation_strategy`).
+    [[nodiscard]] virtual std::string spec() const = 0;
+
+protected:
+    /// §III-A fitness pre-filter shared by the concrete strategies: returns
+    /// the positions (into input.updates) that survive, always keeping the
+    /// peer's own update, and appends dropped roster indices to `result`.
+    [[nodiscard]] static std::vector<std::size_t> fitness_filter(
+        const AggregationInput& input, double threshold,
+        AggregationResult& result);
+};
+
+/// The paper's personalized "consider" aggregation: evaluate every paper
+/// combination of the available updates on the local test set and adopt the
+/// best. Spec: "best_combination" or "best_combination,fitness=0.15".
+class BestCombination final : public AggregationStrategy {
+public:
+    explicit BestCombination(double fitness_threshold = 0.0)
+        : fitness_threshold_(fitness_threshold) {}
+
+    [[nodiscard]] AggregationResult aggregate(
+        const AggregationInput& input) override;
+    [[nodiscard]] std::string name() const override {
+        return "best_combination";
+    }
+    [[nodiscard]] std::string spec() const override;
+
+    [[nodiscard]] double fitness_threshold() const {
+        return fitness_threshold_;
+    }
+
+private:
+    double fitness_threshold_;
+};
+
+/// Vanilla "not consider": FedAvg over every available update.
+/// Spec: "fedavg_all" (optionally ",fitness=F").
+class FedAvgAll final : public AggregationStrategy {
+public:
+    explicit FedAvgAll(double fitness_threshold = 0.0)
+        : fitness_threshold_(fitness_threshold) {}
+
+    [[nodiscard]] AggregationResult aggregate(
+        const AggregationInput& input) override;
+    [[nodiscard]] std::string name() const override { return "fedavg_all"; }
+    [[nodiscard]] std::string spec() const override;
+
+    [[nodiscard]] double fitness_threshold() const {
+        return fitness_threshold_;
+    }
+
+private:
+    double fitness_threshold_;
+};
+
+/// Robust aggregation for the poisoning scenario: per coordinate, drop the
+/// `trim` largest and `trim` smallest values across updates and average the
+/// rest. Falls back to FedAvg when fewer than 2*trim+1 updates are
+/// available. Spec: "trimmed_mean,trim=1".
+class TrimmedMean final : public AggregationStrategy {
+public:
+    explicit TrimmedMean(std::size_t trim = 1, double fitness_threshold = 0.0)
+        : trim_(trim), fitness_threshold_(fitness_threshold) {}
+
+    [[nodiscard]] AggregationResult aggregate(
+        const AggregationInput& input) override;
+    [[nodiscard]] std::string name() const override { return "trimmed_mean"; }
+    [[nodiscard]] std::string spec() const override;
+
+    [[nodiscard]] std::size_t trim() const { return trim_; }
+    [[nodiscard]] double fitness_threshold() const {
+        return fitness_threshold_;
+    }
+
+private:
+    std::size_t trim_;
+    double fitness_threshold_;
+};
+
+/// Coordinate-wise trimmed mean over `updates` (exposed for testing).
+[[nodiscard]] std::vector<float> trimmed_mean(
+    std::span<const fl::ModelUpdate> updates,
+    std::span<const std::size_t> positions, std::size_t trim);
+
+// ---------------------------------------------------------------- Factory
+
+/// Builds a WaitPolicy from a spec string. Accepted forms:
+///   "wait_for=K[,timeout=T]"            -> WaitForK
+///   "wait_all[,timeout=T]"              -> WaitAll
+///   "deadline=T" / "deadline,after=T"   -> Deadline
+///   "adaptive[,base=T][,extend=T][,max=T]" -> AdaptiveDeadline
+/// Durations T accept "900" / "900s" (seconds) or "500ms". Throws Error on
+/// malformed specs.
+[[nodiscard]] std::unique_ptr<WaitPolicy> make_wait_policy(
+    const std::string& spec);
+
+/// Builds an AggregationStrategy from a spec string. Accepted forms:
+///   "best_combination[,fitness=F]"   (alias "consider")
+///   "fedavg_all[,fitness=F]"         (aliases "not_consider", "all")
+///   "trimmed_mean[,trim=M][,fitness=F]"
+[[nodiscard]] std::unique_ptr<AggregationStrategy> make_aggregation_strategy(
+    const std::string& spec);
+
+/// Shims translating the deprecated PeerConfig/DecentralizedConfig knobs
+/// (`wait_for_models`/`wait_timeout`, `aggregate_all`/`fitness_threshold`)
+/// into factory specs, so pre-policy call sites keep their exact semantics.
+[[nodiscard]] std::string legacy_wait_spec(std::size_t wait_for_models,
+                                           net::SimTime wait_timeout);
+[[nodiscard]] std::string legacy_aggregation_spec(bool aggregate_all,
+                                                  double fitness_threshold);
+
+/// Formats a SimTime as the factory's duration literal ("900s" / "1500ms").
+[[nodiscard]] std::string format_duration(net::SimTime t);
+
+}  // namespace bcfl::core

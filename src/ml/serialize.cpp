@@ -19,16 +19,20 @@ static_assert(std::endian::native == std::endian::little,
 }  // namespace
 
 Bytes serialize_weights(std::span<const float> weights) {
-    Bytes blob;
-    blob.reserve(kHeader + weights.size() * 4 + kDigest);
-    blob.insert(blob.end(), kMagic, kMagic + 4);
-    blob.push_back(kVersion);
-    append(blob, be_bytes(weights.size()));
-    const std::size_t payload_offset = blob.size();
-    blob.resize(payload_offset + weights.size() * 4);
-    std::memcpy(blob.data() + payload_offset, weights.data(),
-                weights.size() * 4);
+    // Build the header+payload region at its final size up front (also
+    // sidesteps a GCC 12 -Wstringop-overflow false positive on insert-into-
+    // reserved-vector).
+    Bytes blob(kHeader + weights.size() * 4);
+    std::memcpy(blob.data(), kMagic, 4);
+    blob[4] = kVersion;
+    const Bytes count = be_bytes(weights.size());
+    std::memcpy(blob.data() + 5, count.data(), count.size());
+    if (!weights.empty()) {
+        std::memcpy(blob.data() + kHeader, weights.data(),
+                    weights.size() * 4);
+    }
     const Hash32 digest = crypto::keccak256(blob);
+    blob.reserve(blob.size() + kDigest);
     append(blob, digest.view());
     return blob;
 }

@@ -214,9 +214,11 @@ TEST(Integration, FitnessThresholdFiltersPoisonedModel) {
         }
     }
     EXPECT_GT(filtered, 0u);
-    // And their combination rows must not include C when it was filtered.
+    // And their combination rows must not include C when it was filtered;
+    // models_available counts only updates that entered aggregation.
     for (const auto& record : result.peer_records[0]) {
         if (record.filtered_out.empty()) continue;
+        EXPECT_LE(record.models_available, 2u);
         for (const auto& combo : record.combos) {
             EXPECT_EQ(combo.label.find('C'), std::string::npos);
         }

@@ -1,0 +1,465 @@
+// Unit tests for the pluggable WaitPolicy / AggregationStrategy API
+// (core/policy.hpp): decision logic of every policy, robust aggregation
+// under a sign-flipped (poisoned) update, the string-spec factory
+// round-trips, and the legacy-knob shims.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/experiment.hpp"
+#include "core/policy.hpp"
+#include "ml/data.hpp"
+
+namespace bcfl::core {
+namespace {
+
+RoundView view_at(net::SimTime now, std::size_t available,
+                  net::SimTime started = 0, std::size_t roster = 3) {
+    RoundView view;
+    view.round = 1;
+    view.roster_size = roster;
+    view.models_available = available;
+    view.now = now;
+    view.wait_started = started;
+    return view;
+}
+
+// -------------------------------------------------------------- WaitForK
+
+TEST(WaitForK, AggregatesAtK) {
+    WaitForK policy(2, net::seconds(100));
+    EXPECT_EQ(policy.decide(view_at(net::seconds(1), 1)),
+              WaitDecision::keep_waiting);
+    EXPECT_EQ(policy.decide(view_at(net::seconds(2), 2)),
+              WaitDecision::aggregate_now);
+    EXPECT_EQ(policy.decide(view_at(net::seconds(2), 3)),
+              WaitDecision::aggregate_now);
+}
+
+TEST(WaitForK, TimesOutAfterTimeout) {
+    WaitForK policy(3, net::seconds(100));
+    EXPECT_EQ(policy.decide(view_at(net::seconds(99), 1)),
+              WaitDecision::keep_waiting);
+    EXPECT_EQ(policy.decide(view_at(net::seconds(100), 1)),
+              WaitDecision::timed_out);
+    // The deadline the peer must poll at is wait_started + timeout.
+    EXPECT_EQ(policy.next_deadline(view_at(net::seconds(5), 1)),
+              net::seconds(100));
+    EXPECT_EQ(
+        policy.next_deadline(view_at(net::seconds(15), 1, net::seconds(10))),
+        net::seconds(110));
+}
+
+TEST(WaitForK, KIsClampedToRoster) {
+    // K larger than the roster behaves as wait-for-all (legacy semantics).
+    WaitForK policy(5, net::seconds(100));
+    EXPECT_EQ(policy.decide(view_at(net::seconds(1), 2)),
+              WaitDecision::keep_waiting);
+    EXPECT_EQ(policy.decide(view_at(net::seconds(1), 3)),
+              WaitDecision::aggregate_now);
+}
+
+// --------------------------------------------------------------- WaitAll
+
+TEST(WaitAll, WaitsForFullRoster) {
+    WaitAll policy(net::seconds(200));
+    EXPECT_EQ(policy.decide(view_at(net::seconds(1), 2)),
+              WaitDecision::keep_waiting);
+    EXPECT_EQ(policy.decide(view_at(net::seconds(1), 3)),
+              WaitDecision::aggregate_now);
+    EXPECT_EQ(policy.decide(view_at(net::seconds(200), 2)),
+              WaitDecision::timed_out);
+}
+
+// --------------------------------------------------------------- Deadline
+
+TEST(Deadline, TakesWhateverIsThereAtTheDeadline) {
+    Deadline policy(net::seconds(60));
+    EXPECT_EQ(policy.decide(view_at(net::seconds(59), 1)),
+              WaitDecision::keep_waiting);
+    // At the deadline with an incomplete set: the asynchronous path.
+    EXPECT_EQ(policy.decide(view_at(net::seconds(60), 1)),
+              WaitDecision::timed_out);
+    // A full roster ends the wait early.
+    EXPECT_EQ(policy.decide(view_at(net::seconds(10), 3)),
+              WaitDecision::aggregate_now);
+    EXPECT_EQ(policy.next_deadline(view_at(net::seconds(10), 1)),
+              net::seconds(60));
+}
+
+// ------------------------------------------------------- AdaptiveDeadline
+
+TEST(AdaptiveDeadline, ExtendsWhileModelsArrive) {
+    // base 60s, +30s per arrival, hard cap 300s after the wait begins.
+    AdaptiveDeadline policy(net::seconds(60), net::seconds(30),
+                            net::seconds(300));
+    policy.begin_wait(view_at(net::seconds(0), 1));
+    EXPECT_EQ(policy.current_deadline(), net::seconds(60));
+
+    // No arrivals: times out at the base deadline.
+    EXPECT_EQ(policy.decide(view_at(net::seconds(59), 1)),
+              WaitDecision::keep_waiting);
+    EXPECT_EQ(policy.current_deadline(), net::seconds(60));
+
+    // A second model lands at t=50: deadline pushed to 90s.
+    EXPECT_EQ(policy.decide(view_at(net::seconds(50), 2)),
+              WaitDecision::keep_waiting);
+    EXPECT_EQ(policy.current_deadline(), net::seconds(90));
+    EXPECT_EQ(policy.next_deadline(view_at(net::seconds(50), 2)),
+              net::seconds(90));
+
+    // The old base deadline passing is no longer a timeout.
+    EXPECT_EQ(policy.decide(view_at(net::seconds(60), 2)),
+              WaitDecision::keep_waiting);
+    // ...but the extended one is.
+    EXPECT_EQ(policy.decide(view_at(net::seconds(90), 2)),
+              WaitDecision::timed_out);
+}
+
+TEST(AdaptiveDeadline, ExtensionIsCappedAtMax) {
+    AdaptiveDeadline policy(net::seconds(60), net::seconds(100),
+                            net::seconds(120));
+    policy.begin_wait(view_at(net::seconds(0), 1));
+    // One arrival would extend to 160s, but the cap holds it at 120s.
+    EXPECT_EQ(policy.decide(view_at(net::seconds(50), 2)),
+              WaitDecision::keep_waiting);
+    EXPECT_EQ(policy.current_deadline(), net::seconds(120));
+    EXPECT_EQ(policy.decide(view_at(net::seconds(120), 2)),
+              WaitDecision::timed_out);
+}
+
+TEST(AdaptiveDeadline, FullRosterAggregatesImmediately) {
+    AdaptiveDeadline policy(net::seconds(60), net::seconds(30),
+                            net::seconds(300));
+    policy.begin_wait(view_at(net::seconds(0), 1));
+    EXPECT_EQ(policy.decide(view_at(net::seconds(5), 3)),
+              WaitDecision::aggregate_now);
+}
+
+TEST(AdaptiveDeadline, BeginWaitResetsState) {
+    AdaptiveDeadline policy(net::seconds(60), net::seconds(30),
+                            net::seconds(300));
+    policy.begin_wait(view_at(net::seconds(0), 1));
+    (void)policy.decide(view_at(net::seconds(10), 2));  // extend once
+    // A new round starting at t=1000 gets a fresh base deadline.
+    policy.begin_wait(view_at(net::seconds(1000), 1, net::seconds(1000)));
+    EXPECT_EQ(policy.current_deadline(), net::seconds(1060));
+}
+
+// --------------------------------------------------- AggregationStrategy
+
+/// Builds a 3-update input: weights {1}, {3}, {100} for roster A, B, C with
+/// equal sample counts; `evaluate` rewards proximity to 2.0 (so the best
+/// paper combination is A,B).
+struct StrategyFixture {
+    std::vector<fl::ModelUpdate> updates{
+        {{1.0f}, 1.0}, {{3.0f}, 1.0}, {{100.0f}, 1.0}};
+    std::vector<std::size_t> roster_indices{0, 1, 2};
+
+    AggregationInput input() {
+        AggregationInput in;
+        in.updates = updates;
+        in.roster_indices = roster_indices;
+        in.self_pos = 0;
+        in.roster_size = 3;
+        in.names = "ABC";
+        in.evaluate = [](std::span<const float> w) {
+            return 1.0 / (1.0 + std::abs(static_cast<double>(w[0]) - 2.0));
+        };
+        return in;
+    }
+};
+
+TEST(BestCombination, PicksBestPaperCombination) {
+    StrategyFixture fixture;
+    BestCombination strategy;
+    const AggregationResult result = strategy.aggregate(fixture.input());
+    // Five paper rows: A / A,B / A,C / B,C / A,B,C.
+    ASSERT_EQ(result.combos.size(), 5u);
+    EXPECT_EQ(result.combos[0].label, "A");
+    EXPECT_EQ(result.combos[4].label, "A,B,C");
+    // (1+3)/2 == 2.0 is the optimum of the evaluate function.
+    EXPECT_EQ(result.chosen_label, "A,B");
+    EXPECT_NEAR(result.weights[0], 2.0f, 1e-6);
+    EXPECT_NEAR(result.chosen_accuracy, 1.0, 1e-9);
+    EXPECT_TRUE(result.filtered_out.empty());
+}
+
+TEST(BestCombination, FitnessFilterDropsLowSoloModels) {
+    StrategyFixture fixture;
+    // C's solo score is 1/99 — below a 0.1 threshold; A (self) is immune.
+    BestCombination strategy(/*fitness_threshold=*/0.1);
+    const AggregationResult result = strategy.aggregate(fixture.input());
+    ASSERT_EQ(result.filtered_out.size(), 1u);
+    EXPECT_EQ(result.filtered_out[0], 2u);
+    for (const ComboAccuracy& row : result.combos) {
+        EXPECT_EQ(row.label.find('C'), std::string::npos);
+    }
+    EXPECT_EQ(result.chosen_label, "A,B");
+}
+
+TEST(FedAvgAll, SingleComboOverEverything) {
+    StrategyFixture fixture;
+    FedAvgAll strategy;
+    const AggregationResult result = strategy.aggregate(fixture.input());
+    ASSERT_EQ(result.combos.size(), 1u);
+    EXPECT_EQ(result.combos[0].label, "A,B,C");
+    EXPECT_EQ(result.chosen_label, "A,B,C");
+    EXPECT_NEAR(result.weights[0], (1.0f + 3.0f + 100.0f) / 3.0f, 1e-4);
+}
+
+TEST(TrimmedMean, ResistsSignFlippedUpdate) {
+    // Honest updates cluster near 1.0; the poisoned one is sign-flipped and
+    // scaled (the exact fault BcflPeer injects for poison_updates peers).
+    std::vector<fl::ModelUpdate> updates{
+        {{1.0f, 2.0f}, 1.0},
+        {{1.2f, 2.2f}, 1.0},
+        {{0.8f, 1.8f}, 1.0},
+        {{-2.0f, -4.0f}, 1.0}};  // poisoned: w = -2 * honest
+    const std::vector<std::size_t> all{0, 1, 2, 3};
+
+    const std::vector<float> robust = trimmed_mean(updates, all, 1);
+    // Trimming removes the poisoned minimum (and the honest maximum):
+    // coordinate 0 averages {0.8, 1.0} -> 0.9; fedavg would give 0.25.
+    EXPECT_NEAR(robust[0], 0.9f, 1e-5);
+    EXPECT_NEAR(robust[1], 1.9f, 1e-5);
+
+    const std::vector<float> naive = fl::fedavg_subset(updates, all);
+    EXPECT_LT(std::abs(robust[0] - 1.0f), std::abs(naive[0] - 1.0f));
+    EXPECT_LT(std::abs(robust[1] - 2.0f), std::abs(naive[1] - 2.0f));
+}
+
+TEST(TrimmedMean, FallsBackToFedAvgWhenTooFewUpdates) {
+    std::vector<fl::ModelUpdate> updates{{{1.0f}, 1.0}, {{3.0f}, 1.0}};
+    const std::vector<std::size_t> both{0, 1};
+    // 2 updates cannot lose one from each end: plain (weighted) FedAvg.
+    EXPECT_EQ(trimmed_mean(updates, both, 1),
+              fl::fedavg_subset(updates, both));
+    EXPECT_THROW(trimmed_mean(updates, {}, 1), ShapeError);
+}
+
+TEST(TrimmedMean, StrategyProducesSingleRobustCombo) {
+    StrategyFixture fixture;
+    TrimmedMean strategy(/*trim=*/1);
+    const AggregationResult result = strategy.aggregate(fixture.input());
+    ASSERT_EQ(result.combos.size(), 1u);
+    EXPECT_EQ(result.combos[0].label, "A,B,C");
+    // Outlier 100 and minimum 1 trimmed away: the middle value remains.
+    EXPECT_NEAR(result.weights[0], 3.0f, 1e-6);
+}
+
+// ----------------------------------------------------------------- Factory
+
+TEST(PolicyFactory, ParsesEveryWaitPolicy) {
+    EXPECT_EQ(make_wait_policy("wait_for=3,timeout=900s")->name(),
+              "wait_for_k");
+    EXPECT_EQ(make_wait_policy("wait_for=2")->name(), "wait_for_k");
+    EXPECT_EQ(make_wait_policy("wait_all")->name(), "wait_all");
+    EXPECT_EQ(make_wait_policy("wait_all,timeout=120s")->name(), "wait_all");
+    EXPECT_EQ(make_wait_policy("deadline=45s")->name(), "deadline");
+    EXPECT_EQ(make_wait_policy("deadline,after=500ms")->name(), "deadline");
+    EXPECT_EQ(make_wait_policy("adaptive")->name(), "adaptive");
+    EXPECT_EQ(
+        make_wait_policy("adaptive,base=10s,extend=5s,max=60s")->name(),
+        "adaptive");
+}
+
+TEST(PolicyFactory, WaitSpecRoundTrips) {
+    for (const char* spec :
+         {"wait_for=3,timeout=900s", "wait_for=1,timeout=600s",
+          "wait_all,timeout=900s", "deadline=45s", "deadline=1500ms",
+          "adaptive,base=10s,extend=5s,max=60s"}) {
+        const auto policy = make_wait_policy(spec);
+        EXPECT_EQ(policy->spec(), spec);
+        // The canonical spec reconstructs an identical policy.
+        EXPECT_EQ(make_wait_policy(policy->spec())->spec(), policy->spec());
+    }
+}
+
+TEST(PolicyFactory, ParsesDurationsAndValues) {
+    const auto policy = make_wait_policy("wait_for=2,timeout=1500ms");
+    const auto* wait_for_k = dynamic_cast<const WaitForK*>(policy.get());
+    ASSERT_NE(wait_for_k, nullptr);
+    EXPECT_EQ(wait_for_k->k(), 2u);
+    EXPECT_EQ(wait_for_k->timeout(), net::ms(1500));
+
+    const auto adaptive = make_wait_policy("adaptive,base=90s");
+    const auto* ad = dynamic_cast<const AdaptiveDeadline*>(adaptive.get());
+    ASSERT_NE(ad, nullptr);
+    EXPECT_EQ(ad->base(), net::seconds(90));
+    EXPECT_EQ(ad->max(), net::seconds(300));  // default retained
+}
+
+TEST(PolicyFactory, ParsesEveryAggregationStrategy) {
+    EXPECT_EQ(make_aggregation_strategy("best_combination")->name(),
+              "best_combination");
+    EXPECT_EQ(make_aggregation_strategy("consider")->name(),
+              "best_combination");
+    EXPECT_EQ(make_aggregation_strategy("fedavg_all")->name(), "fedavg_all");
+    EXPECT_EQ(make_aggregation_strategy("not_consider")->name(),
+              "fedavg_all");
+    EXPECT_EQ(make_aggregation_strategy("trimmed_mean,trim=2")->name(),
+              "trimmed_mean");
+}
+
+TEST(PolicyFactory, AggregationSpecRoundTrips) {
+    for (const char* spec :
+         {"best_combination", "best_combination,fitness=0.15", "fedavg_all",
+          "trimmed_mean,trim=1", "trimmed_mean,trim=2,fitness=0.2"}) {
+        const auto strategy = make_aggregation_strategy(spec);
+        EXPECT_EQ(strategy->spec(), spec);
+        EXPECT_EQ(make_aggregation_strategy(strategy->spec())->spec(),
+                  strategy->spec());
+    }
+}
+
+TEST(PolicyFactory, RejectsMalformedSpecs) {
+    EXPECT_THROW(make_wait_policy(""), Error);
+    EXPECT_THROW(make_wait_policy("warp_speed"), Error);
+    EXPECT_THROW(make_wait_policy("wait_for"), Error);
+    EXPECT_THROW(make_wait_policy("wait_for=0"), Error);
+    EXPECT_THROW(make_wait_policy("wait_for=two"), Error);
+    EXPECT_THROW(make_wait_policy("wait_for=3,bogus=1"), Error);
+    EXPECT_THROW(make_wait_policy("deadline"), Error);
+    EXPECT_THROW(make_wait_policy("deadline=12parsecs"), Error);
+    EXPECT_THROW(make_wait_policy("adaptive,base=60s,max=10s"), Error);
+    EXPECT_THROW(make_aggregation_strategy(""), Error);
+    EXPECT_THROW(make_aggregation_strategy("median"), Error);
+    EXPECT_THROW(make_aggregation_strategy("best_combination,trim=1"), Error);
+    EXPECT_THROW(make_aggregation_strategy("fedavg_all,fitness=x"), Error);
+}
+
+TEST(PolicyFactory, RejectsValuesOnHeadsThatTakeNone) {
+    // A value attached to a head that does not consume it must be an error,
+    // not silently dropped ("wait_all=60s" is a plausible typo for
+    // "wait_all,timeout=60s").
+    EXPECT_THROW(make_wait_policy("wait_all=60s"), Error);
+    EXPECT_THROW(make_wait_policy("adaptive=120s"), Error);
+    EXPECT_THROW(make_aggregation_strategy("best_combination=0.15"), Error);
+    EXPECT_THROW(make_aggregation_strategy("fedavg_all=1"), Error);
+    EXPECT_THROW(make_aggregation_strategy("trimmed_mean=2"), Error);
+}
+
+TEST(PolicyFactory, LegacyShimsReproduceOldKnobs) {
+    EXPECT_EQ(legacy_wait_spec(3, net::seconds(900)),
+              "wait_for=3,timeout=900s");
+    // Old K=0 meant "aggregate immediately" — same as K=1 (own update is
+    // always present), clamped into the factory's domain.
+    EXPECT_EQ(legacy_wait_spec(0, net::seconds(900)),
+              "wait_for=1,timeout=900s");
+    const auto policy = make_wait_policy(legacy_wait_spec(1, net::ms(2500)));
+    const auto* wait_for_k = dynamic_cast<const WaitForK*>(policy.get());
+    ASSERT_NE(wait_for_k, nullptr);
+    EXPECT_EQ(wait_for_k->k(), 1u);
+    EXPECT_EQ(wait_for_k->timeout(), net::ms(2500));
+
+    EXPECT_EQ(legacy_aggregation_spec(false, 0.0), "best_combination");
+    EXPECT_EQ(legacy_aggregation_spec(true, 0.0), "fedavg_all");
+    EXPECT_EQ(legacy_aggregation_spec(false, 0.15),
+              "best_combination,fitness=0.15");
+}
+
+// ------------------------------------------------- Deployment integration
+
+TEST(PolicyIntegration, SpecConfigMatchesLegacyConfig) {
+    ml::SyntheticCifarConfig data_config;
+    data_config.train_per_client = 60;
+    data_config.test_per_client = 40;
+    data_config.global_test = 40;
+    data_config.seed = 5;
+    const auto data = ml::make_synthetic_cifar(data_config);
+    const fl::FlTask task = fl::make_simple_nn_task(data, 5);
+
+    DecentralizedConfig legacy;
+    legacy.rounds = 1;
+    legacy.train_duration = net::seconds(5);
+    legacy.initial_difficulty = 300;
+    legacy.min_difficulty = 64;
+    legacy.target_interval_ms = 2000;
+    legacy.hash_rate_per_node = 300.0;
+    legacy.wait_for_models = 1;
+    legacy.aggregate_all = true;
+
+    DecentralizedConfig spec_based = legacy;
+    // The spec route: same policies, deprecated knobs left at defaults
+    // (setting both trips the ignored-knob guard, tested below).
+    spec_based.wait_for_models = DecentralizedConfig{}.wait_for_models;
+    spec_based.aggregate_all = DecentralizedConfig{}.aggregate_all;
+    spec_based.wait_policy = "wait_for=1,timeout=900s";
+    spec_based.aggregation = "fedavg_all";
+
+    const auto a = run_decentralized(task, legacy);
+    const auto b = run_decentralized(task, spec_based);
+    EXPECT_EQ(a.finished_at, b.finished_at);
+    ASSERT_EQ(a.peer_records.size(), b.peer_records.size());
+    for (std::size_t peer = 0; peer < a.peer_records.size(); ++peer) {
+        ASSERT_EQ(a.peer_records[peer].size(), b.peer_records[peer].size());
+        for (std::size_t r = 0; r < a.peer_records[peer].size(); ++r) {
+            EXPECT_EQ(a.peer_records[peer][r].chosen_label,
+                      b.peer_records[peer][r].chosen_label);
+            EXPECT_EQ(a.peer_records[peer][r].chosen_accuracy,
+                      b.peer_records[peer][r].chosen_accuracy);
+            EXPECT_EQ(a.peer_records[peer][r].aggregated_at,
+                      b.peer_records[peer][r].aggregated_at);
+        }
+    }
+}
+
+TEST(PolicyIntegration, RejectsSpecPlusModifiedDeprecatedKnobs) {
+    // Once a spec is set the deprecated knobs are dead; changing them too
+    // (the pre-policy idiom `paper_chain_config(); wait_for_models = 1;`)
+    // must fail loudly instead of silently running the spec.
+    ml::SyntheticCifarConfig data_config;
+    data_config.train_per_client = 40;
+    data_config.test_per_client = 30;
+    data_config.global_test = 30;
+    const auto data = ml::make_synthetic_cifar(data_config);
+    const fl::FlTask task = fl::make_simple_nn_task(data, 5);
+
+    DecentralizedConfig config;
+    config.rounds = 1;
+    config.wait_policy = "wait_all,timeout=900s";
+    config.wait_for_models = 1;  // dead knob, modified
+    EXPECT_THROW(run_decentralized(task, config), Error);
+
+    DecentralizedConfig agg_config;
+    agg_config.rounds = 1;
+    agg_config.aggregation = "best_combination";
+    agg_config.aggregate_all = true;  // dead knob, modified
+    EXPECT_THROW(run_decentralized(task, agg_config), Error);
+}
+
+TEST(PolicyIntegration, AdaptiveDeadlineRunsToCompletion) {
+    ml::SyntheticCifarConfig data_config;
+    data_config.train_per_client = 60;
+    data_config.test_per_client = 40;
+    data_config.global_test = 40;
+    data_config.seed = 6;
+    const auto data = ml::make_synthetic_cifar(data_config);
+    const fl::FlTask task = fl::make_simple_nn_task(data, 5);
+
+    DecentralizedConfig config;
+    config.rounds = 2;
+    config.train_duration = net::seconds(5);
+    config.initial_difficulty = 300;
+    config.min_difficulty = 64;
+    config.target_interval_ms = 2000;
+    config.hash_rate_per_node = 300.0;
+    config.wait_policy = "adaptive,base=10s,extend=20s,max=120s";
+    config.aggregation = "trimmed_mean,trim=1";
+
+    const auto result = run_decentralized(task, config);
+    ASSERT_EQ(result.peer_records.size(), 3u);
+    for (const auto& records : result.peer_records) {
+        ASSERT_EQ(records.size(), 2u);
+        for (const PeerRoundRecord& record : records) {
+            EXPECT_GE(record.models_available, 1u);
+            ASSERT_EQ(record.combos.size(), 1u);  // robust single combo
+            EXPECT_GT(record.chosen_accuracy, 0.0);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace bcfl::core
