@@ -17,6 +17,9 @@ namespace {
 
 using namespace bcfl;
 
+bench::Json g_miner_points = bench::Json::array();
+bench::Json g_deployment_points = bench::Json::array();
+
 void BM_MinerUnderLoad(benchmark::State& state) {
     for (auto _ : state) {
         bench::print_title(
@@ -43,6 +46,10 @@ void BM_MinerUnderLoad(benchmark::State& state) {
                     : 0.0;
             std::printf("%12.2f %22.2f %14llu\n", load, interval,
                         static_cast<unsigned long long>(node.chain().height()));
+            g_miner_points.push(bench::Json::object()
+                                    .set("cpu_load", load)
+                                    .set("mean_interval_s", interval)
+                                    .set("blocks", node.chain().height()));
         }
     }
 }
@@ -64,6 +71,12 @@ void BM_DeploymentWithContention(benchmark::State& state) {
             std::printf("%24.2f %18.1f %18.1f %14llu\n", load,
                         result.mean_round_seconds, result.mean_wait_seconds,
                         static_cast<unsigned long long>(result.chain_height));
+            g_deployment_points.push(
+                bench::Json::object()
+                    .set("train_cpu_load", load)
+                    .set("mean_round_s", result.mean_round_seconds)
+                    .set("mean_wait_s", result.mean_wait_seconds)
+                    .set("chain_height", result.chain_height));
         }
     }
 }
@@ -72,4 +85,17 @@ void BM_DeploymentWithContention(benchmark::State& state) {
 
 BENCHMARK(BM_MinerUnderLoad)->Unit(benchmark::kSecond)->Iterations(1);
 BENCHMARK(BM_DeploymentWithContention)->Unit(benchmark::kSecond)->Iterations(1);
-BENCHMARK_MAIN();
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    bench::write_bench_json(
+        "dual_task_contention",
+        bench::Json::object()
+            .set("bench", "dual_task_contention")
+            .set("miner_under_load", std::move(g_miner_points))
+            .set("deployment_with_contention",
+                 std::move(g_deployment_points)));
+    return 0;
+}

@@ -22,6 +22,9 @@ namespace {
 
 using namespace bcfl;
 
+bench::Json g_defenses = bench::Json::array();
+bench::Json g_attribution = bench::Json::object();
+
 struct DefenseOutcome {
     double final_accuracy = 0.0;
     double mean_filtered_per_round = 0.0;
@@ -77,6 +80,12 @@ void BM_PoisoningDefense(benchmark::State& state) {
             std::printf("%-42s %16.4f %18.2f\n", defense.label,
                         outcome.final_accuracy,
                         outcome.mean_filtered_per_round);
+            g_defenses.push(
+                bench::Json::object()
+                    .set("agg_spec", defense.spec)
+                    .set("final_accuracy", outcome.final_accuracy)
+                    .set("mean_filtered_per_round",
+                         outcome.mean_filtered_per_round));
         }
 
         std::printf("\nexpected shape: fedavg_all < best_combination <= "
@@ -98,7 +107,10 @@ void BM_PoisonAttribution(benchmark::State& state) {
         config.rounds = 2;
         config.poisoned_peers = {2};
         const auto result = core::run_decentralized(task, config);
-        (void)result;
+        g_attribution = bench::Json::object()
+                            .set("rounds", std::uint64_t{2})
+                            .set("poisoned_peer", std::uint64_t{2})
+                            .set("chain_height", result.chain_height);
         std::printf(
             "deployment finished (height %llu). Audit procedure: locate the\n"
             "publish transaction for (round, C), verify its Schnorr "
@@ -113,4 +125,15 @@ void BM_PoisonAttribution(benchmark::State& state) {
 
 BENCHMARK(BM_PoisoningDefense)->Unit(benchmark::kSecond)->Iterations(1);
 BENCHMARK(BM_PoisonAttribution)->Unit(benchmark::kSecond)->Iterations(1);
-BENCHMARK_MAIN();
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    bench::write_bench_json("poisoning_defense",
+                            bench::Json::object()
+                                .set("bench", "poisoning_defense")
+                                .set("defenses", std::move(g_defenses))
+                                .set("attribution", std::move(g_attribution)));
+    return 0;
+}

@@ -2,12 +2,14 @@
 //
 // Run any deployment configuration without recompiling:
 //
-//   $ ./build/examples/bcfl_cli --model=simple --rounds=4 --wait=2
+//   $ ./build/examples/bcfl_cli --model=simple --rounds=4 --wait-policy=wait_for=2
 //   $ ./build/examples/bcfl_cli --wait-policy=adaptive,base=60s,max=300s
 //   $ ./build/examples/bcfl_cli --agg=trimmed_mean,trim=1 --poison=2
+//   $ ./build/examples/bcfl_cli --agg staleness_fedavg,half_life=2r --straggler=2
+//   $ ./build/examples/bcfl_cli --wait-policy schedule,1-5:wait_all,6+:deadline=600s
 //   $ ./build/examples/bcfl_cli --mode=vanilla --policy=consider
 //
-// Flags (all optional):
+// Flags (all optional, "--flag=VALUE" or "--flag VALUE"):
 //   --mode=decentralized|vanilla   experiment family        [decentralized]
 //   --model=simple|effnet          model family             [simple]
 //   --rounds=N                     communication rounds     [3]
@@ -15,15 +17,19 @@
 //                                  wait_for=K[,timeout=T] | wait_all[,...]
 //                                  | deadline=T | adaptive[,base=T]
 //                                  [,extend=T][,max=T]
+//                                  | schedule,1-5:SPEC,6+:SPEC
 //   --agg=SPEC                     AggregationStrategy factory spec:
 //                                  best_combination[,fitness=F] |
-//                                  fedavg_all | trimmed_mean[,trim=M]
-//   --wait=K                       deprecated: wait-for-K   [3]
+//                                  fedavg_all | trimmed_mean[,trim=M] |
+//                                  staleness_fedavg[,half_life=Nr|T] |
+//                                  reputation[,alpha=A][,floor=L]
 //   --alpha=F                      Dirichlet heterogeneity  [30.0]
 //   --train=N                      samples per client       [300]
 //   --seed=N                       experiment seed          [2024]
 //   --poison=I                     peer index publishing poisoned updates
-//   --threshold=F                  deprecated: fitness pre-filter [0]
+//   --straggler=I                  peer index training slowly (see
+//                                  --straggler-train)
+//   --straggler-train=SECONDS      straggler training time  [400]
 //   --policy=consider|not-consider vanilla aggregation      [consider]
 //   --pad=BYTES                    payload ballast (chain)  [0]
 #include <cstdio>
@@ -47,41 +53,49 @@ struct CliOptions {
     std::string wait_policy;  // WaitPolicy factory spec (core/policy.hpp)
     std::string agg;          // AggregationStrategy factory spec
     std::size_t rounds = 3;
-    std::size_t wait = 3;
-    bool wait_set = false;       // deprecated --wait given explicitly
     double alpha = 30.0;
     std::size_t train = 300;
     std::uint64_t seed = 2024;
     int poison = -1;
-    double threshold = 0.0;
-    bool threshold_set = false;  // deprecated --threshold given explicitly
+    int straggler = -1;
+    std::size_t straggler_train = 400;  // seconds
     std::size_t pad = 0;
 };
 
-bool parse_flag(const char* arg, const char* name, std::string& out) {
+/// Accepts both "--name=value" and "--name value" spellings.
+bool parse_flag(int argc, char** argv, int& i, const char* name,
+                std::string& out) {
+    const char* arg = argv[i];
     const std::size_t n = std::strlen(name);
-    if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
-    out = arg + n + 1;
-    return true;
+    if (std::strncmp(arg, name, n) != 0) return false;
+    if (arg[n] == '=') {
+        out = arg + n + 1;
+        return true;
+    }
+    if (arg[n] == '\0' && i + 1 < argc) {
+        out = argv[++i];
+        return true;
+    }
+    return false;
 }
 
 CliOptions parse(int argc, char** argv) {
     CliOptions options;
     for (int i = 1; i < argc; ++i) {
         std::string value;
-        if (parse_flag(argv[i], "--mode", value)) options.mode = value;
-        else if (parse_flag(argv[i], "--model", value)) options.model = value;
-        else if (parse_flag(argv[i], "--policy", value)) options.policy = value;
-        else if (parse_flag(argv[i], "--wait-policy", value)) options.wait_policy = value;
-        else if (parse_flag(argv[i], "--agg", value)) options.agg = value;
-        else if (parse_flag(argv[i], "--rounds", value)) options.rounds = std::stoul(value);
-        else if (parse_flag(argv[i], "--wait", value)) { options.wait = std::stoul(value); options.wait_set = true; }
-        else if (parse_flag(argv[i], "--alpha", value)) options.alpha = std::stod(value);
-        else if (parse_flag(argv[i], "--train", value)) options.train = std::stoul(value);
-        else if (parse_flag(argv[i], "--seed", value)) options.seed = std::stoull(value);
-        else if (parse_flag(argv[i], "--poison", value)) options.poison = std::stoi(value);
-        else if (parse_flag(argv[i], "--threshold", value)) { options.threshold = std::stod(value); options.threshold_set = true; }
-        else if (parse_flag(argv[i], "--pad", value)) options.pad = std::stoul(value);
+        if (parse_flag(argc, argv, i, "--mode", value)) options.mode = value;
+        else if (parse_flag(argc, argv, i, "--model", value)) options.model = value;
+        else if (parse_flag(argc, argv, i, "--policy", value)) options.policy = value;
+        else if (parse_flag(argc, argv, i, "--wait-policy", value)) options.wait_policy = value;
+        else if (parse_flag(argc, argv, i, "--agg", value)) options.agg = value;
+        else if (parse_flag(argc, argv, i, "--rounds", value)) options.rounds = std::stoul(value);
+        else if (parse_flag(argc, argv, i, "--alpha", value)) options.alpha = std::stod(value);
+        else if (parse_flag(argc, argv, i, "--train", value)) options.train = std::stoul(value);
+        else if (parse_flag(argc, argv, i, "--seed", value)) options.seed = std::stoull(value);
+        else if (parse_flag(argc, argv, i, "--poison", value)) options.poison = std::stoi(value);
+        else if (parse_flag(argc, argv, i, "--straggler", value)) options.straggler = std::stoi(value);
+        else if (parse_flag(argc, argv, i, "--straggler-train", value)) options.straggler_train = std::stoul(value);
+        else if (parse_flag(argc, argv, i, "--pad", value)) options.pad = std::stoul(value);
         else {
             std::fprintf(stderr, "unknown flag: %s (see header comment)\n",
                          argv[i]);
@@ -123,35 +137,21 @@ int run_vanilla_mode(const CliOptions& options, const fl::FlTask& task) {
 }
 
 int run_decentralized_mode(const CliOptions& options, const fl::FlTask& task) {
-    // Mirror BcflPeer's ignored-knob guard at the flag level: a deprecated
-    // flag alongside its replacement would be silently dead — refuse it.
-    if (!options.wait_policy.empty() && options.wait_set) {
-        std::fprintf(stderr,
-                     "use either --wait-policy or the deprecated --wait\n");
-        return 2;
-    }
-    if (!options.agg.empty() && options.threshold_set) {
-        std::fprintf(stderr,
-                     "use either --agg (with fitness=F) or the deprecated "
-                     "--threshold\n");
-        return 2;
-    }
     core::DecentralizedConfig config = core::paper_chain_config();
     config.rounds = options.rounds;
     config.seed = options.seed;
     config.payload_pad_bytes = options.pad;
-    // Explicit specs win; the deprecated --wait / --threshold flags forward
-    // into the same factory.
-    config.wait_policy = options.wait_policy.empty()
-                             ? core::legacy_wait_spec(options.wait,
-                                                      net::seconds(900))
-                             : options.wait_policy;
-    config.aggregation =
-        options.agg.empty()
-            ? core::legacy_aggregation_spec(false, options.threshold)
-            : options.agg;
+    // Explicit specs win; otherwise the paper defaults from
+    // paper_chain_config ("wait_all" + "best_combination") apply.
+    if (!options.wait_policy.empty()) config.wait_policy = options.wait_policy;
+    if (!options.agg.empty()) config.aggregation = options.agg;
     if (options.poison >= 0) {
         config.poisoned_peers = {static_cast<std::size_t>(options.poison)};
+    }
+    if (options.straggler >= 0) {
+        config.stragglers = {static_cast<std::size_t>(options.straggler)};
+        config.straggler_train_duration =
+            net::seconds(options.straggler_train);
     }
 
     // Validate the specs up front so a typo is a clean CLI error instead of
@@ -174,9 +174,13 @@ int run_decentralized_mode(const CliOptions& options, const fl::FlTask& task) {
     for (std::size_t peer = 0; peer < result.peer_records.size(); ++peer) {
         std::printf("peer %c:\n", static_cast<char>('A' + peer));
         for (const core::PeerRoundRecord& record : result.peer_records[peer]) {
-            std::printf("  r%zu t=%.0fs models=%zu%s chosen=%-6s acc=%.4f",
-                        record.round, net::to_seconds(record.aggregated_at),
-                        record.models_available,
+            std::printf("  r%zu t=%.0fs models=%zu", record.round,
+                        net::to_seconds(record.aggregated_at),
+                        record.models_available);
+            if (record.stale_models_used > 0) {
+                std::printf(" (%zu stale)", record.stale_models_used);
+            }
+            std::printf("%s chosen=%-6s acc=%.4f",
                         record.timed_out ? " (timeout)" : "",
                         record.chosen_label.c_str(), record.chosen_accuracy);
             if (!record.filtered_out.empty()) {

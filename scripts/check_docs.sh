@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Docs job: two fast, dependency-free checks over the markdown set.
+#
+#   1. Every intra-repo markdown link (relative path in `[...](...)`)
+#      resolves to an existing file or directory.
+#   2. Every policy spec head registered in the core/policy.cpp factories
+#      is documented in docs/policies.md.
+#
+#   $ scripts/check_docs.sh        # from anywhere; exits non-zero on failure
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+fail=0
+
+echo "== docs: intra-repo markdown links =="
+# All tracked markdown (top level + docs/); falls back to a glob outside git.
+if command -v git >/dev/null && git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  mapfile -t md_files < <(git ls-files --cached --others --exclude-standard '*.md')
+else
+  md_files=(*.md docs/*.md)
+fi
+
+checked=0
+for file in "${md_files[@]}"; do
+  dir=$(dirname "$file")
+  # Inline links: capture the (...) target of [...](...). One per line.
+  while IFS= read -r target; do
+    # External schemes and pure in-page anchors are out of scope.
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    target="${target%%#*}"            # strip an anchor suffix
+    [ -z "$target" ] && continue
+    checked=$((checked + 1))
+    if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+      echo "BROKEN LINK: $file -> $target"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$file" | sed -E 's/^\]\(//; s/\)$//; s/[[:space:]].*$//')
+done
+echo "checked ${checked} intra-repo links across ${#md_files[@]} markdown files"
+
+echo "== docs: factory spec heads documented in docs/policies.md =="
+# Spec heads are the string literals the factories compare against.
+mapfile -t heads < <(grep -oE 'head == "[a-z_]+"' src/core/policy.cpp \
+  | sed -E 's/head == "([a-z_]+)"/\1/' | sort -u)
+if [ "${#heads[@]}" -lt 5 ]; then
+  echo "suspiciously few spec heads parsed from src/core/policy.cpp (${#heads[@]})"
+  fail=1
+fi
+for head in "${heads[@]}"; do
+  # The head must appear in code context: opening backtick, the head, then
+  # a non-identifier character (`=`, `[`, `,`, a closing backtick, ...).
+  # A bare substring grep would pass vacuously — "sync" inside
+  # "synchronous", "all" inside "wait_all".
+  if ! grep -qE '`'"${head}"'[^a-z_]' docs/policies.md; then
+    echo "UNDOCUMENTED POLICY SPEC: \"$head\" (registered in src/core/policy.cpp, missing from docs/policies.md)"
+    fail=1
+  fi
+done
+echo "verified ${#heads[@]} spec heads: ${heads[*]}"
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs.sh: FAILED"
+  exit 1
+fi
+echo "check_docs.sh: all green"

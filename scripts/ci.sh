@@ -1,15 +1,20 @@
 #!/usr/bin/env bash
-# Tier-1 verification + strict-warnings build, exactly what CI runs.
+# Tier-1 verification + strict-warnings build + docs checks, exactly what
+# CI runs.
 #
 #   $ scripts/ci.sh            # from the repo root
 #
-# 1. Default configure, full build, ctest (the ROADMAP tier-1 line).
-# 2. A second configure with -Wall -Wextra -Werror to keep the tree
+# 1. Docs: markdown links resolve, every factory policy spec is documented.
+# 2. Default configure, full build, ctest (the ROADMAP tier-1 line).
+# 3. A second configure with -Wall -Wextra -Werror to keep the tree
 #    warning-clean.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
+
+echo "== docs: links + policy-spec coverage =="
+scripts/check_docs.sh
 
 echo "== tier-1: configure + build + ctest =="
 cmake -B build -S .

@@ -41,16 +41,18 @@ DecentralizedResult run_decentralized(const fl::FlTask& task,
         peer_config.train_cpu_load = config.train_cpu_load;
         peer_config.chunk_bytes = config.chunk_bytes;
         peer_config.payload_pad_bytes = config.payload_pad_bytes;
-        // Policy specs win; empty specs fall back to the deprecated knobs
-        // (forwarded into the same factory inside BcflPeer).
         peer_config.wait_policy = config.wait_policy;
         peer_config.aggregation = config.aggregation;
-        peer_config.wait_for_models = config.wait_for_models;
-        peer_config.wait_timeout = config.wait_timeout;
-        peer_config.fitness_threshold = config.fitness_threshold;
-        peer_config.aggregate_all = config.aggregate_all;
         for (std::size_t poisoned : config.poisoned_peers) {
             if (poisoned == i) peer_config.poison_updates = true;
+        }
+        if (config.straggler_train_duration > 0) {
+            for (std::size_t straggler : config.stragglers) {
+                if (straggler == i) {
+                    peer_config.train_duration =
+                        config.straggler_train_duration;
+                }
+            }
         }
         peers.push_back(std::make_unique<BcflPeer>(sim, *nodes[i], task,
                                                    roster, peer_config));

@@ -21,24 +21,25 @@ struct DecentralizedConfig {
     std::size_t rounds = 10;
 
     /// WaitPolicy factory spec applied by every peer (see core/policy.hpp),
-    /// e.g. "wait_all,timeout=900s" or "adaptive,base=60s,extend=30s,
-    /// max=300s". Empty: derived from the deprecated wait knobs below.
-    std::string wait_policy;
+    /// e.g. "wait_all,timeout=900s", "adaptive,base=60s,extend=30s,max=300s"
+    /// or "schedule,1-5:wait_all,6+:deadline=600s".
+    std::string wait_policy = "wait_for=3,timeout=900s";
     /// AggregationStrategy factory spec applied by every peer, e.g.
-    /// "best_combination" or "trimmed_mean,trim=1". Empty: derived from the
-    /// deprecated aggregation knobs below.
-    std::string aggregation;
-
-    /// \deprecated Use `wait_policy`. K in wait-for-K aggregation;
-    /// peers.size() = synchronous.
-    std::size_t wait_for_models = 3;
-    /// \deprecated Use `wait_policy`.
-    net::SimTime wait_timeout = net::seconds(900);
+    /// "best_combination", "trimmed_mean,trim=1" or
+    /// "staleness_fedavg,half_life=2r".
+    std::string aggregation = "best_combination";
 
     net::SimTime train_duration = net::seconds(30);
     double train_cpu_load = 0.8;
     std::size_t chunk_bytes = 24 * 1024;
     std::size_t payload_pad_bytes = 0;
+
+    /// Peers (by index) that train slower than the rest — the generator of
+    /// the paper's timeout scenario (a straggler misses every deadline, so
+    /// deadline-style policies take the asynchronous path each round).
+    std::vector<std::size_t> stragglers;
+    /// Training duration applied to stragglers (0: same as train_duration).
+    net::SimTime straggler_train_duration = 0;
 
     // Chain parameters (paper-ish: PoW private net, ~6 s blocks).
     std::uint64_t initial_difficulty = 1200;
@@ -51,14 +52,8 @@ struct DecentralizedConfig {
     /// Simulated-time safety cap.
     net::SimTime max_sim_time = net::seconds(200'000);
 
-    /// \deprecated Use `aggregation`. §III-A fitness pre-filter threshold
-    /// applied by every honest peer (0 disables).
-    double fitness_threshold = 0.0;
     /// Peers (by index) that publish poisoned updates.
     std::vector<std::size_t> poisoned_peers;
-    /// \deprecated Use `aggregation`. All peers aggregate everything
-    /// ("not consider" baseline).
-    bool aggregate_all = false;
 };
 
 struct DecentralizedResult {

@@ -28,6 +28,14 @@ void ModelStore::sync(const chain::Blockchain& chain) {
 
 void ModelStore::ingest(const chain::Block& block,
                         const std::vector<chain::Receipt>& receipts) {
+    // Completion time = timestamp of the block that delivered the final
+    // piece, so staleness decay works off on-chain arrival, not local polls.
+    const net::SimTime block_time = net::ms(block.header.timestamp_ms);
+    const auto stamp_if_complete = [block_time](PublishedModel& model) {
+        if (model.completed_at == 0 && model.complete()) {
+            model.completed_at = block_time;
+        }
+    };
     for (std::size_t i = 0;
          i < block.transactions.size() && i < receipts.size(); ++i) {
         const chain::Transaction& tx = block.transactions[i];
@@ -42,6 +50,7 @@ void ModelStore::ingest(const chain::Block& block,
                 model.model_hash = published->model_hash;
                 model.chunk_count = published->chunk_count;
                 model.size_bytes = published->size_bytes;
+                stamp_if_complete(model);
                 continue;
             }
             if (const auto chunk = abi::parse_chunk(log)) {
@@ -56,6 +65,7 @@ void ModelStore::ingest(const chain::Block& block,
                 model.owner = chunk->publisher;
                 model.round = chunk->round;
                 model.chunks[chunk->index] = *payload;
+                stamp_if_complete(model);
             }
         }
     }
@@ -84,6 +94,22 @@ const PublishedModel* ModelStore::find(std::uint64_t round,
                                        const Address& owner) const {
     const auto it = models_.find({round, owner});
     return it == models_.end() ? nullptr : &it->second;
+}
+
+const PublishedModel* ModelStore::latest_complete(
+    const Address& owner, std::uint64_t before_round) const {
+    // Keys are ordered by (round, owner): walk backwards from the first key
+    // at `before_round` and return the newest complete model by `owner`.
+    const PublishedModel* best = nullptr;
+    for (auto it = models_.lower_bound({before_round, Address{}});
+         it != models_.begin();) {
+        --it;
+        if (it->second.owner == owner && it->second.complete()) {
+            best = &it->second;
+            break;
+        }
+    }
+    return best;
 }
 
 }  // namespace bcfl::core

@@ -14,6 +14,7 @@
 
 #include "chain/blockchain.hpp"
 #include "common/bytes.hpp"
+#include "net/sim.hpp"
 
 namespace bcfl::core {
 
@@ -24,6 +25,9 @@ struct PublishedModel {
     std::uint64_t chunk_count = 0;
     std::uint64_t size_bytes = 0;
     std::map<std::uint64_t, Bytes> chunks;  // index -> verified payload
+    /// Timestamp of the block whose ingestion completed the model (0 while
+    /// incomplete) — the arrival time staleness-aware aggregation decays by.
+    net::SimTime completed_at = 0;
 
     [[nodiscard]] bool complete() const {
         return chunk_count > 0 && chunks.size() == chunk_count;
@@ -47,6 +51,12 @@ public:
 
     [[nodiscard]] const PublishedModel* find(std::uint64_t round,
                                              const Address& owner) const;
+
+    /// The most recent *complete* model from `owner` with
+    /// round < before_round, or nullptr — the stale-update fallback a
+    /// staleness-aware AggregationStrategy backfills from.
+    [[nodiscard]] const PublishedModel* latest_complete(
+        const Address& owner, std::uint64_t before_round) const;
 
     [[nodiscard]] std::size_t blocks_scanned() const {
         return scanned_.size();

@@ -72,6 +72,24 @@ inline DecentralizedConfig paper_chain_config() {
     return config;
 }
 
+/// The paper's timeout scenario as a ready deployment: peer C is a
+/// straggler whose training outlasts the other peers' aggregation deadline
+/// every round, so a deadline-style policy takes the "not to wait" path and
+/// aggregates without C's current model. This is the setting where
+/// staleness-weighted aggregation (bench/async_staleness) earns its keep:
+/// C's previous-round model re-enters the mix at a decayed weight instead
+/// of being dropped entirely.
+inline DecentralizedConfig paper_straggler_config() {
+    DecentralizedConfig config = paper_chain_config();
+    config.rounds = 6;
+    config.wait_policy = "deadline=120s";
+    config.aggregation = "fedavg_all";
+    config.train_duration = net::seconds(45);
+    config.stragglers = {2};
+    config.straggler_train_duration = net::seconds(400);
+    return config;
+}
+
 /// Paper-reported serialized model sizes, used by the trade-off bench (E4)
 /// to run the chain-side at the real deployment's byte scale.
 constexpr std::size_t kPaperSimpleModelBytes = 248 * 1024;        // 248 KB

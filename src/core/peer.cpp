@@ -19,39 +19,13 @@ BcflPeer::BcflPeer(net::Simulation& sim, node::Node& node,
       task_(task),
       roster_(std::move(roster)),
       config_(std::move(config)),
-      wait_policy_(make_wait_policy(
-          config_.wait_policy.empty()
-              ? legacy_wait_spec(config_.wait_for_models, config_.wait_timeout)
-              : config_.wait_policy)),
-      aggregation_(make_aggregation_strategy(
-          config_.aggregation.empty()
-              ? legacy_aggregation_spec(config_.aggregate_all,
-                                        config_.fitness_threshold)
-              : config_.aggregation)),
+      wait_policy_(make_wait_policy(config_.wait_policy)),
+      aggregation_(make_aggregation_strategy(config_.aggregation)),
       model_(task.make_model()),
       probe_(task.make_model()),
       global_weights_(model_->weights()) {
     if (config_.index >= roster_.size()) {
         throw Error("peer: index outside roster");
-    }
-    // Guard against silently ignored knobs: once a policy spec is set, the
-    // deprecated fields are dead — changing them is almost certainly a bug
-    // at the call site (e.g. paper_chain_config() + wait_for_models = 1).
-    const PeerConfig defaults;
-    if (!config_.wait_policy.empty() &&
-        (config_.wait_for_models != defaults.wait_for_models ||
-         config_.wait_timeout != defaults.wait_timeout)) {
-        throw Error(
-            "peer: wait_policy spec is set; the deprecated wait_for_models/"
-            "wait_timeout knobs would be ignored — set one or the other");
-    }
-    if (!config_.aggregation.empty() &&
-        (config_.aggregate_all != defaults.aggregate_all ||
-         config_.fitness_threshold != defaults.fitness_threshold)) {
-        throw Error(
-            "peer: aggregation spec is set; the deprecated aggregate_all/"
-            "fitness_threshold knobs would be ignored — set one or the "
-            "other");
     }
     if (roster_[config_.index] != node_.address()) {
         throw Error("peer: node key does not match roster entry");
@@ -180,6 +154,13 @@ RoundView BcflPeer::round_view() {
         if (const PublishedModel* m = store_.find(current_round_, roster_[c]);
             m != nullptr && m->complete()) {
             ++view.models_available;
+        } else if (aggregation_->wants_stale_updates() &&
+                   store_.latest_complete(roster_[c], current_round_) !=
+                       nullptr) {
+            // Backfill candidate. Counted only when the strategy will
+            // actually consume stale models — the lookup walks the model
+            // map and this runs on every head event and policy timer.
+            ++view.stale_available;
         }
     }
     return view;
@@ -227,11 +208,16 @@ void BcflPeer::aggregate(bool timed_out) {
 
     PeerRoundRecord& record = records_.back();
 
-    // Collect this round's available updates in roster order; what to do
-    // with them (combination search, FedAvg, robust trimming, fitness
-    // filtering) is entirely the AggregationStrategy's business.
+    // Collect this round's available updates in roster order, with their
+    // provenance (origin round, on-chain arrival, staleness); what to do
+    // with them (combination search, FedAvg, robust trimming, staleness
+    // decay, fitness filtering) is entirely the AggregationStrategy's
+    // business. Strategies that opt in via wants_stale_updates get missing
+    // contributors backfilled with their newest earlier-round model.
+    const bool backfill_stale = aggregation_->wants_stale_updates();
     std::vector<fl::ModelUpdate> updates;
     std::vector<std::size_t> roster_indices;
+    std::vector<UpdateMeta> meta;
     std::size_t self_pos = 0;
     for (std::size_t c = 0; c < roster_.size(); ++c) {
         if (c == config_.index) {
@@ -240,14 +226,34 @@ void BcflPeer::aggregate(bool timed_out) {
                 {own_update_,
                  static_cast<double>(task_.client_train[c].size())});
             roster_indices.push_back(c);
+            meta.push_back({current_round_, record.published_at, 0});
             continue;
         }
-        auto weights = chain_weights(current_round_, roster_[c]);
-        if (!weights.has_value()) continue;
+        if (auto weights = chain_weights(current_round_, roster_[c]);
+            weights.has_value()) {
+            const PublishedModel* m = store_.find(current_round_, roster_[c]);
+            updates.push_back(
+                {std::move(*weights),
+                 static_cast<double>(task_.client_train[c].size())});
+            roster_indices.push_back(c);
+            meta.push_back({current_round_, m->completed_at, 0});
+            continue;
+        }
+        if (!backfill_stale) continue;
+        const PublishedModel* stale =
+            store_.latest_complete(roster_[c], current_round_);
+        if (stale == nullptr) continue;
+        auto weights = chain_weights(stale->round, roster_[c]);
+        if (!weights.has_value()) continue;  // integrity check failed
         updates.push_back(
             {std::move(*weights),
              static_cast<double>(task_.client_train[c].size())});
         roster_indices.push_back(c);
+        meta.push_back({static_cast<std::size_t>(stale->round),
+                        stale->completed_at,
+                        static_cast<std::size_t>(current_round_) -
+                            static_cast<std::size_t>(stale->round)});
+        ++record.stale_models_used;
     }
 
     record.timed_out = timed_out;
@@ -255,8 +261,11 @@ void BcflPeer::aggregate(bool timed_out) {
     AggregationInput input;
     input.updates = updates;
     input.roster_indices = roster_indices;
+    input.meta = meta;
     input.self_pos = self_pos;
     input.roster_size = roster_.size();
+    input.round = current_round_;
+    input.now = sim_.now();
     input.names = client_names();
     input.evaluate = [this](std::span<const float> candidate) {
         probe_->set_weights(candidate);

@@ -47,26 +47,12 @@ struct PeerConfig {
     bool poison_updates = false;
 
     /// WaitPolicy factory spec (see core/policy.hpp), e.g.
-    /// "wait_for=3,timeout=900s" or "adaptive,base=60s,extend=30s,max=300s".
-    /// Empty: derived from the deprecated knobs below via legacy_wait_spec.
-    std::string wait_policy;
-    /// AggregationStrategy factory spec, e.g. "best_combination" or
-    /// "trimmed_mean,trim=1". Empty: derived from the deprecated knobs
-    /// below via legacy_aggregation_spec.
-    std::string aggregation;
-
-    /// \deprecated Use `wait_policy`. Aggregate as soon as this many
-    /// complete models (incl. own) exist; forwarded into the factory.
-    std::size_t wait_for_models = 3;
-    /// \deprecated Use `wait_policy`. Asynchronous safety valve.
-    net::SimTime wait_timeout = net::seconds(900);
-    /// \deprecated Use `aggregation`. §III-A fitness pre-filter: a received
-    /// model whose *solo* accuracy on this peer's test set falls below the
-    /// threshold is excluded from aggregation (0 disables).
-    double fitness_threshold = 0.0;
-    /// \deprecated Use `aggregation`. Vanilla behaviour ("not consider"):
-    /// always FedAvg every available update.
-    bool aggregate_all = false;
+    /// "wait_all,timeout=900s", "adaptive,base=60s,extend=30s,max=300s" or
+    /// "schedule,1-5:wait_all,6+:deadline=600s".
+    std::string wait_policy = "wait_for=3,timeout=900s";
+    /// AggregationStrategy factory spec, e.g. "best_combination",
+    /// "trimmed_mean,trim=1" or "staleness_fedavg,half_life=2r".
+    std::string aggregation = "best_combination";
 };
 
 struct PeerRoundRecord {
@@ -75,6 +61,10 @@ struct PeerRoundRecord {
     std::string chosen_label;
     double chosen_accuracy = 0.0;
     std::size_t models_available = 0;
+    /// Of `models_available`, how many were stale backfills — an
+    /// earlier-round model standing in for a missing current-round one
+    /// (only a strategy with `wants_stale_updates` receives any).
+    std::size_t stale_models_used = 0;
     /// Roster indices dropped by the fitness threshold this round.
     std::vector<std::size_t> filtered_out;
     bool timed_out = false;

@@ -205,7 +205,7 @@ TEST(Decentralized, SynchronousRoundsComplete) {
     const auto data = tiny_data();
     const fl::FlTask task = fl::make_simple_nn_task(data, 5);
     DecentralizedConfig config = fast_config();
-    config.wait_for_models = 3;
+    config.wait_policy = "wait_for=3,timeout=900s";
     const DecentralizedResult result = run_decentralized(task, config);
 
     ASSERT_EQ(result.peer_records.size(), 3u);
@@ -248,7 +248,7 @@ TEST(Decentralized, AsyncWaitForOneUsesFewerModels) {
     const fl::FlTask task = fl::make_simple_nn_task(data, 5);
     DecentralizedConfig config = fast_config();
     config.rounds = 1;
-    config.wait_for_models = 1;  // do not wait for anyone
+    config.wait_policy = "wait_for=1,timeout=900s";  // do not wait for anyone
     const DecentralizedResult result = run_decentralized(task, config);
     // At least one peer should have aggregated before all 3 models arrived.
     std::size_t min_models = 99;
@@ -265,9 +265,9 @@ TEST(Decentralized, AsyncIsFasterThanSync) {
     const fl::FlTask task = fl::make_simple_nn_task(data, 5);
     DecentralizedConfig sync_config = fast_config();
     sync_config.rounds = 2;
-    sync_config.wait_for_models = 3;
+    sync_config.wait_policy = "wait_for=3,timeout=900s";
     DecentralizedConfig async_config = sync_config;
-    async_config.wait_for_models = 1;
+    async_config.wait_policy = "wait_for=1,timeout=900s";
     const auto sync_result = run_decentralized(task, sync_config);
     const auto async_result = run_decentralized(task, async_config);
     EXPECT_LE(async_result.mean_round_seconds,

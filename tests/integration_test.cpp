@@ -152,7 +152,7 @@ TEST(Integration, AsyncPeersDriftAcrossRounds) {
     const fl::FlTask task = paper_simple_task(data);
     DecentralizedConfig config = quick_chain();
     config.rounds = 3;
-    config.wait_for_models = 1;  // nobody waits
+    config.wait_policy = "wait_for=1,timeout=900s";  // nobody waits
     const auto result = run_decentralized(task, config);
     // Every peer completes all rounds even though they never synchronize.
     for (const auto& records : result.peer_records) {
@@ -183,7 +183,7 @@ TEST(Integration, PoisonedPeerDegradesFedAvgAll) {
     DecentralizedConfig config = quick_chain();
     config.rounds = 2;
     config.poisoned_peers = {2};
-    config.aggregate_all = true;
+    config.aggregation = "fedavg_all";
     const auto poisoned = run_decentralized(task, config);
 
     DecentralizedConfig clean_config = config;
@@ -201,7 +201,7 @@ TEST(Integration, FitnessThresholdFiltersPoisonedModel) {
     DecentralizedConfig config = quick_chain();
     config.rounds = 2;
     config.poisoned_peers = {2};
-    config.fitness_threshold = 0.15;
+    config.aggregation = "best_combination,fitness=0.15";
     const auto result = run_decentralized(task, config);
 
     // Honest peers should have filtered client C at least once.
@@ -230,7 +230,7 @@ TEST(Integration, AggregateAllProducesSingleCombo) {
     const fl::FlTask task = paper_simple_task(data);
     DecentralizedConfig config = quick_chain();
     config.rounds = 1;
-    config.aggregate_all = true;
+    config.aggregation = "fedavg_all";
     const auto result = run_decentralized(task, config);
     for (const auto& records : result.peer_records) {
         ASSERT_EQ(records[0].combos.size(), 1u);

@@ -1,7 +1,9 @@
 // Unit tests for the pluggable WaitPolicy / AggregationStrategy API
 // (core/policy.hpp): decision logic of every policy, robust aggregation
-// under a sign-flipped (poisoned) update, the string-spec factory
-// round-trips, and the legacy-knob shims.
+// under a sign-flipped (poisoned) update, staleness decay math, reputation
+// smoothing, per-round policy scheduling, the string-spec factory
+// round-trips, and proof that the removed legacy knobs neither compile nor
+// parse.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -147,6 +149,72 @@ TEST(AdaptiveDeadline, BeginWaitResetsState) {
     EXPECT_EQ(policy.current_deadline(), net::seconds(1060));
 }
 
+// -------------------------------------------------------- ScheduledPolicy
+
+RoundView round_view_at(std::size_t round, net::SimTime now,
+                        std::size_t available) {
+    RoundView view = view_at(now, available);
+    view.round = round;
+    return view;
+}
+
+TEST(ScheduledPolicySuite, SwitchesExactlyAtTheRangeBoundary) {
+    const auto policy =
+        make_wait_policy("schedule,1-5:wait_all,6+:deadline=600s");
+    const auto* schedule =
+        dynamic_cast<const ScheduledPolicy*>(policy.get());
+    ASSERT_NE(schedule, nullptr);
+    EXPECT_EQ(schedule->policy_for(1).name(), "wait_all");
+    EXPECT_EQ(schedule->policy_for(5).name(), "wait_all");   // last sync round
+    EXPECT_EQ(schedule->policy_for(6).name(), "deadline");   // first async
+    EXPECT_EQ(schedule->policy_for(1000).name(), "deadline");
+
+    // Round 5 behaves as wait_all: an incomplete roster keeps waiting.
+    EXPECT_EQ(policy->decide(round_view_at(5, net::seconds(500), 2)),
+              WaitDecision::keep_waiting);
+    EXPECT_EQ(policy->decide(round_view_at(5, net::seconds(1), 3)),
+              WaitDecision::aggregate_now);
+    // Round 6 behaves as deadline=600s: the same view times out.
+    EXPECT_EQ(policy->decide(round_view_at(6, net::seconds(600), 2)),
+              WaitDecision::timed_out);
+    EXPECT_EQ(policy->decide(round_view_at(6, net::seconds(10), 2)),
+              WaitDecision::keep_waiting);
+    EXPECT_EQ(policy->next_deadline(round_view_at(6, net::seconds(10), 2)),
+              net::seconds(600));
+}
+
+TEST(ScheduledPolicySuite, SingleRoundRangeAndAdaptiveDelegate) {
+    const auto policy = make_wait_policy(
+        "schedule,1:wait_for=1,2+:adaptive,base=10s,extend=5s,max=60s");
+    const auto* schedule =
+        dynamic_cast<const ScheduledPolicy*>(policy.get());
+    ASSERT_NE(schedule, nullptr);
+    EXPECT_EQ(schedule->policy_for(1).name(), "wait_for_k");
+    EXPECT_EQ(schedule->policy_for(2).name(), "adaptive");
+    // begin_wait must reach the stateful delegate for the round.
+    policy->begin_wait(round_view_at(2, net::seconds(0), 1));
+    EXPECT_EQ(policy->next_deadline(round_view_at(2, net::seconds(0), 1)),
+              net::seconds(10));
+}
+
+TEST(ScheduledPolicySuite, RejectsBrokenSchedules) {
+    // Coverage must start at round 1, be contiguous, and end open.
+    EXPECT_THROW(make_wait_policy("schedule"), Error);
+    EXPECT_THROW(make_wait_policy("schedule,timeout=60s"), Error);
+    EXPECT_THROW(make_wait_policy("schedule,2-5:wait_all,6+:deadline=1s"),
+                 Error);
+    EXPECT_THROW(make_wait_policy("schedule,1-5:wait_all,7+:deadline=1s"),
+                 Error);
+    EXPECT_THROW(make_wait_policy("schedule,1-5:wait_all"), Error);
+    EXPECT_THROW(make_wait_policy("schedule,1+:wait_all,2+:deadline=1s"),
+                 Error);
+    EXPECT_THROW(make_wait_policy("schedule,5-1:wait_all,6+:deadline=1s"),
+                 Error);
+    EXPECT_THROW(make_wait_policy("schedule,1-5:warp_speed,6+:deadline=1s"),
+                 Error);
+    EXPECT_THROW(make_wait_policy("schedule,1+:schedule"), Error);
+}
+
 // --------------------------------------------------- AggregationStrategy
 
 /// Builds a 3-update input: weights {1}, {3}, {100} for roster A, B, C with
@@ -249,6 +317,144 @@ TEST(TrimmedMean, StrategyProducesSingleRobustCombo) {
     EXPECT_NEAR(result.weights[0], 3.0f, 1e-6);
 }
 
+// ---------------------------------------------- StalenessWeightedFedAvg
+
+TEST(StalenessFedAvg, RoundDecayHalvesEveryHalfLife) {
+    const auto strategy = StalenessWeightedFedAvg::by_rounds(2.0);
+    UpdateMeta meta;
+    EXPECT_NEAR(strategy.decay(meta, net::seconds(0)), 1.0, 1e-12);
+    meta.staleness = 2;  // one half-life late
+    EXPECT_NEAR(strategy.decay(meta, net::seconds(0)), 0.5, 1e-12);
+    meta.staleness = 4;
+    EXPECT_NEAR(strategy.decay(meta, net::seconds(0)), 0.25, 1e-12);
+    meta.staleness = 1;
+    EXPECT_NEAR(strategy.decay(meta, net::seconds(0)), 1.0 / std::sqrt(2.0),
+                1e-12);
+}
+
+TEST(StalenessFedAvg, AgeDecayUsesArrivalTime) {
+    const auto strategy =
+        StalenessWeightedFedAvg::by_age(net::seconds(100));
+    UpdateMeta meta;
+    meta.arrived_at = net::seconds(50);
+    EXPECT_NEAR(strategy.decay(meta, net::seconds(50)), 1.0, 1e-12);
+    EXPECT_NEAR(strategy.decay(meta, net::seconds(150)), 0.5, 1e-12);
+    EXPECT_NEAR(strategy.decay(meta, net::seconds(250)), 0.25, 1e-12);
+    // An arrival "in the future" (possible across a reorg) never boosts.
+    EXPECT_NEAR(strategy.decay(meta, net::seconds(0)), 1.0, 1e-12);
+}
+
+TEST(StalenessFedAvg, DiscountsStaleUpdatesInTheAverage) {
+    StrategyFixture fixture;
+    AggregationInput input = fixture.input();
+    // B is two rounds late; with half_life=2r its weight halves.
+    const std::vector<UpdateMeta> meta{
+        {5, net::seconds(0), 0}, {3, net::seconds(0), 2}, {5, net::seconds(0), 0}};
+    input.meta = meta;
+    input.round = 5;
+    auto strategy = StalenessWeightedFedAvg::by_rounds(2.0);
+    EXPECT_TRUE(strategy.wants_stale_updates());
+    const AggregationResult result = strategy.aggregate(input);
+    // (1*1 + 0.5*3 + 1*100) / 2.5 = 41 (plain FedAvg would give 34.67).
+    ASSERT_EQ(result.combos.size(), 1u);
+    EXPECT_EQ(result.combos[0].label, "A,B,C");
+    EXPECT_NEAR(result.weights[0], 41.0f, 1e-4);
+}
+
+TEST(StalenessFedAvg, NoMetadataMeansNoDiscount) {
+    StrategyFixture fixture;
+    auto strategy = StalenessWeightedFedAvg::by_rounds(2.0);
+    const AggregationResult result = strategy.aggregate(fixture.input());
+    // Without provenance every update counts as fresh: plain FedAvg.
+    EXPECT_NEAR(result.weights[0], (1.0f + 3.0f + 100.0f) / 3.0f, 1e-4);
+}
+
+// --------------------------------------------------- ReputationWeighted
+
+TEST(Reputation, SmoothedHistoryDownWeightsBadContributors) {
+    StrategyFixture fixture;
+    AggregationInput input = fixture.input();
+    ReputationWeighted strategy(/*alpha=*/0.5, /*floor=*/0.05);
+    const AggregationResult result = strategy.aggregate(input);
+
+    // Solo scores: A = B = 0.5, C = 1/99. C's reputation collapses to its
+    // observation, so the average leans on A and B.
+    ASSERT_EQ(strategy.reputation().size(), 3u);
+    EXPECT_NEAR(strategy.reputation()[0], 0.5, 1e-9);
+    EXPECT_NEAR(strategy.reputation()[1], 0.5, 1e-9);
+    EXPECT_LT(strategy.reputation()[2], 0.05);
+    const float plain = (1.0f + 3.0f + 100.0f) / 3.0f;
+    EXPECT_LT(result.weights[0], plain);
+    // floor=0.05 keeps C present: (0.5*1 + 0.5*3 + 0.05*100) / 1.05.
+    EXPECT_NEAR(result.weights[0], 7.0f / 1.05f, 1e-3);
+}
+
+TEST(Reputation, ConvergesAsObservationsAccumulate) {
+    // C starts out honest (solo accuracy 1.0), then turns bad: the EMA
+    // walks its reputation down round after round instead of jumping.
+    StrategyFixture fixture;
+    ReputationWeighted strategy(/*alpha=*/0.5, /*floor=*/0.0);
+    fixture.updates[2].weights[0] = 2.0f;  // perfect solo score
+    (void)strategy.aggregate(fixture.input());
+    EXPECT_NEAR(strategy.reputation()[2], 1.0, 1e-9);
+
+    fixture.updates[2].weights[0] = 100.0f;  // goes rogue
+    std::vector<double> history;
+    for (int round = 0; round < 3; ++round) {
+        (void)strategy.aggregate(fixture.input());
+        history.push_back(strategy.reputation()[2]);
+    }
+    EXPECT_LT(history[0], 1.0);
+    EXPECT_LT(history[1], history[0]);
+    EXPECT_LT(history[2], history[1]);
+    // alpha=0.5 geometric approach towards C's new solo score (~0.0101).
+    EXPECT_NEAR(history[0], 0.5 * 1.0 + 0.5 * (1.0 / 99.0), 1e-9);
+    EXPECT_GT(history[2], 1.0 / 99.0);
+}
+
+TEST(Reputation, FreshInstancePerPeerStartsNeutral) {
+    ReputationWeighted strategy;
+    EXPECT_TRUE(strategy.reputation().empty());
+    EXPECT_FALSE(strategy.wants_stale_updates());
+}
+
+TEST(Reputation, FitnessFilterComposesAndSharesSoloScores) {
+    // With a fitness threshold, the filter's solo evaluations are reused
+    // for the reputation update (no double evaluation) and filtered
+    // contributors are neither aggregated nor observed.
+    StrategyFixture fixture;
+    AggregationInput input = fixture.input();
+    std::size_t evaluations = 0;
+    input.evaluate = [&evaluations](std::span<const float> w) {
+        ++evaluations;
+        return 1.0 / (1.0 + std::abs(static_cast<double>(w[0]) - 2.0));
+    };
+    ReputationWeighted strategy(/*alpha=*/0.5, /*floor=*/0.05,
+                                /*fitness_threshold=*/0.1);
+    const AggregationResult result = strategy.aggregate(input);
+
+    ASSERT_EQ(result.filtered_out.size(), 1u);
+    EXPECT_EQ(result.filtered_out[0], 2u);          // C dropped pre-filter
+    EXPECT_NEAR(strategy.reputation()[1], 0.5, 1e-9);
+    EXPECT_NEAR(strategy.reputation()[2], 1.0, 1e-9);  // never observed
+    // A,B equally reputed: plain midpoint. Evaluations: filter B + filter C
+    // + self A's reputation observation + the final candidate score = 4
+    // (B's filter score is reused, not recomputed).
+    EXPECT_NEAR(result.weights[0], 2.0f, 1e-5);
+    EXPECT_EQ(evaluations, 4u);
+}
+
+TEST(Reputation, AllZeroReputationFallsBackToPlainAverage) {
+    // floor=0 with universally zero solo scores must not divide by zero —
+    // the degenerate round degrades to an unweighted FedAvg.
+    StrategyFixture fixture;
+    AggregationInput input = fixture.input();
+    input.evaluate = [](std::span<const float>) { return 0.0; };
+    ReputationWeighted strategy(/*alpha=*/0.5, /*floor=*/0.0);
+    const AggregationResult result = strategy.aggregate(input);
+    EXPECT_NEAR(result.weights[0], (1.0f + 3.0f + 100.0f) / 3.0f, 1e-4);
+}
+
 // ----------------------------------------------------------------- Factory
 
 TEST(PolicyFactory, ParsesEveryWaitPolicy) {
@@ -263,13 +469,20 @@ TEST(PolicyFactory, ParsesEveryWaitPolicy) {
     EXPECT_EQ(
         make_wait_policy("adaptive,base=10s,extend=5s,max=60s")->name(),
         "adaptive");
+    EXPECT_EQ(make_wait_policy("schedule,1-5:wait_all,6+:deadline=600s")
+                  ->name(),
+              "schedule");
 }
 
 TEST(PolicyFactory, WaitSpecRoundTrips) {
     for (const char* spec :
          {"wait_for=3,timeout=900s", "wait_for=1,timeout=600s",
           "wait_all,timeout=900s", "deadline=45s", "deadline=1500ms",
-          "adaptive,base=10s,extend=5s,max=60s"}) {
+          "adaptive,base=10s,extend=5s,max=60s",
+          // Inner policies keep their own comma-separated keys.
+          "schedule,1-5:wait_all,timeout=900s,6+:deadline=600s",
+          "schedule,1:wait_for=2,timeout=60s,"
+          "2+:adaptive,base=10s,extend=5s,max=60s"}) {
         const auto policy = make_wait_policy(spec);
         EXPECT_EQ(policy->spec(), spec);
         // The canonical spec reconstructs an identical policy.
@@ -301,12 +514,54 @@ TEST(PolicyFactory, ParsesEveryAggregationStrategy) {
               "fedavg_all");
     EXPECT_EQ(make_aggregation_strategy("trimmed_mean,trim=2")->name(),
               "trimmed_mean");
+    EXPECT_EQ(
+        make_aggregation_strategy("staleness_fedavg,half_life=2r")->name(),
+        "staleness_fedavg");
+    EXPECT_EQ(make_aggregation_strategy("staleness_fedavg")->name(),
+              "staleness_fedavg");  // defaults to half_life=1r
+    EXPECT_EQ(make_aggregation_strategy("reputation")->name(), "reputation");
+    EXPECT_EQ(
+        make_aggregation_strategy("reputation,alpha=0.5,floor=0.1")->name(),
+        "reputation");
+}
+
+TEST(PolicyFactory, ParsesHalfLifeUnits) {
+    {
+        const auto strategy =
+            make_aggregation_strategy("staleness_fedavg,half_life=2r");
+        const auto* staleness =
+            dynamic_cast<const StalenessWeightedFedAvg*>(strategy.get());
+        ASSERT_NE(staleness, nullptr);
+        EXPECT_DOUBLE_EQ(staleness->half_life_rounds(), 2.0);
+        EXPECT_EQ(staleness->half_life_age(), net::SimTime{0});
+    }
+    {
+        const auto strategy =
+            make_aggregation_strategy("staleness_fedavg,half_life=300s");
+        const auto* staleness =
+            dynamic_cast<const StalenessWeightedFedAvg*>(strategy.get());
+        ASSERT_NE(staleness, nullptr);
+        EXPECT_DOUBLE_EQ(staleness->half_life_rounds(), 0.0);
+        EXPECT_EQ(staleness->half_life_age(), net::seconds(300));
+    }
+    {
+        const auto strategy =
+            make_aggregation_strategy("staleness_fedavg,half_life=1.5r");
+        const auto* staleness =
+            dynamic_cast<const StalenessWeightedFedAvg*>(strategy.get());
+        ASSERT_NE(staleness, nullptr);
+        EXPECT_DOUBLE_EQ(staleness->half_life_rounds(), 1.5);
+    }
 }
 
 TEST(PolicyFactory, AggregationSpecRoundTrips) {
     for (const char* spec :
          {"best_combination", "best_combination,fitness=0.15", "fedavg_all",
-          "trimmed_mean,trim=1", "trimmed_mean,trim=2,fitness=0.2"}) {
+          "trimmed_mean,trim=1", "trimmed_mean,trim=2,fitness=0.2",
+          "staleness_fedavg,half_life=2r",
+          "staleness_fedavg,half_life=300s,fitness=0.1",
+          "reputation,alpha=0.3,floor=0.05",
+          "reputation,alpha=0.5,floor=0.1,fitness=0.2"}) {
         const auto strategy = make_aggregation_strategy(spec);
         EXPECT_EQ(strategy->spec(), spec);
         EXPECT_EQ(make_aggregation_strategy(strategy->spec())->spec(),
@@ -328,6 +583,18 @@ TEST(PolicyFactory, RejectsMalformedSpecs) {
     EXPECT_THROW(make_aggregation_strategy("median"), Error);
     EXPECT_THROW(make_aggregation_strategy("best_combination,trim=1"), Error);
     EXPECT_THROW(make_aggregation_strategy("fedavg_all,fitness=x"), Error);
+    EXPECT_THROW(make_aggregation_strategy("staleness_fedavg,half_life=0r"),
+                 Error);
+    EXPECT_THROW(make_aggregation_strategy("staleness_fedavg,half_life=xr"),
+                 Error);
+    EXPECT_THROW(make_aggregation_strategy("staleness_fedavg,half_life=0s"),
+                 Error);
+    EXPECT_THROW(make_aggregation_strategy("fedavg_all,half_life=2r"), Error);
+    EXPECT_THROW(make_aggregation_strategy("reputation,alpha=0"), Error);
+    EXPECT_THROW(make_aggregation_strategy("reputation,alpha=1.5"), Error);
+    EXPECT_THROW(make_aggregation_strategy("reputation,floor=-1"), Error);
+    EXPECT_THROW(make_aggregation_strategy("best_combination,alpha=0.5"),
+                 Error);
 }
 
 TEST(PolicyFactory, RejectsValuesOnHeadsThatTakeNone) {
@@ -341,28 +608,58 @@ TEST(PolicyFactory, RejectsValuesOnHeadsThatTakeNone) {
     EXPECT_THROW(make_aggregation_strategy("trimmed_mean=2"), Error);
 }
 
-TEST(PolicyFactory, LegacyShimsReproduceOldKnobs) {
-    EXPECT_EQ(legacy_wait_spec(3, net::seconds(900)),
-              "wait_for=3,timeout=900s");
-    // Old K=0 meant "aggregate immediately" — same as K=1 (own update is
-    // always present), clamped into the factory's domain.
-    EXPECT_EQ(legacy_wait_spec(0, net::seconds(900)),
-              "wait_for=1,timeout=900s");
-    const auto policy = make_wait_policy(legacy_wait_spec(1, net::ms(2500)));
-    const auto* wait_for_k = dynamic_cast<const WaitForK*>(policy.get());
-    ASSERT_NE(wait_for_k, nullptr);
-    EXPECT_EQ(wait_for_k->k(), 1u);
-    EXPECT_EQ(wait_for_k->timeout(), net::ms(2500));
+// ------------------------------------------------- Removed legacy knobs
 
-    EXPECT_EQ(legacy_aggregation_spec(false, 0.0), "best_combination");
-    EXPECT_EQ(legacy_aggregation_spec(true, 0.0), "fedavg_all");
-    EXPECT_EQ(legacy_aggregation_spec(false, 0.15),
-              "best_combination,fitness=0.15");
+// The PR-1 deprecated PeerConfig/DecentralizedConfig knobs and their
+// legacy_*_spec shims are gone: the member names must no longer compile
+// (checked via dependent requires-expressions) ...
+template <typename T>
+constexpr bool has_wait_for_models = requires(T c) { c.wait_for_models; };
+template <typename T>
+constexpr bool has_wait_timeout = requires(T c) { c.wait_timeout; };
+template <typename T>
+constexpr bool has_aggregate_all = requires(T c) { c.aggregate_all; };
+template <typename T>
+constexpr bool has_fitness_threshold = requires(T c) { c.fitness_threshold; };
+
+TEST(RemovedLegacyKnobs, ConfigMembersNoLongerCompile) {
+    static_assert(!has_wait_for_models<PeerConfig>);
+    static_assert(!has_wait_timeout<PeerConfig>);
+    static_assert(!has_aggregate_all<PeerConfig>);
+    static_assert(!has_fitness_threshold<PeerConfig>);
+    static_assert(!has_wait_for_models<DecentralizedConfig>);
+    static_assert(!has_wait_timeout<DecentralizedConfig>);
+    static_assert(!has_aggregate_all<DecentralizedConfig>);
+    static_assert(!has_fitness_threshold<DecentralizedConfig>);
+}
+
+// ... and the knob names must not parse as factory specs either.
+TEST(RemovedLegacyKnobs, KnobNamesDoNotParse) {
+    EXPECT_THROW(make_wait_policy("wait_for_models=3"), Error);
+    EXPECT_THROW(make_wait_policy("wait_for=3,wait_timeout=900s"), Error);
+    EXPECT_THROW(make_aggregation_strategy("aggregate_all"), Error);
+    EXPECT_THROW(make_aggregation_strategy("fedavg_all,aggregate_all=1"),
+                 Error);
+    EXPECT_THROW(
+        make_aggregation_strategy("best_combination,fitness_threshold=0.1"),
+        Error);
 }
 
 // ------------------------------------------------- Deployment integration
 
-TEST(PolicyIntegration, SpecConfigMatchesLegacyConfig) {
+/// Shared quick-chain deployment shape for the integration cases below.
+DecentralizedConfig quick_config() {
+    DecentralizedConfig config;
+    config.rounds = 2;
+    config.train_duration = net::seconds(5);
+    config.initial_difficulty = 300;
+    config.min_difficulty = 64;
+    config.target_interval_ms = 2000;
+    config.hash_rate_per_node = 300.0;
+    return config;
+}
+
+TEST(PolicyIntegration, StragglerBackfillsStaleModelUnderDeadline) {
     ml::SyntheticCifarConfig data_config;
     data_config.train_per_client = 60;
     data_config.test_per_client = 40;
@@ -371,63 +668,84 @@ TEST(PolicyIntegration, SpecConfigMatchesLegacyConfig) {
     const auto data = ml::make_synthetic_cifar(data_config);
     const fl::FlTask task = fl::make_simple_nn_task(data, 5);
 
-    DecentralizedConfig legacy;
-    legacy.rounds = 1;
-    legacy.train_duration = net::seconds(5);
-    legacy.initial_difficulty = 300;
-    legacy.min_difficulty = 64;
-    legacy.target_interval_ms = 2000;
-    legacy.hash_rate_per_node = 300.0;
-    legacy.wait_for_models = 1;
-    legacy.aggregate_all = true;
+    // Peer C trains 6x slower than the fast peers' aggregation deadline
+    // allows, so rounds >= 2 can only include C as a stale backfill.
+    DecentralizedConfig config = quick_config();
+    config.wait_policy = "deadline=20s";
+    config.aggregation = "staleness_fedavg,half_life=2r";
+    config.stragglers = {2};
+    config.straggler_train_duration = net::seconds(30);
 
-    DecentralizedConfig spec_based = legacy;
-    // The spec route: same policies, deprecated knobs left at defaults
-    // (setting both trips the ignored-knob guard, tested below).
-    spec_based.wait_for_models = DecentralizedConfig{}.wait_for_models;
-    spec_based.aggregate_all = DecentralizedConfig{}.aggregate_all;
-    spec_based.wait_policy = "wait_for=1,timeout=900s";
-    spec_based.aggregation = "fedavg_all";
+    const auto result = run_decentralized(task, config);
+    ASSERT_EQ(result.peer_records.size(), 3u);
+    std::size_t stale_total = 0;
+    for (std::size_t peer = 0; peer < 2; ++peer) {  // fast peers only
+        const auto& records = result.peer_records[peer];
+        ASSERT_EQ(records.size(), 2u);
+        // Round 1 has no earlier model to fall back on.
+        EXPECT_EQ(records[0].stale_models_used, 0u);
+        for (const PeerRoundRecord& record : records) {
+            stale_total += record.stale_models_used;
+            EXPECT_LE(record.stale_models_used, 1u);
+            EXPECT_GE(record.models_available, 2u);
+            EXPECT_GT(record.chosen_accuracy, 0.0);
+        }
+    }
+    // At least one fast peer backfilled C's round-1 model in round 2.
+    EXPECT_GT(stale_total, 0u);
+}
 
-    const auto a = run_decentralized(task, legacy);
-    const auto b = run_decentralized(task, spec_based);
-    EXPECT_EQ(a.finished_at, b.finished_at);
-    ASSERT_EQ(a.peer_records.size(), b.peer_records.size());
-    for (std::size_t peer = 0; peer < a.peer_records.size(); ++peer) {
-        ASSERT_EQ(a.peer_records[peer].size(), b.peer_records[peer].size());
-        for (std::size_t r = 0; r < a.peer_records[peer].size(); ++r) {
-            EXPECT_EQ(a.peer_records[peer][r].chosen_label,
-                      b.peer_records[peer][r].chosen_label);
-            EXPECT_EQ(a.peer_records[peer][r].chosen_accuracy,
-                      b.peer_records[peer][r].chosen_accuracy);
-            EXPECT_EQ(a.peer_records[peer][r].aggregated_at,
-                      b.peer_records[peer][r].aggregated_at);
+TEST(PolicyIntegration, FreshOnlyStrategyNeverSeesStaleModels) {
+    ml::SyntheticCifarConfig data_config;
+    data_config.train_per_client = 60;
+    data_config.test_per_client = 40;
+    data_config.global_test = 40;
+    data_config.seed = 5;
+    const auto data = ml::make_synthetic_cifar(data_config);
+    const fl::FlTask task = fl::make_simple_nn_task(data, 5);
+
+    DecentralizedConfig config = quick_config();
+    config.wait_policy = "deadline=20s";
+    config.aggregation = "fedavg_all";  // wants_stale_updates() == false
+    config.stragglers = {2};
+    config.straggler_train_duration = net::seconds(30);
+
+    const auto result = run_decentralized(task, config);
+    for (const auto& records : result.peer_records) {
+        for (const PeerRoundRecord& record : records) {
+            EXPECT_EQ(record.stale_models_used, 0u);
         }
     }
 }
 
-TEST(PolicyIntegration, RejectsSpecPlusModifiedDeprecatedKnobs) {
-    // Once a spec is set the deprecated knobs are dead; changing them too
-    // (the pre-policy idiom `paper_chain_config(); wait_for_models = 1;`)
-    // must fail loudly instead of silently running the spec.
+TEST(PolicyIntegration, ScheduledPolicySwitchesMidDeployment) {
     ml::SyntheticCifarConfig data_config;
-    data_config.train_per_client = 40;
-    data_config.test_per_client = 30;
-    data_config.global_test = 30;
+    data_config.train_per_client = 60;
+    data_config.test_per_client = 40;
+    data_config.global_test = 40;
+    data_config.seed = 6;
     const auto data = ml::make_synthetic_cifar(data_config);
     const fl::FlTask task = fl::make_simple_nn_task(data, 5);
 
-    DecentralizedConfig config;
-    config.rounds = 1;
-    config.wait_policy = "wait_all,timeout=900s";
-    config.wait_for_models = 1;  // dead knob, modified
-    EXPECT_THROW(run_decentralized(task, config), Error);
+    // Round 1 synchronous warm-up (wait_all outlasts the straggler), round
+    // 2+ a deadline the straggler can never meet: the switch must show up
+    // as round-2 timeouts in the fast peers' records.
+    DecentralizedConfig config = quick_config();
+    config.wait_policy = "schedule,1:wait_all,timeout=900s,2+:deadline=5s";
+    config.aggregation = "fedavg_all";
+    config.stragglers = {2};
+    config.straggler_train_duration = net::seconds(30);
 
-    DecentralizedConfig agg_config;
-    agg_config.rounds = 1;
-    agg_config.aggregation = "best_combination";
-    agg_config.aggregate_all = true;  // dead knob, modified
-    EXPECT_THROW(run_decentralized(task, agg_config), Error);
+    const auto result = run_decentralized(task, config);
+    ASSERT_EQ(result.peer_records.size(), 3u);
+    for (std::size_t peer = 0; peer < 2; ++peer) {  // fast peers
+        const auto& records = result.peer_records[peer];
+        ASSERT_EQ(records.size(), 2u);
+        EXPECT_FALSE(records[0].timed_out);  // wait_all saw everyone
+        EXPECT_EQ(records[0].models_available, 3u);
+        EXPECT_TRUE(records[1].timed_out);   // C cannot meet a 5s deadline
+        EXPECT_EQ(records[1].models_available, 2u);
+    }
 }
 
 TEST(PolicyIntegration, AdaptiveDeadlineRunsToCompletion) {
