@@ -3,14 +3,46 @@
 // BENCH_*.json result objects for cross-PR perf tracking.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 namespace bcfl::bench {
+
+/// Milliseconds elapsed since `begin` (steady clock).
+inline double ms_since(std::chrono::steady_clock::time_point begin) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - begin)
+        .count();
+}
+
+/// Best-of-`reps` wall time of `fn`, in milliseconds — the serial-vs-
+/// parallel speedup measurements all quote this.
+inline double best_wall_ms(std::size_t reps,
+                           const std::function<void()>& fn) {
+    double best = 1e300;
+    for (std::size_t r = 0; r < reps; ++r) {
+        const auto begin = std::chrono::steady_clock::now();
+        fn();
+        const double ms = ms_since(begin);
+        if (ms < best) best = ms;
+    }
+    return best;
+}
+
+/// Appends one value to a determinism fingerprint at full round-trip
+/// precision. Every bench fingerprint that ci.sh diffs across
+/// BCFL_THREADS settings must go through this one formatter.
+inline void append_fingerprint(std::string& out, double value) {
+    char buffer[40];
+    std::snprintf(buffer, sizeof(buffer), "%.17g;", value);
+    out += buffer;
+}
 
 inline void print_rule(std::size_t width = 100) {
     std::string line(width, '-');

@@ -7,6 +7,7 @@
 //   (c) block propagation delay vs payload (model) size.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -116,30 +117,46 @@ ThroughputPoint measure_throughput(std::size_t participants,
     return point;
 }
 
-void BM_ThroughputVsParticipants(benchmark::State& state) {
+void BM_ChainPerformance(benchmark::State& state) {
     for (auto _ : state) {
+        bench::Json json = bench::Json::object();
+        json.set("bench", "chain_performance");
+        // The chain sections run the deterministic discrete-event loop,
+        // which is inherently single-threaded; wall time per section is
+        // recorded so the event-loop cost itself is tracked cross-PR (the
+        // parallel-engine speedups live in BENCH_micro_substrates.json and
+        // BENCH_table1_fig3_vanilla_fl.json).
+
         bench::print_title(
             "E3a — throughput & inclusion latency vs participants "
             "(64 KB chunk txs, saturated, 20 Mbit/s shared uplinks)");
         std::printf("%12s %14s %22s %20s\n", "participants", "txs/s",
                     "inclusion latency (s)", "block interval (s)");
+        bench::Json throughput_points = bench::Json::array();
+        const auto throughput_begin = std::chrono::steady_clock::now();
         for (std::size_t n : {2, 4, 8, 16}) {
             const ThroughputPoint p =
                 measure_throughput(n, 64 * 1024, net::seconds(200));
             std::printf("%12zu %14.3f %22.2f %20.2f\n", p.participants,
                         p.txs_per_second, p.mean_inclusion_latency_s,
                         p.mean_block_interval_s);
+            bench::Json point = bench::Json::object();
+            point.set("participants",
+                      static_cast<std::uint64_t>(p.participants));
+            point.set("txs_per_second", p.txs_per_second);
+            point.set("mean_inclusion_latency_s", p.mean_inclusion_latency_s);
+            point.set("mean_block_interval_s", p.mean_block_interval_s);
+            throughput_points.push(std::move(point));
         }
-    }
-}
+        json.set("throughput_wall_ms", bench::ms_since(throughput_begin));
 
-void BM_BlockIntervalVsDifficulty(benchmark::State& state) {
-    for (auto _ : state) {
         bench::print_title(
             "E3b — block interval vs PoW difficulty (1 miner, 400 h/s, "
             "retarget disabled)");
         std::printf("%12s %20s %16s\n", "difficulty", "mean interval (s)",
                     "blocks mined");
+        bench::Json difficulty_points = bench::Json::array();
+        const auto difficulty_begin = std::chrono::steady_clock::now();
         for (std::uint64_t difficulty : {200u, 400u, 800u, 1600u, 3200u}) {
             net::Simulation sim;
             net::Network network(sim, net::LinkParams{}, 3);
@@ -159,16 +176,20 @@ void BM_BlockIntervalVsDifficulty(benchmark::State& state) {
             std::printf("%12llu %20.2f %16llu\n",
                         static_cast<unsigned long long>(difficulty), interval,
                         static_cast<unsigned long long>(node.chain().height()));
+            bench::Json point = bench::Json::object();
+            point.set("difficulty", difficulty);
+            point.set("mean_interval_s", interval);
+            point.set("blocks_mined", node.chain().height());
+            difficulty_points.push(std::move(point));
         }
-    }
-}
+        json.set("difficulty_wall_ms", bench::ms_since(difficulty_begin));
 
-void BM_PropagationVsPayload(benchmark::State& state) {
-    for (auto _ : state) {
         bench::print_title(
             "E3c — Figure 2 workflow: block propagation delay vs model "
             "payload size (100 Mbit/s LAN)");
         std::printf("%16s %24s\n", "payload (KB)", "propagation delay (ms)");
+        bench::Json propagation_points = bench::Json::array();
+        const auto propagation_begin = std::chrono::steady_clock::now();
         for (std::size_t kb : {16u, 64u, 248u, 1024u, 4096u, 21'200u}) {
             net::Simulation sim;
             net::LinkParams link;
@@ -181,15 +202,23 @@ void BM_PropagationVsPayload(benchmark::State& state) {
             (void)a;
             network.send(0, b, Bytes(kb * 1024, 0x11));
             sim.run();
-            std::printf("%16zu %24.2f\n", kb,
-                        static_cast<double>(delivered) / 1000.0);
+            const double delay_ms = static_cast<double>(delivered) / 1000.0;
+            std::printf("%16zu %24.2f\n", kb, delay_ms);
+            bench::Json point = bench::Json::object();
+            point.set("payload_kb", static_cast<std::uint64_t>(kb));
+            point.set("propagation_delay_ms", delay_ms);
+            propagation_points.push(std::move(point));
         }
+        json.set("propagation_wall_ms", bench::ms_since(propagation_begin));
+
+        json.set("throughput_points", std::move(throughput_points));
+        json.set("difficulty_points", std::move(difficulty_points));
+        json.set("propagation_points", std::move(propagation_points));
+        bench::write_bench_json("chain_performance", json);
     }
 }
 
 }  // namespace
 
-BENCHMARK(BM_ThroughputVsParticipants)->Unit(benchmark::kSecond)->Iterations(1);
-BENCHMARK(BM_BlockIntervalVsDifficulty)->Unit(benchmark::kSecond)->Iterations(1);
-BENCHMARK(BM_PropagationVsPayload)->Unit(benchmark::kSecond)->Iterations(1);
+BENCHMARK(BM_ChainPerformance)->Unit(benchmark::kSecond)->Iterations(1);
 BENCHMARK_MAIN();

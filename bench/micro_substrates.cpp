@@ -1,15 +1,34 @@
 // E6 — substrate microbenchmarks (auto-timed google-benchmark): an honesty
 // check on the costs underlying the simulated deployment, and a performance
-// regression harness for the hand-written crypto/VM/ML kernels.
+// regression harness for the hand-written crypto/VM/ML kernels. Also emits
+// BENCH_micro_substrates.json: the serial-vs-parallel comparison of the
+// aggregation hot path (BestCombination round evaluation on five
+// contributors, FedAvg reduction) with a fitness fingerprint CI diffs
+// across BCFL_THREADS settings.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
 #include "chain/pow.hpp"
 #include "chain/types.hpp"
+#include "common/rng.hpp"
+#include "core/parallel.hpp"
+#include "core/policy.hpp"
 #include "crypto/keccak.hpp"
 #include "crypto/merkle.hpp"
 #include "crypto/secp256k1.hpp"
 #include "crypto/sha256.hpp"
 #include "fl/fedavg.hpp"
+#include "fl/task.hpp"
+#include "ml/data.hpp"
 #include "ml/layers.hpp"
 #include "ml/models.hpp"
 #include "rlp/rlp.hpp"
@@ -172,6 +191,166 @@ void BM_FedAvgThreeClients(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_FedAvgThreeClients);
+
+// ---------------------------------------------------------------------------
+// Serial vs parallel: the aggregation hot path. Times one full
+// BestCombination round evaluation (n = 5 contributors -> 7 paper
+// combinations, each a FedAvg + a real model evaluation) and a paper-scale
+// FedAvg reduction, first pinned to one engine thread and then at the
+// ambient thread count (BCFL_THREADS or hardware). The fitness numbers must
+// be bit-identical between the two runs — that is the engine's contract —
+// and the fingerprint lands in BENCH_micro_substrates.json so CI can diff
+// it across BCFL_THREADS settings.
+
+std::string fitness_fingerprint(const core::AggregationResult& result) {
+    std::string out;
+    for (const core::ComboAccuracy& row : result.combos) {
+        out += row.label;
+        out.push_back('=');
+        bench::append_fingerprint(out, row.accuracy);
+    }
+    return out;
+}
+
+void BM_AggregationSerialVsParallel(benchmark::State& state) {
+    namespace parallel = core::parallel;
+
+    // Five contributors on the synthetic CIFAR stand-in: real models, real
+    // evaluation on a real test split — the n=5 case the engine targets.
+    ml::SyntheticCifarConfig data_config;
+    data_config.clients = 5;
+    data_config.train_per_client = 200;
+    data_config.test_per_client = 400;
+    data_config.global_test = 400;
+    data_config.seed = 2024;
+    const ml::FederatedData data = ml::make_synthetic_cifar(data_config);
+    const fl::FlTask task = fl::make_simple_nn_task(data, 1);
+
+    // Distinct updates: the shared initial weights plus per-contributor
+    // deterministic noise (evaluation cost does not depend on quality).
+    std::unique_ptr<fl::FlModel> seed_model = task.make_model();
+    const std::vector<float> base = seed_model->weights();
+    std::vector<fl::ModelUpdate> updates(5);
+    for (std::size_t u = 0; u < updates.size(); ++u) {
+        Rng rng(parallel::task_seed(7, u));
+        updates[u].weights = base;
+        for (float& w : updates[u].weights) w += rng.uniform(-0.05f, 0.05f);
+        updates[u].sample_count = 200.0;
+    }
+    const std::vector<std::size_t> roster{0, 1, 2, 3, 4};
+
+    std::unique_ptr<fl::FlModel> probe = task.make_model();
+    core::AggregationInput input;
+    input.updates = updates;
+    input.roster_indices = roster;
+    input.self_pos = 0;
+    input.roster_size = 5;
+    input.round = 1;
+    input.names = "ABCDE";
+    input.evaluate = [&](std::span<const float> candidate) {
+        probe->set_weights(candidate);
+        return probe->evaluate(task.client_test[0]);
+    };
+    input.make_evaluator =
+        [&task]() -> std::function<double(std::span<const float>)> {
+        std::shared_ptr<fl::FlModel> worker_probe = task.make_model();
+        return [&task, worker_probe](std::span<const float> candidate) {
+            worker_probe->set_weights(candidate);
+            return worker_probe->evaluate(task.client_test[0]);
+        };
+    };
+
+    core::BestCombination strategy;
+    const std::size_t threads_parallel = parallel::thread_count();
+
+    for (auto _ : state) {
+        core::AggregationResult serial_result;
+        core::AggregationResult parallel_result;
+        double serial_ms = 0.0;
+        double parallel_ms = 0.0;
+        {
+            const parallel::ThreadCountOverride pin(1);
+            serial_ms = bench::best_wall_ms(
+                3, [&] { serial_result = strategy.aggregate(input); });
+        }
+        parallel_ms = bench::best_wall_ms(
+            3, [&] { parallel_result = strategy.aggregate(input); });
+
+        const std::string serial_fp = fitness_fingerprint(serial_result);
+        const std::string parallel_fp = fitness_fingerprint(parallel_result);
+
+        // FedAvg reduction at paper scale (EffNet-ish dimension).
+        std::vector<fl::ModelUpdate> big(5);
+        for (std::size_t u = 0; u < big.size(); ++u) {
+            Rng rng(parallel::task_seed(11, u));
+            big[u].weights.resize(1'000'000);
+            for (float& w : big[u].weights) w = rng.uniform(-1.0f, 1.0f);
+            big[u].sample_count = 600.0;
+        }
+        std::vector<float> fedavg_serial;
+        std::vector<float> fedavg_parallel;
+        double fedavg_serial_ms = 0.0;
+        double fedavg_parallel_ms = 0.0;
+        {
+            const parallel::ThreadCountOverride pin(1);
+            fedavg_serial_ms =
+                bench::best_wall_ms(3, [&] { fedavg_serial = fl::fedavg(big); });
+        }
+        fedavg_parallel_ms =
+            bench::best_wall_ms(3, [&] { fedavg_parallel = fl::fedavg(big); });
+
+        bench::print_title(
+            "E6+ — aggregation hot path, serial vs parallel engine");
+        std::printf("threads: serial=1 parallel=%zu (hardware %u)\n",
+                    threads_parallel, std::thread::hardware_concurrency());
+        std::printf(
+            "BestCombination n=5 (7 combos): %8.2f ms -> %8.2f ms  "
+            "(speedup %.2fx, fitness %s)\n",
+            serial_ms, parallel_ms, serial_ms / parallel_ms,
+            serial_fp == parallel_fp ? "identical" : "DIVERGED");
+        std::printf(
+            "FedAvg 5x1M floats:            %8.2f ms -> %8.2f ms  "
+            "(speedup %.2fx, result %s)\n",
+            fedavg_serial_ms, fedavg_parallel_ms,
+            fedavg_serial_ms / fedavg_parallel_ms,
+            fedavg_serial == fedavg_parallel ? "identical" : "DIVERGED");
+
+        bench::Json json = bench::Json::object();
+        json.set("bench", "micro_substrates");
+        json.set("hardware_concurrency",
+                 static_cast<std::uint64_t>(
+                     std::thread::hardware_concurrency()));
+        json.set("threads_serial", std::uint64_t{1});
+        json.set("threads_parallel",
+                 static_cast<std::uint64_t>(threads_parallel));
+        json.set("contributors", std::uint64_t{5});
+        json.set("combos",
+                 static_cast<std::uint64_t>(serial_result.combos.size()));
+        json.set("best_combination_serial_ms", serial_ms);
+        json.set("best_combination_parallel_ms", parallel_ms);
+        json.set("serial_vs_parallel_speedup", serial_ms / parallel_ms);
+        json.set("fitness_identical", serial_fp == parallel_fp);
+        json.set("fitness_fingerprint", parallel_fp);
+        json.set("fedavg_dim", std::uint64_t{1'000'000});
+        json.set("fedavg_serial_ms", fedavg_serial_ms);
+        json.set("fedavg_parallel_ms", fedavg_parallel_ms);
+        json.set("fedavg_serial_vs_parallel_speedup",
+                 fedavg_serial_ms / fedavg_parallel_ms);
+        json.set("fedavg_identical", fedavg_serial == fedavg_parallel);
+        bench::Json points = bench::Json::array();
+        for (const core::ComboAccuracy& row : serial_result.combos) {
+            bench::Json point = bench::Json::object();
+            point.set("label", row.label);
+            point.set("accuracy", row.accuracy);
+            points.push(std::move(point));
+        }
+        json.set("points", std::move(points));
+        bench::write_bench_json("micro_substrates", json);
+    }
+}
+BENCHMARK(BM_AggregationSerialVsParallel)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
 
 }  // namespace
 

@@ -5,8 +5,13 @@
 #   $ scripts/ci.sh            # from the repo root
 #
 # 1. Docs: markdown links resolve, every factory policy spec is documented.
-# 2. Default configure, full build, ctest (the ROADMAP tier-1 line).
-# 3. A second configure with -Wall -Wextra -Werror to keep the tree
+# 2. Default configure, full build, then ctest twice: once with the
+#    parallel engine pinned serial (BCFL_THREADS=1) and once at the default
+#    width — the suite must be green in both worlds.
+# 3. Parallel determinism: the micro_substrates serial-vs-parallel bench
+#    runs under both thread settings; the fitness fingerprints in
+#    BENCH_micro_substrates.json must be byte-identical.
+# 4. A second configure with -Wall -Wextra -Werror to keep the tree
 #    warning-clean.
 set -euo pipefail
 
@@ -16,10 +21,36 @@ JOBS="${JOBS:-$(nproc)}"
 echo "== docs: links + policy-spec coverage =="
 scripts/check_docs.sh
 
-echo "== tier-1: configure + build + ctest =="
-cmake -B build -S .
+echo "== tier-1: configure + build =="
+cmake -B build -S . -DBCFL_BUILD_BENCHES=ON
 cmake --build build -j "${JOBS}"
+
+echo "== tier-1: ctest (BCFL_THREADS=1, serial engine) =="
+BCFL_THREADS=1 ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+echo "== tier-1: ctest (default engine width) =="
 ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+echo "== parallel determinism: bench fitness fingerprint, 1 vs 8 threads =="
+fingerprint() {
+  # `|| true`: a missing file/field must reach the empty-fingerprint check
+  # below (with its diagnostic), not silently kill the script via set -e.
+  grep -o '"fitness_fingerprint":"[^"]*"' build/BENCH_micro_substrates.json \
+    2>/dev/null || true
+}
+(cd build && BCFL_THREADS=1 ./bench/micro_substrates \
+  --benchmark_filter=AggregationSerialVsParallel >/dev/null)
+serial_fp="$(fingerprint)"
+(cd build && BCFL_THREADS=8 ./bench/micro_substrates \
+  --benchmark_filter=AggregationSerialVsParallel >/dev/null)
+parallel_fp="$(fingerprint)"
+if [ "${serial_fp}" != "${parallel_fp}" ] || [ -z "${serial_fp}" ]; then
+  echo "FITNESS DIVERGENCE between BCFL_THREADS=1 and BCFL_THREADS=8:"
+  echo "  1: ${serial_fp}"
+  echo "  8: ${parallel_fp}"
+  exit 1
+fi
+echo "fingerprints identical: ${serial_fp}"
 
 echo "== strict: -Wall -Wextra -Werror build =="
 cmake -B build-werror -S . -DBCFL_WERROR=ON

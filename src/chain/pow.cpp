@@ -1,5 +1,8 @@
 #include "chain/pow.hpp"
 
+#include <algorithm>
+#include <limits>
+
 #include "crypto/keccak.hpp"
 
 namespace bcfl::chain {
@@ -32,7 +35,19 @@ std::optional<std::uint64_t> mine_seal(const BlockHeader& header,
                                        std::uint64_t max_attempts) {
     const Hash32 seal = header.seal_hash();
     const crypto::U256 target = pow_target(header.difficulty);
-    for (std::uint64_t i = 0; i < max_attempts; ++i) {
+    // Stop at the end of the nonce space instead of letting start_nonce + i
+    // wrap back to 0 and silently retry nonces already checked. The nonces
+    // still available are start_nonce..UINT64_MAX, i.e. UINT64_MAX -
+    // start_nonce + 1 of them (which only fits in uint64 when
+    // start_nonce > 0 — at start_nonce == 0 the whole space exceeds any
+    // possible max_attempts anyway).
+    std::uint64_t attempts = max_attempts;
+    if (start_nonce > 0) {
+        const std::uint64_t remaining =
+            std::numeric_limits<std::uint64_t>::max() - start_nonce + 1;
+        attempts = std::min(attempts, remaining);
+    }
+    for (std::uint64_t i = 0; i < attempts; ++i) {
         const std::uint64_t nonce = start_nonce + i;
         if (pow_value(seal, nonce) <= target) return nonce;
     }

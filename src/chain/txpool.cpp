@@ -1,15 +1,15 @@
 #include "chain/txpool.hpp"
 
 #include <algorithm>
+#include <unordered_set>
 
 namespace bcfl::chain {
 
 bool TxPool::add(const Transaction& tx) {
     const Hash32 id = tx.hash();
-    if (seen_.contains(id)) return false;
+    if (by_hash_.contains(id)) return false;
     if (!tx.verify_signature()) return false;
     if (tx.gas_limit < intrinsic_gas(schedule_, tx)) return false;
-    seen_.insert(id);
     by_hash_.emplace(id, tx);
     order_.push_back(id);
     return true;
@@ -66,6 +66,12 @@ std::vector<Transaction> TxPool::select(
 }
 
 void TxPool::remove(const std::vector<Transaction>& txs) {
+    // Erasing from by_hash_ drops the pool's entire record of the tx: a
+    // long run no longer leaks one hash per transaction ever seen (the old
+    // `seen_` dedup set grew forever). Duplicate suppression for *pending*
+    // txs needs only by_hash_, and re-adding an already-mined tx is
+    // harmless — block building consults the chain's account nonces, which
+    // have moved past it.
     for (const Transaction& tx : txs) {
         const Hash32 id = tx.hash();
         by_hash_.erase(id);
@@ -73,10 +79,17 @@ void TxPool::remove(const std::vector<Transaction>& txs) {
         // occasionally to bound memory.
     }
     if (by_hash_.size() * 2 < order_.size()) {
+        // Keep only the first occurrence of each still-pending id: a
+        // remove-then-reinject cycle leaves the old order_ entry "live"
+        // again next to the freshly pushed one, and without dedup those
+        // duplicates would accumulate across reorg churn.
         std::vector<Hash32> compacted;
         compacted.reserve(by_hash_.size());
+        std::unordered_set<Hash32, FixedBytesHasher> emitted;
         for (const Hash32& id : order_) {
-            if (by_hash_.contains(id)) compacted.push_back(id);
+            if (by_hash_.contains(id) && emitted.insert(id).second) {
+                compacted.push_back(id);
+            }
         }
         order_ = std::move(compacted);
     }
@@ -85,11 +98,9 @@ void TxPool::remove(const std::vector<Transaction>& txs) {
 void TxPool::reinject(const std::vector<Transaction>& txs) {
     for (const Transaction& tx : txs) {
         const Hash32 id = tx.hash();
-        if (by_hash_.contains(id)) continue;
-        // `seen_` keeps the id; re-adding must bypass the duplicate check.
+        if (by_hash_.contains(id)) continue;  // still pending: keep as-is
         by_hash_.emplace(id, tx);
         order_.push_back(id);
-        seen_.insert(id);
     }
 }
 

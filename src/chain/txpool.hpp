@@ -8,7 +8,6 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "chain/gas.hpp"
@@ -20,8 +19,11 @@ class TxPool {
 public:
     explicit TxPool(GasSchedule schedule = {}) : schedule_(schedule) {}
 
-    /// Adds a transaction. Returns false (and ignores it) when it is a
-    /// duplicate, carries an invalid signature, or cannot pay intrinsic gas.
+    /// Adds a transaction. Returns false (and ignores it) when it is
+    /// already pending, carries an invalid signature, or cannot pay
+    /// intrinsic gas. A transaction removed from the pool (mined) may be
+    /// re-added later; the node's chain-level nonce tracking keeps an
+    /// already-mined tx from being selected again.
     bool add(const Transaction& tx);
 
     /// True if the pool currently holds the transaction.
@@ -35,20 +37,24 @@ public:
         const std::unordered_map<Address, std::uint64_t, FixedBytesHasher>&
             next_nonce_by_sender) const;
 
-    /// Removes transactions (e.g. after they were mined).
+    /// Removes transactions (e.g. after they were mined). Frees *all* state
+    /// held for them — a long-running pool's memory is bounded by what is
+    /// currently pending, not by the total transaction history.
     void remove(const std::vector<Transaction>& txs);
 
-    /// Re-injects transactions from abandoned blocks after a reorg.
+    /// Re-injects transactions from abandoned blocks after a reorg without
+    /// re-running signature/intrinsic-gas admission (they were verified
+    /// when first added and again inside the abandoned block). Pending
+    /// duplicates are skipped via `by_hash_`.
     void reinject(const std::vector<Transaction>& txs);
 
-    [[nodiscard]] std::size_t size() const { return order_.size(); }
-    [[nodiscard]] bool empty() const { return order_.empty(); }
+    [[nodiscard]] std::size_t size() const { return by_hash_.size(); }
+    [[nodiscard]] bool empty() const { return by_hash_.empty(); }
 
 private:
     GasSchedule schedule_;
     std::unordered_map<Hash32, Transaction, FixedBytesHasher> by_hash_;
-    std::vector<Hash32> order_;  // arrival order
-    std::unordered_set<Hash32, FixedBytesHasher> seen_;  // includes removed
+    std::vector<Hash32> order_;  // arrival order; may hold removed ids
 };
 
 }  // namespace bcfl::chain

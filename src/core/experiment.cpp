@@ -1,8 +1,10 @@
 #include "core/experiment.hpp"
 
 #include <memory>
+#include <optional>
 
 #include "common/error.hpp"
+#include "core/parallel.hpp"
 
 namespace bcfl::core {
 
@@ -11,6 +13,12 @@ DecentralizedResult run_decentralized(const fl::FlTask& task,
     if (task.clients < config.peers) {
         throw Error("experiment: task has fewer clients than peers");
     }
+    // Pin the compute engine for the whole run (0 = keep the ambient
+    // default, including any override a caller already holds). The engine
+    // only ever parallelizes work *inside* a single sim event, so this
+    // cannot perturb event ordering or any recorded result.
+    std::optional<parallel::ThreadCountOverride> engine_threads;
+    if (config.threads != 0) engine_threads.emplace(config.threads);
 
     net::Simulation sim;
     net::Network network(sim, config.link, config.seed);

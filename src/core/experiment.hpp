@@ -34,6 +34,13 @@ struct DecentralizedConfig {
     std::size_t chunk_bytes = 24 * 1024;
     std::size_t payload_pad_bytes = 0;
 
+    /// Worker threads for the compute engine (core/parallel) during this
+    /// run: candidate-combination scoring and tensor reductions inside a sim
+    /// event. 0 keeps the ambient default (BCFL_THREADS env override, else
+    /// hardware concurrency); 1 forces the serial path. Results are
+    /// bit-identical at every setting — this is a wall-clock knob only.
+    std::size_t threads = 0;
+
     /// Peers (by index) that train slower than the rest — the generator of
     /// the paper's timeout scenario (a straggler misses every deadline, so
     /// deadline-style policies take the asynchronous path each round).

@@ -15,14 +15,38 @@ Bytes PublishedModel::assemble() const {
 }
 
 void ModelStore::sync(const chain::Blockchain& chain) {
-    for (std::uint64_t number = 1; number <= chain.height(); ++number) {
+    const std::uint64_t height = chain.height();
+
+    // Incremental fast path: everything up to the cursor is already
+    // ingested, provided the cursor block is still canonical. A parent-hash
+    // mismatch (or a chain now shorter than the cursor) means a reorg moved
+    // the canonical branch below us: fall back to a full rescan, which is
+    // safe because ingestion is idempotent per (block, log).
+    std::uint64_t from = synced_height_ + 1;
+    if (synced_height_ > 0) {
+        const chain::Block* anchor = chain.block_by_number(synced_height_);
+        if (height < synced_height_ || anchor == nullptr ||
+            anchor->hash() != synced_hash_) {
+            from = 1;
+        }
+    }
+
+    for (std::uint64_t number = from; number <= height; ++number) {
         const chain::Block* block = chain.block_by_number(number);
         if (block == nullptr) continue;
-        if (scanned_.contains(block->hash())) continue;
         const auto* receipts = chain.receipts_for(block->hash());
         if (receipts == nullptr) continue;
         ingest(*block, *receipts);
-        scanned_.insert(block->hash());
+        ++blocks_ingested_;
+    }
+
+    if (height == 0) {
+        synced_height_ = 0;
+        return;
+    }
+    if (const chain::Block* head = chain.block_by_number(height)) {
+        synced_height_ = height;
+        synced_hash_ = head->hash();
     }
 }
 

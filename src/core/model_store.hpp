@@ -9,7 +9,6 @@
 #include <cstdint>
 #include <map>
 #include <optional>
-#include <unordered_set>
 #include <vector>
 
 #include "chain/blockchain.hpp"
@@ -38,7 +37,13 @@ struct PublishedModel {
 
 class ModelStore {
 public:
-    /// Rescans the canonical chain of `chain` (idempotent per block).
+    /// Brings the store up to date with the canonical chain of `chain`.
+    /// Incremental: a last-synced-height cursor means each call only scans
+    /// the blocks appended since the previous call (O(new blocks), not
+    /// O(height) — polling every head event stays linear per run). When the
+    /// cursor's block is no longer canonical (reorg) the store falls back
+    /// to a full rescan; ingestion is idempotent, so re-scanning shared
+    /// prefix blocks is harmless.
     void sync(const chain::Blockchain& chain);
 
     /// Publishers with a *complete, verified* model for `round`.
@@ -58,8 +63,17 @@ public:
     [[nodiscard]] const PublishedModel* latest_complete(
         const Address& owner, std::uint64_t before_round) const;
 
+    /// Cumulative number of block ingestions performed (reorg rescans count
+    /// their re-ingested blocks). A synced store re-synced against an
+    /// unchanged chain performs zero new ingestions.
     [[nodiscard]] std::size_t blocks_scanned() const {
-        return scanned_.size();
+        return blocks_ingested_;
+    }
+
+    /// Height of the canonical block the incremental cursor sits on (0
+    /// before the first non-empty sync).
+    [[nodiscard]] std::uint64_t synced_height() const {
+        return synced_height_;
     }
 
 private:
@@ -68,7 +82,13 @@ private:
 
     using Key = std::pair<std::uint64_t, Address>;
     std::map<Key, PublishedModel> models_;
-    std::unordered_set<Hash32, FixedBytesHasher> scanned_;
+    // Incremental-sync cursor: every canonical block up to `synced_height_`
+    // (whose hash is `synced_hash_`) has been ingested. Replaces the
+    // old per-block-hash scanned set, which grew without bound and forced
+    // an O(height) walk on every poll.
+    std::uint64_t synced_height_ = 0;
+    Hash32 synced_hash_{};
+    std::size_t blocks_ingested_ = 0;
 };
 
 }  // namespace bcfl::core

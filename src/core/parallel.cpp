@@ -1,0 +1,135 @@
+#include "core/parallel.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+namespace bcfl::core::parallel {
+
+namespace {
+
+/// Active ThreadCountOverride value (0 = none). Plain variable: overrides
+/// are installed/removed on the orchestrating thread only, outside any
+/// parallel region, and workers never consult it.
+std::size_t g_override = 0;
+
+/// True while the current thread is executing tasks of a parallel region.
+/// Nested `run` calls (e.g. fedavg's chunked reduction invoked from inside
+/// a combination-scoring task) then execute inline and serially instead of
+/// spawning a second level of thread teams per task.
+thread_local bool t_in_region = false;
+
+std::size_t env_thread_count() {
+    static const std::size_t cached = [] {
+        if (const char* env = std::getenv("BCFL_THREADS")) {
+            char* end = nullptr;
+            const unsigned long value = std::strtoul(env, &end, 10);
+            if (end != env && *end == '\0' && value >= 1 && value <= 1024) {
+                return static_cast<std::size_t>(value);
+            }
+        }
+        const unsigned hardware = std::thread::hardware_concurrency();
+        return static_cast<std::size_t>(hardware == 0 ? 1 : hardware);
+    }();
+    return cached;
+}
+
+}  // namespace
+
+std::size_t thread_count() {
+    return g_override != 0 ? g_override : env_thread_count();
+}
+
+std::size_t worker_count(std::size_t n) {
+    const std::size_t tasks = n == 0 ? 1 : n;
+    return std::min(thread_count(), tasks);
+}
+
+ThreadCountOverride::ThreadCountOverride(std::size_t threads)
+    : previous_(g_override) {
+    g_override = threads;
+}
+
+ThreadCountOverride::~ThreadCountOverride() { g_override = previous_; }
+
+std::uint64_t task_seed(std::uint64_t base, std::uint64_t index) {
+    // splitmix64 finalizer over a golden-ratio index stride: adjacent task
+    // indices land in unrelated streams, and the mapping is a bijection of
+    // (base + stride*index), so distinct tasks cannot collide for a fixed
+    // base.
+    std::uint64_t z = base + 0x9e3779b97f4a7c15ull * (index + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+void run(std::size_t n,
+         const std::function<void(std::size_t, std::size_t)>& task) {
+    if (n == 0) return;
+    const std::size_t workers = t_in_region ? 1 : worker_count(n);
+    if (workers <= 1) {
+        // Same contract as the multi-worker path: every task runs, then the
+        // lowest failing index's exception (serially: the first) rethrows.
+        std::exception_ptr first_failure;
+        for (std::size_t i = 0; i < n; ++i) {
+            try {
+                task(0, i);
+            } catch (...) {
+                if (!first_failure) first_failure = std::current_exception();
+            }
+        }
+        if (first_failure) std::rethrow_exception(first_failure);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::mutex failure_mutex;
+    std::size_t failed_index = std::numeric_limits<std::size_t>::max();
+    std::exception_ptr failure;
+
+    const auto drain = [&](std::size_t worker) {
+        t_in_region = true;
+        for (;;) {
+            const std::size_t index =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (index >= n) break;
+            try {
+                task(worker, index);
+            } catch (...) {
+                // Every task still runs; the lowest failing index wins so
+                // the rethrown exception does not depend on scheduling.
+                const std::lock_guard<std::mutex> lock(failure_mutex);
+                if (index < failed_index) {
+                    failed_index = index;
+                    failure = std::current_exception();
+                }
+            }
+        }
+        t_in_region = false;
+    };
+
+    std::vector<std::thread> helpers;
+    helpers.reserve(workers - 1);
+    for (std::size_t worker = 1; worker < workers; ++worker) {
+        try {
+            helpers.emplace_back(drain, worker);
+        } catch (...) {
+            // Thread-resource exhaustion: degrade to the workers that did
+            // start (drain(0) below still completes every task) instead of
+            // unwinding past joinable threads into std::terminate.
+            break;
+        }
+    }
+    drain(0);
+    for (std::thread& helper : helpers) helper.join();
+    if (failure) std::rethrow_exception(failure);
+}
+
+void for_each(std::size_t n, const std::function<void(std::size_t)>& task) {
+    run(n, [&task](std::size_t, std::size_t index) { task(index); });
+}
+
+}  // namespace bcfl::core::parallel

@@ -271,6 +271,18 @@ void BcflPeer::aggregate(bool timed_out) {
         probe_->set_weights(candidate);
         return probe_->evaluate(task_.client_test[config_.index]);
     };
+    // Independent per-worker probes so strategies can score candidate
+    // combinations in parallel inside this sim event (core/parallel).
+    // Evaluation is a pure function of the candidate weights and the local
+    // test set, so every probe scores exactly like `evaluate`.
+    input.make_evaluator =
+        [this]() -> std::function<double(std::span<const float>)> {
+        std::shared_ptr<fl::FlModel> probe = task_.make_model();
+        return [this, probe](std::span<const float> candidate) {
+            probe->set_weights(candidate);
+            return probe->evaluate(task_.client_test[config_.index]);
+        };
+    };
     AggregationResult outcome = aggregation_->aggregate(input);
 
     global_weights_ = std::move(outcome.weights);

@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "core/parallel.hpp"
 
 namespace bcfl::core {
 
@@ -257,22 +258,54 @@ AggregationResult BestCombination::aggregate(const AggregationInput& input) {
         if (kept[i] == input.self_pos) self_in_kept = i;
     }
 
-    double best_accuracy = -1.0;
-    for (const fl::Combination& combo :
-         fl::paper_combinations(kept.size(), self_in_kept)) {
+    // Candidate construction + scoring is embarrassingly parallel across
+    // combinations; the winner is then picked by an ordered reduction in
+    // combination order, so the chosen model (and every table row) is
+    // bit-identical to the serial loop no matter the worker count. Only the
+    // accuracies are kept — each candidate weight vector lives for the
+    // duration of its task, and the winner is rebuilt once afterwards
+    // (FedAvg is trivial next to the model evaluation already paid per
+    // combination).
+    const std::vector<fl::Combination> combos =
+        fl::paper_combinations(kept.size(), self_in_kept);
+    std::vector<double> accuracies(combos.size(), 0.0);
+    const auto build_candidate = [&](std::size_t c) {
         fl::Combination update_positions;
-        update_positions.reserve(combo.size());
-        for (std::size_t pos : combo) update_positions.push_back(kept[pos]);
-        std::vector<float> candidate =
-            fl::fedavg_subset(input.updates, update_positions);
-        const double accuracy = input.evaluate(candidate);
-        result.combos.push_back(make_row(combo, kept, input, accuracy));
-        if (accuracy > best_accuracy) {
-            best_accuracy = accuracy;
-            result.weights = std::move(candidate);
+        update_positions.reserve(combos[c].size());
+        for (std::size_t pos : combos[c]) {
+            update_positions.push_back(kept[pos]);
+        }
+        return fl::fedavg_subset(input.updates, update_positions);
+    };
+
+    const std::size_t workers = parallel::worker_count(combos.size());
+    if (workers > 1 && input.make_evaluator) {
+        std::vector<std::function<double(std::span<const float>)>> evaluators;
+        evaluators.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w) {
+            evaluators.push_back(input.make_evaluator());
+        }
+        parallel::run(combos.size(), [&](std::size_t worker, std::size_t c) {
+            accuracies[c] = evaluators[worker](build_candidate(c));
+        });
+    } else {
+        for (std::size_t c = 0; c < combos.size(); ++c) {
+            accuracies[c] = input.evaluate(build_candidate(c));
+        }
+    }
+
+    double best_accuracy = -1.0;
+    std::size_t best = 0;
+    for (std::size_t c = 0; c < combos.size(); ++c) {
+        result.combos.push_back(
+            make_row(combos[c], kept, input, accuracies[c]));
+        if (accuracies[c] > best_accuracy) {
+            best_accuracy = accuracies[c];
+            best = c;
             result.chosen_label = result.combos.back().label;
         }
     }
+    result.weights = build_candidate(best);
     result.chosen_accuracy = best_accuracy;
     return result;
 }
@@ -315,17 +348,26 @@ std::vector<float> trimmed_mean(std::span<const fl::ModelUpdate> updates,
         }
     }
     std::vector<float> result(dim, 0.0f);
-    std::vector<float> column(positions.size());
     const std::size_t keep = positions.size() - 2 * trim;
-    for (std::size_t d = 0; d < dim; ++d) {
-        for (std::size_t i = 0; i < positions.size(); ++i) {
-            column[i] = updates[positions[i]].weights[d];
+    // Coordinates are independent (sort + mid-sum per dimension), so the
+    // loop chunks across workers; every coordinate computes the exact same
+    // value it would serially.
+    constexpr std::size_t kChunk = 4096;
+    const std::size_t chunks = (dim + kChunk - 1) / kChunk;
+    parallel::for_each(chunks, [&](std::size_t chunk) {
+        std::vector<float> column(positions.size());
+        const std::size_t begin = chunk * kChunk;
+        const std::size_t end = std::min(begin + kChunk, dim);
+        for (std::size_t d = begin; d < end; ++d) {
+            for (std::size_t i = 0; i < positions.size(); ++i) {
+                column[i] = updates[positions[i]].weights[d];
+            }
+            std::sort(column.begin(), column.end());
+            double acc = 0.0;
+            for (std::size_t i = trim; i < trim + keep; ++i) acc += column[i];
+            result[d] = static_cast<float>(acc / static_cast<double>(keep));
         }
-        std::sort(column.begin(), column.end());
-        double acc = 0.0;
-        for (std::size_t i = trim; i < trim + keep; ++i) acc += column[i];
-        result[d] = static_cast<float>(acc / static_cast<double>(keep));
-    }
+    });
     return result;
 }
 

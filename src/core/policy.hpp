@@ -252,6 +252,16 @@ struct AggregationInput {
     net::SimTime now = 0;         // simulated aggregation time
     std::string names;            // roster letters, e.g. "ABC"
     std::function<double(std::span<const float>)> evaluate;
+    /// Optional factory for additional, *independent* evaluators scoring on
+    /// the same test set as `evaluate`. When present, strategies score
+    /// candidate combinations concurrently through `core/parallel` (one
+    /// evaluator per worker, created serially on the calling thread) inside
+    /// the current sim event. Every evaluator must be a pure function of the
+    /// candidate weights, identical to `evaluate` — that is what keeps
+    /// multi-threaded fitness bit-identical to the serial path. Absent (or
+    /// with a serial engine) strategies evaluate through `evaluate` alone.
+    std::function<std::function<double(std::span<const float>)>()>
+        make_evaluator;
 };
 
 struct AggregationResult {

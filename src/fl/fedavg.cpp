@@ -1,6 +1,9 @@
 #include "fl/fedavg.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
+#include "core/parallel.hpp"
 
 namespace bcfl::fl {
 
@@ -16,15 +19,29 @@ std::vector<float> fedavg(std::span<const ModelUpdate> updates) {
     }
     if (total_weight <= 0.0) throw ShapeError("fedavg: zero total weight");
 
-    std::vector<double> acc(dim, 0.0);
-    for (const ModelUpdate& update : updates) {
-        const double w = update.sample_count / total_weight;
-        for (std::size_t i = 0; i < dim; ++i) {
-            acc[i] += w * static_cast<double>(update.weights[i]);
-        }
+    std::vector<double> norm(updates.size());
+    for (std::size_t u = 0; u < updates.size(); ++u) {
+        norm[u] = updates[u].sample_count / total_weight;
     }
+
+    // Coordinate-chunked reduction: each output element accumulates its
+    // update terms in the same (update-index) order as the serial loop, so
+    // the result is bit-identical at any worker count; chunks just let the
+    // coordinates proceed concurrently for paper-scale weight vectors.
     std::vector<float> out(dim);
-    for (std::size_t i = 0; i < dim; ++i) out[i] = static_cast<float>(acc[i]);
+    constexpr std::size_t kChunk = 16384;
+    const std::size_t chunks = (dim + kChunk - 1) / kChunk;
+    core::parallel::for_each(chunks, [&](std::size_t chunk) {
+        const std::size_t begin = chunk * kChunk;
+        const std::size_t end = std::min(begin + kChunk, dim);
+        for (std::size_t i = begin; i < end; ++i) {
+            double acc = 0.0;
+            for (std::size_t u = 0; u < updates.size(); ++u) {
+                acc += norm[u] * static_cast<double>(updates[u].weights[i]);
+            }
+            out[i] = static_cast<float>(acc);
+        }
+    });
     return out;
 }
 

@@ -1,9 +1,12 @@
 #include "fl/vanilla.hpp"
 
 #include "common/error.hpp"
+#include "core/parallel.hpp"
 #include "fl/fedavg.hpp"
 
 namespace bcfl::fl {
+
+namespace parallel = core::parallel;
 
 VanillaResult run_vanilla(const FlTask& task, const VanillaConfig& config) {
     if (task.clients == 0) throw Error("vanilla: task has no clients");
@@ -20,10 +23,22 @@ VanillaResult run_vanilla(const FlTask& task, const VanillaConfig& config) {
 
     const auto combos = all_combinations(task.clients);
 
+    // Per-worker probes for the parallel sections (combination scoring, the
+    // per-client accuracy sweep). Evaluation is a pure function of (weights,
+    // dataset), so any probe gives the same number as `probe`.
+    const std::size_t eval_workers =
+        parallel::worker_count(std::max(combos.size(), task.clients));
+    std::vector<std::unique_ptr<FlModel>> worker_probes;
+    for (std::size_t w = 0; w < eval_workers; ++w) {
+        worker_probes.push_back(task.make_model());
+    }
+
     for (std::size_t round = 0; round < config.rounds; ++round) {
-        // Local training from the current global model.
+        // Local training from the current global model. Clients are fully
+        // independent (own model instance, own dataset, own shuffle seed),
+        // so they train concurrently; the updates land in client order.
         std::vector<ModelUpdate> updates(task.clients);
-        for (std::size_t c = 0; c < task.clients; ++c) {
+        parallel::for_each(task.clients, [&](std::size_t c) {
             clients[c]->set_weights(global);
             ml::TrainConfig train_config = task.train_template;
             train_config.shuffle_seed =
@@ -32,7 +47,7 @@ VanillaResult run_vanilla(const FlTask& task, const VanillaConfig& config) {
             updates[c].weights = clients[c]->weights();
             updates[c].sample_count =
                 static_cast<double>(task.client_train[c].size());
-        }
+        });
 
         VanillaRound record;
         if (config.mode == AggregationMode::not_consider) {
@@ -40,32 +55,46 @@ VanillaResult run_vanilla(const FlTask& task, const VanillaConfig& config) {
             record.chosen.resize(task.clients);
             for (std::size_t c = 0; c < task.clients; ++c) record.chosen[c] = c;
         } else {
-            // "consider": pick the combination that scores best on the
-            // aggregator's default test set.
+            // "consider": evaluate all 2^n - 1 combinations concurrently,
+            // then pick the best by an ordered scan (first strictly-better
+            // wins, exactly like the serial loop). Each candidate weight
+            // vector lives only inside its task; the winner is re-averaged
+            // once afterwards.
+            std::vector<double> scored(combos.size(), 0.0);
+            parallel::run(combos.size(), [&](std::size_t worker,
+                                             std::size_t i) {
+                worker_probes[worker]->set_weights(
+                    fedavg_subset(updates, combos[i]));
+                scored[i] =
+                    worker_probes[worker]->evaluate(task.aggregator_test);
+            });
             double best_accuracy = -1.0;
-            Combination best_combo;
-            std::vector<float> best_weights;
-            for (const Combination& combo : combos) {
-                const std::vector<float> candidate =
-                    fedavg_subset(updates, combo);
-                probe->set_weights(candidate);
-                const double acc = probe->evaluate(task.aggregator_test);
-                if (acc > best_accuracy) {
-                    best_accuracy = acc;
-                    best_combo = combo;
-                    best_weights = candidate;
+            std::size_t best = 0;
+            for (std::size_t i = 0; i < combos.size(); ++i) {
+                if (scored[i] > best_accuracy) {
+                    best_accuracy = scored[i];
+                    best = i;
                 }
             }
-            global = std::move(best_weights);
-            record.chosen = std::move(best_combo);
+            global = fedavg_subset(updates, combos[best]);
+            record.chosen = combos[best];
         }
 
         probe->set_weights(global);
         record.aggregator_accuracy = probe->evaluate(task.aggregator_test);
-        for (std::size_t c = 0; c < task.clients; ++c) {
-            record.client_accuracy.push_back(
-                probe->evaluate(task.client_test[c]));
+        // Per-client accuracy of the new global model: load the weights
+        // into each worker probe once (they don't change inside the
+        // region), then evaluate concurrently, slotted in client order.
+        const std::size_t accuracy_workers =
+            parallel::worker_count(task.clients);
+        for (std::size_t w = 0; w < accuracy_workers; ++w) {
+            worker_probes[w]->set_weights(global);
         }
+        record.client_accuracy.resize(task.clients);
+        parallel::run(task.clients, [&](std::size_t worker, std::size_t c) {
+            record.client_accuracy[c] =
+                worker_probes[worker]->evaluate(task.client_test[c]);
+        });
         result.rounds.push_back(std::move(record));
     }
     return result;

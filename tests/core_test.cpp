@@ -110,6 +110,96 @@ TEST_F(ModelStoreTest, SyncIsIdempotent) {
     EXPECT_EQ(store.ready_publishers(1).size(), 1u);
 }
 
+TEST_F(ModelStoreTest, SyncIsIncrementalAcrossPolls) {
+    // Regression for the O(height)-per-poll rescan: the cursor must make a
+    // re-sync ingest only the blocks appended since the previous poll, so
+    // total ingestions equal the chain height, not its running sum.
+    node_->start();
+    publish_model(1, std::vector<float>(100, 1.0f), 128);
+    sim_.run_until(net::seconds(60));
+
+    ModelStore store;
+    store.sync(node_->chain());
+    const std::uint64_t first_height = node_->chain().height();
+    ASSERT_GT(first_height, 0u);
+    EXPECT_EQ(store.synced_height(), first_height);
+    EXPECT_EQ(store.blocks_scanned(), first_height);
+
+    publish_model(2, std::vector<float>(100, 2.0f), 128);
+    sim_.run_until(net::seconds(120));
+    store.sync(node_->chain());
+    const std::uint64_t second_height = node_->chain().height();
+    ASSERT_GT(second_height, first_height);
+    EXPECT_EQ(store.synced_height(), second_height);
+    // Only the new blocks were ingested on the second poll.
+    EXPECT_EQ(store.blocks_scanned(), second_height);
+    EXPECT_EQ(store.ready_publishers(2).size(), 1u);
+}
+
+TEST(ModelStoreReorg, CursorMismatchTriggersFullRescan) {
+    // A store synced against one branch, then pointed at a chain whose
+    // block at the cursor height differs (the reorg case), must fall back
+    // to a full rescan and pick up the new branch's models.
+    struct MiniChain {
+        net::Simulation sim;
+        net::Network network{sim, net::LinkParams{}, 3};
+        std::unique_ptr<node::Node> node;
+        std::uint64_t nonce = 0;
+
+        explicit MiniChain(std::uint64_t key_seed) {
+            node::NodeConfig config;
+            config.key_seed = key_seed;
+            config.hash_rate = 500.0;
+            config.chain.initial_difficulty = 200;
+            config.chain.min_difficulty = 64;
+            config.chain.target_interval_ms = 1000;
+            config.rng_seed = key_seed * 13;
+            node = std::make_unique<node::Node>(sim, network, config);
+            node->start();
+        }
+
+        void publish(std::uint64_t round, const std::vector<float>& weights) {
+            const Bytes payload = ml::serialize_weights(weights);
+            const Hash32 digest = ml::weights_digest(BytesView(payload));
+            const auto submit = [&](Bytes calldata) {
+                node->submit_tx(chain::Transaction::make_signed(
+                    node->key(), nonce++, vm::registry_address(),
+                    21'000 + 16 * calldata.size() + 300'000, 1,
+                    std::move(calldata)));
+            };
+            submit(abi::publish_calldata(round, digest, 1, payload.size()));
+            submit(abi::chunk_calldata(round, 0, BytesView(payload)));
+        }
+    };
+
+    MiniChain branch_a(31);
+    branch_a.publish(1, std::vector<float>(60, 1.0f));
+    branch_a.sim.run_until(net::seconds(60));
+
+    MiniChain branch_b(32);
+    branch_b.publish(1, std::vector<float>(60, 2.0f));
+    branch_b.publish(2, std::vector<float>(60, 3.0f));
+    branch_b.sim.run_until(net::seconds(120));
+
+    ModelStore store;
+    store.sync(branch_a.node->chain());
+    ASSERT_NE(store.find(1, branch_a.node->address()), nullptr);
+    EXPECT_EQ(store.find(1, branch_b.node->address()), nullptr);
+
+    // The cursor's block is not canonical on branch B: full rescan.
+    store.sync(branch_b.node->chain());
+    EXPECT_EQ(store.synced_height(), branch_b.node->chain().height());
+    const PublishedModel* model = store.find(1, branch_b.node->address());
+    ASSERT_NE(model, nullptr);
+    EXPECT_TRUE(model->complete());
+    EXPECT_EQ(store.ready_publishers(2).size(), 1u);
+
+    // Re-syncing the same branch is a no-op again (cursor re-anchored).
+    const std::size_t ingested = store.blocks_scanned();
+    store.sync(branch_b.node->chain());
+    EXPECT_EQ(store.blocks_scanned(), ingested);
+}
+
 TEST_F(ModelStoreTest, IncompleteModelNotReady) {
     node_->start();
     // Publish announcement claiming 3 chunks but send only one.
