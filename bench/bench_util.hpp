@@ -1,18 +1,22 @@
-// Shared formatting helpers for the table/figure reproduction benches, plus
-// a minimal ordered-JSON builder so benches can emit machine-readable
-// BENCH_*.json result objects for cross-PR perf tracking.
+// Shared formatting helpers for the table/figure reproduction benches.
+// BENCH_*.json documents are built with the library's ordered JSON type
+// (core::JsonValue — also the scenario engine's spec/output format), so
+// every machine-readable artifact in the repo goes through one writer.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
-#include <memory>
 #include <string>
-#include <utility>
-#include <vector>
+
+#include "core/scenario.hpp"
 
 namespace bcfl::bench {
+
+/// Insertion-ordered JSON value (objects keep member order, like the
+/// tables they mirror). Alias of the scenario engine's document type.
+using Json = core::JsonValue;
 
 /// Milliseconds elapsed since `begin` (steady clock).
 inline double ms_since(std::chrono::steady_clock::time_point begin) {
@@ -71,121 +75,6 @@ inline void print_round_header(const std::string& label, std::size_t rounds) {
     }
     std::printf("\n");
 }
-
-/// Minimal ordered JSON value (objects keep insertion order, like the
-/// tables they mirror). Covers exactly what the benches need: objects,
-/// arrays, strings, numbers and booleans.
-class Json {
-public:
-    Json() : kind_(Kind::null) {}
-    Json(const char* v) : kind_(Kind::string), string_(v) {}
-    Json(std::string v) : kind_(Kind::string), string_(std::move(v)) {}
-    Json(double v) : kind_(Kind::number), number_(v) {}
-    Json(std::uint64_t v) : kind_(Kind::integer), integer_(v) {}
-    Json(std::uint32_t v)
-        : kind_(Kind::integer), integer_(static_cast<std::uint64_t>(v)) {}
-    // Signed ints go through the number path so negatives don't wrap to
-    // huge unsigned values (doubles are exact well past any bench count).
-    Json(int v) : kind_(Kind::number), number_(static_cast<double>(v)) {}
-    Json(bool v) : kind_(Kind::boolean), boolean_(v) {}
-
-    static Json object() {
-        Json j;
-        j.kind_ = Kind::object;
-        return j;
-    }
-    static Json array() {
-        Json j;
-        j.kind_ = Kind::array;
-        return j;
-    }
-
-    Json& set(const std::string& key, Json value) {
-        members_.emplace_back(key, std::move(value));
-        return *this;
-    }
-    Json& push(Json value) {
-        elements_.push_back(std::move(value));
-        return *this;
-    }
-
-    [[nodiscard]] std::string dump() const {
-        std::string out;
-        write(out);
-        return out;
-    }
-
-private:
-    enum class Kind { null, object, array, string, number, integer, boolean };
-
-    static void escape(const std::string& s, std::string& out) {
-        out.push_back('"');
-        for (char c : s) {
-            switch (c) {
-                case '"': out += "\\\""; break;
-                case '\\': out += "\\\\"; break;
-                case '\n': out += "\\n"; break;
-                case '\t': out += "\\t"; break;
-                default:
-                    if (static_cast<unsigned char>(c) < 0x20) {
-                        char buffer[8];
-                        std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
-                        out += buffer;
-                    } else {
-                        out.push_back(c);
-                    }
-            }
-        }
-        out.push_back('"');
-    }
-
-    void write(std::string& out) const {
-        switch (kind_) {
-            case Kind::null: out += "null"; break;
-            case Kind::string: escape(string_, out); break;
-            case Kind::boolean: out += boolean_ ? "true" : "false"; break;
-            case Kind::integer: out += std::to_string(integer_); break;
-            case Kind::number: {
-                char buffer[32];
-                std::snprintf(buffer, sizeof(buffer), "%.10g", number_);
-                out += buffer;
-                break;
-            }
-            case Kind::object: {
-                out.push_back('{');
-                bool first = true;
-                for (const auto& [key, value] : members_) {
-                    if (!first) out.push_back(',');
-                    first = false;
-                    escape(key, out);
-                    out.push_back(':');
-                    value.write(out);
-                }
-                out.push_back('}');
-                break;
-            }
-            case Kind::array: {
-                out.push_back('[');
-                bool first = true;
-                for (const Json& value : elements_) {
-                    if (!first) out.push_back(',');
-                    first = false;
-                    value.write(out);
-                }
-                out.push_back(']');
-                break;
-            }
-        }
-    }
-
-    Kind kind_;
-    std::string string_;
-    double number_ = 0.0;
-    std::uint64_t integer_ = 0;
-    bool boolean_ = false;
-    std::vector<std::pair<std::string, Json>> members_;
-    std::vector<Json> elements_;
-};
 
 /// Writes `json` to BENCH_<name>.json in the working directory and echoes
 /// the path, so bench runs leave a machine-readable trail.

@@ -5,6 +5,8 @@
 #      resolves to an existing file or directory.
 #   2. Every policy spec head registered in the core/policy.cpp factories
 #      is documented in docs/policies.md.
+#   3. Every scenario-spec key the core/scenario.cpp parser accepts is
+#      documented in docs/scenarios.md.
 #
 #   $ scripts/check_docs.sh        # from anywhere; exits non-zero on failure
 set -euo pipefail
@@ -59,6 +61,26 @@ for head in "${heads[@]}"; do
   fi
 done
 echo "verified ${#heads[@]} spec heads: ${heads[*]}"
+
+echo "== docs: scenario keys documented in docs/scenarios.md =="
+# The parser compares keys as `key == "..."` (also lkey/pkey/ckey in the
+# nested sections) and looks up latency-distribution parameters via
+# `.find("...")`; harvest both spellings.
+mapfile -t scenario_keys < <(grep -oE '([a-z]*key == |\.find\()"[a-z_0-9]+"' src/core/scenario.cpp \
+  | sed -E 's/.*"([a-z_0-9]+)"/\1/' | sort -u)
+if [ "${#scenario_keys[@]}" -lt 20 ]; then
+  echo "suspiciously few scenario keys parsed from src/core/scenario.cpp (${#scenario_keys[@]})"
+  fail=1
+fi
+for key in "${scenario_keys[@]}"; do
+  # Same convention as the policy heads: the key must appear in code
+  # context (backtick, key, then a non-identifier character).
+  if ! grep -qE '`'"${key}"'[^a-z_0-9]' docs/scenarios.md; then
+    echo "UNDOCUMENTED SCENARIO KEY: \"$key\" (accepted by src/core/scenario.cpp, missing from docs/scenarios.md)"
+    fail=1
+  fi
+done
+echo "verified ${#scenario_keys[@]} scenario keys"
 
 if [ "$fail" -ne 0 ]; then
   echo "check_docs.sh: FAILED"

@@ -4,14 +4,21 @@
 #
 #   $ scripts/ci.sh            # from the repo root
 #
-# 1. Docs: markdown links resolve, every factory policy spec is documented.
+# 1. Docs: markdown links resolve, every factory policy spec and scenario
+#    key is documented.
 # 2. Default configure, full build, then ctest twice: once with the
 #    parallel engine pinned serial (BCFL_THREADS=1) and once at the default
 #    width — the suite must be green in both worlds.
 # 3. Parallel determinism: the micro_substrates serial-vs-parallel bench
 #    runs under both thread settings; the fitness fingerprints in
 #    BENCH_micro_substrates.json must be byte-identical.
-# 4. A second configure with -Wall -Wextra -Werror to keep the tree
+# 4. Scenario smoke: the checked-in ci_smoke spec runs end-to-end at
+#    BCFL_THREADS=1 and 8 — the two JSON documents must be byte-identical
+#    (the scenario engine's determinism contract).
+# 5. Bench-baseline gate: scripts/bench_compare.py diffs the fresh
+#    BENCH_*.json against bench/baselines/ and fails on any
+#    accuracy/fitness regression.
+# 6. A second configure with -Wall -Wextra -Werror to keep the tree
 #    warning-clean.
 set -euo pipefail
 
@@ -51,6 +58,24 @@ if [ "${serial_fp}" != "${parallel_fp}" ] || [ -z "${serial_fp}" ]; then
   exit 1
 fi
 echo "fingerprints identical: ${serial_fp}"
+
+echo "== scenario smoke: ci_smoke spec, byte-identical at 1 vs 8 threads =="
+(cd build && BCFL_THREADS=1 ./examples/bcfl_scenario ../scenarios/ci_smoke.json \
+  --out=BENCH_scenario_ci_smoke.threads1.json)
+(cd build && BCFL_THREADS=8 ./examples/bcfl_scenario ../scenarios/ci_smoke.json \
+  --out=BENCH_scenario_ci_smoke.json >/dev/null)
+if ! cmp -s build/BENCH_scenario_ci_smoke.threads1.json \
+            build/BENCH_scenario_ci_smoke.json; then
+  echo "SCENARIO DIVERGENCE between BCFL_THREADS=1 and BCFL_THREADS=8:"
+  diff build/BENCH_scenario_ci_smoke.threads1.json \
+       build/BENCH_scenario_ci_smoke.json || true
+  exit 1
+fi
+echo "scenario JSON byte-identical across thread counts"
+
+echo "== bench-baseline gate: fresh JSON vs bench/baselines =="
+python3 scripts/bench_compare.py build/BENCH_micro_substrates.json \
+  build/BENCH_scenario_ci_smoke.json
 
 echo "== strict: -Wall -Wextra -Werror build =="
 cmake -B build-werror -S . -DBCFL_WERROR=ON

@@ -21,7 +21,7 @@ DecentralizedResult run_decentralized(const fl::FlTask& task,
     if (config.threads != 0) engine_threads.emplace(config.threads);
 
     net::Simulation sim;
-    net::Network network(sim, config.link, config.seed);
+    net::Network network(sim, config.link, config.conditions, config.seed);
 
     chain::ChainConfig chain_config;
     chain_config.initial_difficulty = config.initial_difficulty;
@@ -53,6 +53,9 @@ DecentralizedResult run_decentralized(const fl::FlTask& task,
         peer_config.aggregation = config.aggregation;
         for (std::size_t poisoned : config.poisoned_peers) {
             if (poisoned == i) peer_config.poison_updates = true;
+        }
+        if (i < config.peer_start_delays.size()) {
+            peer_config.start_delay = config.peer_start_delays[i];
         }
         if (config.straggler_train_duration > 0) {
             for (std::size_t straggler : config.stragglers) {

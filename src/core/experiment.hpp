@@ -55,12 +55,21 @@ struct DecentralizedConfig {
     double hash_rate_per_node = 200.0;
 
     net::LinkParams link;
+    /// Fault injection (per-link latency distributions, loss overrides,
+    /// timed partitions, peer churn) — see net/conditions.hpp. Empty
+    /// conditions reproduce the paper's clean LAN exactly.
+    net::NetworkConditions conditions;
     std::uint64_t seed = 1;
     /// Simulated-time safety cap.
     net::SimTime max_sim_time = net::seconds(200'000);
 
     /// Peers (by index) that publish poisoned updates.
     std::vector<std::size_t> poisoned_peers;
+
+    /// Per-peer join delay as net::SimTime (microseconds — build with
+    /// net::seconds / net::from_seconds) before the peer's round 1
+    /// starts; shorter than `peers` means the remainder join at t=0.
+    std::vector<net::SimTime> peer_start_delays;
 };
 
 struct DecentralizedResult {

@@ -39,7 +39,11 @@ BcflPeer::BcflPeer(net::Simulation& sim, node::Node& node,
 void BcflPeer::run_rounds(std::size_t rounds) {
     target_rounds_ = rounds;
     current_round_ = 0;
-    begin_round();
+    if (config_.start_delay > 0) {
+        sim_.schedule_after(config_.start_delay, [this] { begin_round(); });
+    } else {
+        begin_round();
+    }
 }
 
 void BcflPeer::begin_round() {

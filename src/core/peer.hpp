@@ -45,6 +45,10 @@ struct PeerConfig {
     /// publishes a corrupted update (sign-flipped, noise-scaled weights)
     /// while still participating in consensus honestly.
     bool poison_updates = false;
+    /// Churn: the peer joins the federation this long after run_rounds —
+    /// its round 1 starts late, so other peers' policies see its models
+    /// missing and take their configured asynchronous path.
+    net::SimTime start_delay = 0;
 
     /// WaitPolicy factory spec (see core/policy.hpp), e.g.
     /// "wait_all,timeout=900s", "adaptive,base=60s,extend=30s,max=300s" or

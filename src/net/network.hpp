@@ -12,11 +12,10 @@
 
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
+#include "net/conditions.hpp"
 #include "net/sim.hpp"
 
 namespace bcfl::net {
-
-using NodeId = std::uint32_t;
 
 struct LinkParams {
     SimTime latency = ms(5);              // one-way propagation delay
@@ -31,7 +30,11 @@ struct LinkParams {
 struct TrafficStats {
     std::uint64_t messages_sent = 0;
     std::uint64_t messages_delivered = 0;
+    /// Every drop, whatever the cause; the two fields below break out the
+    /// fault-injection causes (the remainder is random link loss).
     std::uint64_t messages_dropped = 0;
+    std::uint64_t dropped_partition = 0;
+    std::uint64_t dropped_offline = 0;
     std::uint64_t bytes_sent = 0;
 };
 
@@ -42,6 +45,13 @@ public:
     Network(Simulation& sim, LinkParams params, std::uint64_t seed = 1)
         : sim_(sim), params_(params), rng_(seed) {}
 
+    Network(Simulation& sim, LinkParams params, NetworkConditions conditions,
+            std::uint64_t seed = 1)
+        : sim_(sim),
+          params_(params),
+          conditions_(std::move(conditions)),
+          rng_(seed) {}
+
     /// Registers a node; all nodes are mutually reachable (full mesh).
     NodeId add_node(Receiver receiver) {
         receivers_.push_back(std::move(receiver));
@@ -51,21 +61,50 @@ public:
 
     [[nodiscard]] std::size_t node_count() const { return receivers_.size(); }
 
-    /// Schedules delivery of `message` from `from` to `to`.
+    /// Schedules delivery of `message` from `from` to `to`. Fault
+    /// injection happens here, at send time: an offline endpoint or an
+    /// active partition drops the message outright; a per-link override
+    /// replaces loss/latency/bandwidth for just this pair.
     void send(NodeId from, NodeId to, Bytes message) {
         if (to >= receivers_.size() || to == from) return;
         ++stats_.messages_sent;
         stats_.bytes_sent += message.size();
-        if (params_.loss_rate > 0.0 && rng_.next_double() < params_.loss_rate) {
+        const SimTime now = sim_.now();
+        if (conditions_.offline(from, now) || conditions_.offline(to, now)) {
+            ++stats_.messages_dropped;
+            ++stats_.dropped_offline;
+            return;
+        }
+        if (conditions_.partitioned(from, to, now)) {
+            ++stats_.messages_dropped;
+            ++stats_.dropped_partition;
+            return;
+        }
+        const LinkConditions* link = conditions_.link(from, to);
+        const double loss_rate = link && link->loss_rate.has_value()
+                                     ? *link->loss_rate
+                                     : params_.loss_rate;
+        if (loss_rate > 0.0 && rng_.next_double() < loss_rate) {
             ++stats_.messages_dropped;
             return;
         }
-        const double jitter =
-            1.0 + params_.jitter_fraction * (2.0 * rng_.next_double() - 1.0);
+        const double bytes_per_us = link && link->bytes_per_us.has_value()
+                                        ? *link->bytes_per_us
+                                        : params_.bytes_per_us;
         const SimTime transfer = static_cast<SimTime>(
-            static_cast<double>(message.size()) / params_.bytes_per_us);
-        const SimTime propagation =
-            static_cast<SimTime>(static_cast<double>(params_.latency) * jitter);
+            static_cast<double>(message.size()) / bytes_per_us);
+        SimTime propagation = 0;
+        if (link && link->latency.has_value()) {
+            propagation = link->latency->sample(rng_);
+        } else if (conditions_.default_latency.has_value()) {
+            propagation = conditions_.default_latency->sample(rng_);
+        } else {
+            const double jitter =
+                1.0 +
+                params_.jitter_fraction * (2.0 * rng_.next_double() - 1.0);
+            propagation = static_cast<SimTime>(
+                static_cast<double>(params_.latency) * jitter);
+        }
         SimTime deliver_at = 0;
         if (params_.shared_uplink) {
             // The sender's NIC transmits one message at a time.
@@ -92,10 +131,18 @@ public:
 
     [[nodiscard]] const TrafficStats& stats() const { return stats_; }
     [[nodiscard]] const LinkParams& params() const { return params_; }
+    [[nodiscard]] const NetworkConditions& conditions() const {
+        return conditions_;
+    }
+    /// Whether `node` is currently reachable (no active churn window).
+    [[nodiscard]] bool online(NodeId node) const {
+        return !conditions_.offline(node, sim_.now());
+    }
 
 private:
     Simulation& sim_;
     LinkParams params_;
+    NetworkConditions conditions_;
     Rng rng_;
     std::vector<Receiver> receivers_;
     std::vector<SimTime> uplink_free_;  // per-sender NIC availability

@@ -80,7 +80,7 @@ void Node::broadcast(MsgKind kind, const Bytes& body) {
     network_.broadcast(id_, message);
 }
 
-void Node::handle_message(net::NodeId /*from*/, const Bytes& message) {
+void Node::handle_message(net::NodeId from, const Bytes& message) {
     if (message.empty()) return;
     const auto kind = static_cast<MsgKind>(message[0]);
     const BytesView body = BytesView(message).subspan(1);
@@ -96,7 +96,23 @@ void Node::handle_message(net::NodeId /*from*/, const Bytes& message) {
             }
             case MsgKind::block: {
                 const chain::Block block = chain::Block::decode(body);
-                handle_block(block);
+                handle_block(from, block);
+                return;
+            }
+            case MsgKind::get_block: {
+                if (body.size() != 32) return;
+                const Hash32 wanted = Hash32::from(body);
+                if (const chain::Block* found =
+                        chain_->block_by_hash(wanted)) {
+                    ++stats_.block_requests_served;
+                    Bytes reply;
+                    const Bytes encoded = found->encode();
+                    reply.reserve(encoded.size() + 1);
+                    reply.push_back(
+                        static_cast<std::uint8_t>(MsgKind::block));
+                    append(reply, encoded);
+                    network_.send(id_, from, std::move(reply));
+                }
                 return;
             }
         }
@@ -105,14 +121,44 @@ void Node::handle_message(net::NodeId /*from*/, const Bytes& message) {
     }
 }
 
-void Node::handle_block(const chain::Block& block) {
+void Node::handle_block(net::NodeId from, const chain::Block& block) {
     const Hash32 id = block.hash();
     if (seen_.contains(id)) return;
     seen_.insert(id);
-    import_block(block, /*relay=*/true);
+    import_block(block, /*relay=*/true, from);
 }
 
-void Node::import_block(const chain::Block& block, bool relay) {
+Hash32 Node::earliest_missing_ancestor(Hash32 hash) const {
+    // Chase through the orphan buffer: if the "missing" block is itself
+    // buffered, what we actually lack is *its* parent, and so on. Each
+    // step is one map lookup; a hash cycle is impossible (a header commits
+    // to its parent hash), but cap the walk at the buffer size anyway.
+    for (std::size_t steps = 0; steps <= orphan_parent_.size(); ++steps) {
+        const auto it = orphan_parent_.find(hash);
+        if (it == orphan_parent_.end()) break;
+        hash = it->second;
+    }
+    return hash;
+}
+
+void Node::request_block(net::NodeId peer, const Hash32& hash) {
+    // No in-flight bookkeeping: a request (or its reply) lost to the same
+    // fault that orphaned the block is retried naturally, because every
+    // subsequently gossiped descendant re-enters import as an orphan and
+    // asks again. Requests are 33 bytes; duplicates are cheap.
+    if (seen_.contains(hash) || chain_->block_by_hash(hash) != nullptr) {
+        return;  // already held (imported, buffered, or rejected for cause)
+    }
+    ++stats_.blocks_requested;
+    Bytes message;
+    message.reserve(33);
+    message.push_back(static_cast<std::uint8_t>(MsgKind::get_block));
+    append(message, hash.view());
+    network_.send(id_, peer, std::move(message));
+}
+
+void Node::import_block(const chain::Block& block, bool relay,
+                        net::NodeId origin) {
     const chain::ImportResult result = chain_->import_block(block);
     switch (result.status) {
         case chain::ImportStatus::added_head: {
@@ -135,6 +181,15 @@ void Node::import_block(const chain::Block& block, bool relay) {
             return;
         case chain::ImportStatus::orphan:
             orphans_[block.header.parent_hash].push_back(block);
+            orphan_parent_[block.hash()] = block.header.parent_hash;
+            // Ancestor sync: ask whoever sent us this block for the
+            // earliest ancestor we lack (one hop per request; each reply is
+            // itself an orphan until the fork point connects).
+            if (origin != id_) {
+                request_block(
+                    origin,
+                    earliest_missing_ancestor(block.header.parent_hash));
+            }
             return;
         case chain::ImportStatus::duplicate:
             return;
@@ -154,7 +209,8 @@ void Node::retry_orphans() {
                 std::vector<chain::Block> children = std::move(it->second);
                 it = orphans_.erase(it);
                 for (const chain::Block& child : children) {
-                    import_block(child, /*relay=*/true);
+                    orphan_parent_.erase(child.hash());
+                    import_block(child, /*relay=*/true, id_);
                 }
                 progressed = true;
                 break;  // maps mutated; restart scan
@@ -195,7 +251,7 @@ void Node::on_block_found(std::uint64_t generation) {
     block.header.pow_nonce = *nonce;
     ++stats_.blocks_mined;
     seen_.insert(block.hash());
-    import_block(block, /*relay=*/true);
+    import_block(block, /*relay=*/true, id_);
     // import_block scheduled the next round via added_head.
 }
 

@@ -43,6 +43,9 @@ struct NodeStats {
     std::uint64_t blocks_rejected = 0;
     std::uint64_t txs_submitted = 0;
     std::uint64_t reorgs = 0;
+    /// Ancestor-sync protocol traffic (see handle_message: get_block).
+    std::uint64_t blocks_requested = 0;
+    std::uint64_t block_requests_served = 0;
 };
 
 class Node {
@@ -81,11 +84,19 @@ public:
     static vm::WorldState genesis_state();
 
 private:
-    enum class MsgKind : std::uint8_t { tx = 1, block = 2 };
+    enum class MsgKind : std::uint8_t { tx = 1, block = 2, get_block = 3 };
 
     void handle_message(net::NodeId from, const Bytes& message);
-    void handle_block(const chain::Block& block);
-    void import_block(const chain::Block& block, bool relay);
+    void handle_block(net::NodeId from, const chain::Block& block);
+    void import_block(const chain::Block& block, bool relay,
+                      net::NodeId origin);
+    /// Asks `peer` for the block with the given hash (ancestor sync: after
+    /// a partition heals, gossiped heads reference unknown parents; walking
+    /// the parent chain back to the fork point reconnects the forks).
+    void request_block(net::NodeId peer, const Hash32& hash);
+    /// Follows the orphan buffer from `hash` to the earliest ancestor we
+    /// do not hold at all — the next block actually worth requesting.
+    [[nodiscard]] Hash32 earliest_missing_ancestor(Hash32 hash) const;
     void retry_orphans();
     void schedule_mining();
     void on_block_found(std::uint64_t generation);
@@ -108,6 +119,9 @@ private:
     std::unordered_set<Hash32, FixedBytesHasher> seen_;
     std::unordered_map<Hash32, std::vector<chain::Block>, FixedBytesHasher>
         orphans_;  // parent hash -> waiting blocks
+    std::unordered_map<Hash32, Hash32, FixedBytesHasher>
+        orphan_parent_;  // buffered block hash -> its parent hash, so the
+                         // ancestor walk is O(1) per step (no rehashing)
     std::vector<HeadCallback> head_callbacks_;
 };
 

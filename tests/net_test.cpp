@@ -138,6 +138,120 @@ TEST(Network, LossDropsMessages) {
     EXPECT_EQ(network.stats().messages_dropped, 1u);
 }
 
+TEST(Conditions, LatencyDistSamplesStayInRange) {
+    Rng rng(7);
+    LatencyDist fixed;
+    fixed.kind = LatencyDist::Kind::fixed;
+    fixed.base = ms(25);
+    EXPECT_EQ(fixed.sample(rng), ms(25));
+
+    LatencyDist uniform;
+    uniform.kind = LatencyDist::Kind::uniform;
+    uniform.base = ms(10);
+    uniform.spread = ms(50);
+    for (int i = 0; i < 200; ++i) {
+        const SimTime sample = uniform.sample(rng);
+        EXPECT_GE(sample, ms(10));
+        EXPECT_LT(sample, ms(50));
+    }
+
+    LatencyDist lognormal;
+    lognormal.kind = LatencyDist::Kind::lognormal;
+    lognormal.base = ms(40);
+    lognormal.sigma = 0.0;  // degenerate: always the median
+    EXPECT_EQ(lognormal.sample(rng), ms(40));
+}
+
+TEST(Conditions, PartitionDropsAcrossGroupsThenHeals) {
+    Simulation sim;
+    NetworkConditions conditions;
+    conditions.partitions.push_back(
+        {seconds(10), seconds(20), {{0, 1}, {2}}});
+    LinkParams params;
+    params.jitter_fraction = 0.0;
+    Network network(sim, params, conditions);
+    std::vector<int> delivered(3, 0);
+    for (int i = 0; i < 3; ++i) {
+        network.add_node(
+            [&delivered, i](NodeId, const Bytes&) { ++delivered[i]; });
+    }
+    // Mid-partition: 0 -> 1 flows, 0 -> 2 and 2 -> 1 are cut.
+    sim.schedule_at(seconds(15), [&] {
+        network.send(0, 1, str_bytes("in-group"));
+        network.send(0, 2, str_bytes("cross"));
+        network.send(2, 1, str_bytes("cross"));
+    });
+    // Post-heal: everything flows again.
+    sim.schedule_at(seconds(25), [&] { network.send(0, 2, str_bytes("ok")); });
+    sim.run();
+    EXPECT_EQ(delivered[1], 1);
+    EXPECT_EQ(delivered[2], 1);
+    EXPECT_EQ(network.stats().dropped_partition, 2u);
+    EXPECT_EQ(network.stats().messages_dropped, 2u);
+}
+
+TEST(Conditions, OfflineWindowSilencesBothDirections) {
+    Simulation sim;
+    NetworkConditions conditions;
+    conditions.churn.push_back({1, seconds(5), seconds(10)});
+    LinkParams params;
+    params.jitter_fraction = 0.0;
+    Network network(sim, params, conditions);
+    int delivered = 0;
+    const NodeId a =
+        network.add_node([&](NodeId, const Bytes&) { ++delivered; });
+    const NodeId b =
+        network.add_node([&](NodeId, const Bytes&) { ++delivered; });
+    sim.schedule_at(seconds(7), [&] {
+        EXPECT_FALSE(network.online(b));
+        network.send(a, b, str_bytes("to-offline"));
+        network.send(b, a, str_bytes("from-offline"));
+    });
+    sim.schedule_at(seconds(12), [&] {
+        EXPECT_TRUE(network.online(b));
+        network.send(a, b, str_bytes("back"));
+    });
+    sim.run();
+    EXPECT_EQ(delivered, 1);
+    EXPECT_EQ(network.stats().dropped_offline, 2u);
+}
+
+TEST(Conditions, PerLinkOverridesApplyToOnePairOnly) {
+    Simulation sim;
+    NetworkConditions conditions;
+    LinkConditions lossy;
+    lossy.a = 0;
+    lossy.b = 2;
+    lossy.loss_rate = 1.0;
+    conditions.links.push_back(lossy);
+    LinkConditions slow;
+    slow.a = 0;
+    slow.b = 1;
+    LatencyDist fixed;
+    fixed.kind = LatencyDist::Kind::fixed;
+    fixed.base = ms(500);
+    slow.latency = fixed;
+    conditions.links.push_back(slow);
+    LinkParams params;
+    params.latency = ms(1);
+    params.jitter_fraction = 0.0;
+    params.bytes_per_us = 1000.0;
+    Network network(sim, params, conditions);
+    std::vector<SimTime> arrived(3, 0);
+    for (int i = 0; i < 3; ++i) {
+        network.add_node([&arrived, i, &sim](NodeId, const Bytes&) {
+            arrived[i] = sim.now();
+        });
+    }
+    network.send(0, 2, str_bytes("dropped"));
+    network.send(0, 1, str_bytes("slow"));
+    network.send(1, 2, str_bytes("fast"));
+    sim.run();
+    EXPECT_EQ(arrived[2], ms(1));            // default link untouched
+    EXPECT_GE(arrived[1], ms(500));          // per-link fixed latency
+    EXPECT_EQ(network.stats().messages_dropped, 1u);
+}
+
 TEST(Network, SelfSendIgnored) {
     Simulation sim;
     Network network(sim, LinkParams{});

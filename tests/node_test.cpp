@@ -175,6 +175,54 @@ TEST(NodeSingle, ViewCallAtGenesis) {
     EXPECT_EQ(abi::decode_word(result.return_data), 0u);
 }
 
+TEST(NodePartition, ForksReconvergeThroughAncestorSyncAfterHeal) {
+    // A three-miner network splits {0,1} | {2} for 100 simulated seconds.
+    // The isolated miner extends a private fork; after the heal the next
+    // gossiped head references an unknown parent, the ancestor-sync
+    // protocol (get_block) walks back to the fork point, and everyone
+    // reorgs onto the heaviest chain.
+    net::Simulation sim;
+    net::NetworkConditions conditions;
+    conditions.partitions.push_back(
+        {net::seconds(20), net::seconds(120), {{0, 1}, {2}}});
+    net::Network network(sim, net::LinkParams{}, conditions, /*seed=*/3);
+    chain::ChainConfig chain_config;
+    chain_config.initial_difficulty = 600;
+    chain_config.min_difficulty = 64;
+    chain_config.target_interval_ms = 3000;
+    std::vector<std::unique_ptr<Node>> nodes;
+    for (std::uint64_t i = 0; i < 3; ++i) {
+        NodeConfig config;
+        config.chain = chain_config;
+        config.key_seed = 100 + i;
+        config.hash_rate = 200.0;
+        config.rng_seed = 1000 + i;
+        nodes.push_back(std::make_unique<Node>(sim, network, config));
+    }
+    for (auto& node : nodes) node->start();
+
+    sim.run_until(net::seconds(110));
+    // Mid-partition: the island disagrees with the majority side.
+    EXPECT_NE(nodes[0]->chain().head_hash(), nodes[2]->chain().head_hash());
+    EXPECT_GT(network.stats().dropped_partition, 0u);
+
+    sim.run_until(net::seconds(300));
+    EXPECT_EQ(nodes[0]->chain().head_hash(), nodes[1]->chain().head_hash());
+    EXPECT_EQ(nodes[1]->chain().head_hash(), nodes[2]->chain().head_hash());
+    // Reconvergence used the sync protocol, and somebody reorged.
+    std::uint64_t requested = 0;
+    std::uint64_t served = 0;
+    std::uint64_t reorgs = 0;
+    for (const auto& node : nodes) {
+        requested += node->stats().blocks_requested;
+        served += node->stats().block_requests_served;
+        reorgs += node->stats().reorgs;
+    }
+    EXPECT_GT(requested, 0u);
+    EXPECT_GT(served, 0u);
+    EXPECT_GT(reorgs, 0u);
+}
+
 TEST(NodeSingle, NonMinerNeverExtendsChain) {
     net::Simulation sim;
     net::Network network(sim, net::LinkParams{});

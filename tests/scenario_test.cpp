@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hpp"
+#include "core/parallel.hpp"
+#include "core/scenario.hpp"
+#include "fl/task.hpp"
+#include "ml/data.hpp"
+
+namespace bcfl::core {
+namespace {
+
+// ------------------------------------------------------------- JsonValue
+
+TEST(JsonValue, ParsesScalarsArraysAndObjects) {
+    const JsonValue doc = JsonValue::parse(
+        R"({"s":"hi\n","i":-3,"f":2.5,"b":true,"n":null,"a":[1,2]})");
+    EXPECT_EQ(doc.find("s")->as_string("s"), "hi\n");
+    EXPECT_EQ(doc.find("f")->as_double("f"), 2.5);
+    EXPECT_TRUE(doc.find("b")->as_bool("b"));
+    EXPECT_EQ(doc.find("a")->items("a").size(), 2u);
+    EXPECT_EQ(doc.find("missing"), nullptr);
+    // -3 is an integer but not a u64.
+    EXPECT_THROW((void)doc.find("i")->as_u64("i"), Error);
+    EXPECT_EQ(doc.find("i")->as_double("i"), -3.0);
+}
+
+TEST(JsonValue, DumpRoundTripsPreservingMemberOrder) {
+    const std::string text =
+        R"({"z":1,"a":[true,null,"x"],"m":{"k":0.5}})";
+    EXPECT_EQ(JsonValue::parse(text).dump(), text);
+}
+
+TEST(JsonValue, RejectsMalformedDocuments) {
+    EXPECT_THROW((void)JsonValue::parse(""), Error);
+    EXPECT_THROW((void)JsonValue::parse("{"), Error);
+    EXPECT_THROW((void)JsonValue::parse("{\"a\":}"), Error);
+    EXPECT_THROW((void)JsonValue::parse("[1,]"), Error);
+    EXPECT_THROW((void)JsonValue::parse("{\"a\":1} trailing"), Error);
+    EXPECT_THROW((void)JsonValue::parse("{\"a\":1e}"), Error);
+    EXPECT_THROW((void)JsonValue::parse("\"\\q\""), Error);
+    EXPECT_THROW((void)JsonValue::parse("\"\n\""), Error);
+    EXPECT_THROW((void)JsonValue::parse("nulx"), Error);
+    // Duplicate members are how a spec silently runs the wrong experiment.
+    EXPECT_THROW((void)JsonValue::parse(R"({"a":1,"a":2})"), Error);
+    // Nesting deeper than the parser cap.
+    std::string deep;
+    for (int i = 0; i < 64; ++i) deep += "[";
+    EXPECT_THROW((void)JsonValue::parse(deep), Error);
+}
+
+// ---------------------------------------------------------- spec parsing
+
+std::string minimal_spec(const std::string& extra = "") {
+    return R"({"name":"t","rounds":2,"train_seconds":10)" + extra + "}";
+}
+
+TEST(ScenarioSpec, DefaultsComeFromPaperSetup) {
+    const ScenarioSpec spec = parse_scenario(minimal_spec());
+    EXPECT_EQ(spec.name, "t");
+    EXPECT_EQ(spec.model, "simple");
+    EXPECT_EQ(spec.base.peers, 3u);
+    EXPECT_EQ(spec.base.rounds, 2u);
+    EXPECT_EQ(spec.base.train_duration, net::seconds(10));
+    EXPECT_EQ(spec.base.aggregation, "best_combination");
+    EXPECT_TRUE(spec.base.conditions.empty());
+    EXPECT_EQ(spec.data.clients, spec.base.peers);
+    EXPECT_TRUE(expand_grid(spec).size() == 1);
+}
+
+TEST(ScenarioSpec, RejectsUnknownKeysEverywhere) {
+    EXPECT_THROW((void)parse_scenario(minimal_spec(R"(,"frobnicate":1)")),
+                 Error);
+    EXPECT_THROW(
+        (void)parse_scenario(minimal_spec(R"(,"network":{"lag_ms":5})")),
+        Error);
+    EXPECT_THROW(
+        (void)parse_scenario(minimal_spec(R"(,"data":{"samples":5})")),
+        Error);
+    EXPECT_THROW(
+        (void)parse_scenario(minimal_spec(
+            R"(,"network":{"links":[{"a":0,"b":1,"speed":3}]})")),
+        Error);
+    EXPECT_THROW(
+        (void)parse_scenario(minimal_spec(
+            R"(,"network":{"default_latency":{"dist":"fixed","lo_ms":1}})")),
+        Error);
+}
+
+TEST(ScenarioSpec, RejectsInvalidValues) {
+    // Bad policy spec strings fail at parse, not mid-deployment.
+    EXPECT_THROW(
+        (void)parse_scenario(minimal_spec(R"(,"wait_policy":"wait_for=")")),
+        Error);
+    EXPECT_THROW(
+        (void)parse_scenario(minimal_spec(R"(,"aggregation":"median")")),
+        Error);
+    EXPECT_THROW((void)parse_scenario(minimal_spec(R"(,"loss":1.5)")),
+                 Error);
+    EXPECT_THROW((void)parse_scenario("{\"name\":\"t\",\"rounds\":0}"),
+                 Error);
+    EXPECT_THROW((void)parse_scenario("{\"name\":\"Bad Name\"}"), Error);
+    EXPECT_THROW((void)parse_scenario("{\"rounds\":1}"), Error);  // no name
+    // Peer references outside the roster.
+    EXPECT_THROW((void)parse_scenario(minimal_spec(R"(,"stragglers":[7])")),
+                 Error);
+    EXPECT_THROW(
+        (void)parse_scenario(minimal_spec(
+            R"(,"network":{"churn":[{"peer":9,"offline":[[1,2]]}]})")),
+        Error);
+    // The same knob in two places would let document order pick a winner.
+    EXPECT_THROW(
+        (void)parse_scenario(minimal_spec(
+            R"(,"loss":0.1,"network":{"loss":0.2})")),
+        Error);
+    // latency_ms/jitter are dead while default_latency replaces the
+    // fixed-latency model — even as a sweep axis.
+    EXPECT_THROW(
+        (void)parse_scenario(minimal_spec(
+            R"(,"latency_ms":5,"network":{"default_latency":{"dist":"fixed","ms":10}})")),
+        Error);
+    EXPECT_THROW(
+        (void)parse_scenario(minimal_spec(
+            R"(,"network":{"default_latency":{"dist":"fixed","ms":10}},"sweep":{"jitter":[0.0,0.2]})")),
+        Error);
+    // A link override must name both endpoints, or it silently lands on
+    // the default-constructed pair.
+    EXPECT_THROW(
+        (void)parse_scenario(minimal_spec(
+            R"(,"network":{"links":[{"b":2,"loss":0.5}]})")),
+        Error);
+    // Silent-override shapes: duplicate pair overrides, a peer in two
+    // partition groups, negative join delays.
+    EXPECT_THROW(
+        (void)parse_scenario(minimal_spec(
+            R"(,"network":{"links":[{"a":0,"b":2,"loss":0.1},{"a":2,"b":0,"loss":0.2}]})")),
+        Error);
+    EXPECT_THROW(
+        (void)parse_scenario(minimal_spec(
+            R"(,"network":{"partitions":[{"from_s":1,"until_s":9,"groups":[[0,1],[1,2]]}]})")),
+        Error);
+    EXPECT_THROW(
+        (void)parse_scenario(minimal_spec(R"(,"join_delays_s":[-90,0])")),
+        Error);
+    // Degenerate windows and ranges.
+    EXPECT_THROW(
+        (void)parse_scenario(minimal_spec(
+            R"(,"network":{"partitions":[{"from_s":9,"until_s":9,"groups":[[0]]}]})")),
+        Error);
+    EXPECT_THROW(
+        (void)parse_scenario(minimal_spec(
+            R"(,"network":{"churn":[{"peer":1,"offline":[[5,2]]}]})")),
+        Error);
+    EXPECT_THROW(
+        (void)parse_scenario(minimal_spec(
+            R"(,"network":{"default_latency":{"dist":"uniform","lo_ms":50,"hi_ms":10}})")),
+        Error);
+}
+
+TEST(ScenarioSpec, RejectsInvalidSweeps) {
+    // Empty value array.
+    EXPECT_THROW(
+        (void)parse_scenario(minimal_spec(R"(,"sweep":{"loss":[]})")),
+        Error);
+    // Unknown / non-sweepable axes.
+    EXPECT_THROW(
+        (void)parse_scenario(minimal_spec(R"(,"sweep":{"bogus":[1]})")),
+        Error);
+    EXPECT_THROW(
+        (void)parse_scenario(minimal_spec(R"(,"sweep":{"peers":[2,3]})")),
+        Error);
+    // A sweep value that fails the same validation as a top-level value.
+    EXPECT_THROW(
+        (void)parse_scenario(
+            minimal_spec(R"(,"sweep":{"loss":[0.1,2.0]})")),
+        Error);
+    EXPECT_THROW(
+        (void)parse_scenario(
+            minimal_spec(R"(,"sweep":{"wait_policy":["nonsense"]})")),
+        Error);
+    // Duplicate axis (caught as a duplicate JSON member).
+    EXPECT_THROW(
+        (void)parse_scenario(minimal_spec(
+            R"(,"sweep":{"loss":[0.1],"loss":[0.2]})")),
+        Error);
+    // Grid blow-up past the cap (33 * 32 = 1056 > 1024).
+    std::string big_a = "[";
+    for (int i = 0; i < 33; ++i) {
+        if (i) big_a += ",";
+        big_a += std::to_string(i);
+    }
+    big_a += "]";
+    std::string big_b = "[";
+    for (int i = 0; i < 32; ++i) {
+        if (i) big_b += ",";
+        big_b += std::to_string(i);
+    }
+    big_b += "]";
+    EXPECT_THROW((void)parse_scenario(minimal_spec(
+                     R"(,"sweep":{"seed":)" + big_a +
+                     R"(,"payload_pad_bytes":)" + big_b + "}")),
+                 Error);
+}
+
+TEST(ScenarioSpec, ParsesNetworkConditions) {
+    const ScenarioSpec spec = parse_scenario(minimal_spec(R"(,"network":{
+        "default_latency":{"dist":"lognormal","median_ms":40,"sigma":0.6},
+        "links":[{"a":0,"b":2,"loss":0.25,
+                  "latency":{"dist":"uniform","lo_ms":5,"hi_ms":50}}],
+        "partitions":[{"from_s":60,"until_s":120,"groups":[[0,1],[2]]}],
+        "churn":[{"peer":1,"offline":[[10,20],[30,40]]}]})"));
+    const net::NetworkConditions& conditions = spec.base.conditions;
+    ASSERT_TRUE(conditions.default_latency.has_value());
+    EXPECT_EQ(conditions.default_latency->kind,
+              net::LatencyDist::Kind::lognormal);
+    ASSERT_EQ(conditions.links.size(), 1u);
+    EXPECT_EQ(conditions.links[0].a, 0u);
+    EXPECT_EQ(conditions.links[0].b, 2u);
+    ASSERT_TRUE(conditions.links[0].loss_rate.has_value());
+    EXPECT_DOUBLE_EQ(*conditions.links[0].loss_rate, 0.25);
+    ASSERT_EQ(conditions.partitions.size(), 1u);
+    EXPECT_TRUE(conditions.partitions[0].separates(0, 2));
+    EXPECT_FALSE(conditions.partitions[0].separates(0, 1));
+    ASSERT_EQ(conditions.churn.size(), 2u);
+    EXPECT_TRUE(conditions.offline(1, net::seconds(15)));
+    EXPECT_FALSE(conditions.offline(1, net::seconds(25)));
+    EXPECT_TRUE(conditions.offline(1, net::seconds(35)));
+}
+
+TEST(ScenarioSpec, GridExpandsInDeclarationOrderLastAxisFastest) {
+    const ScenarioSpec spec = parse_scenario(minimal_spec(
+        R"(,"sweep":{"loss":[0.0,0.5],"seed":[1,2]})"));
+    const auto points = expand_grid(spec);
+    ASSERT_EQ(points.size(), 4u);
+    EXPECT_EQ(points[0].label, "loss=0;seed=1");
+    EXPECT_EQ(points[1].label, "loss=0;seed=2");
+    EXPECT_EQ(points[2].label, "loss=0.5;seed=1");
+    EXPECT_EQ(points[3].label, "loss=0.5;seed=2");
+    EXPECT_EQ(points[3].config.seed, 2u);
+    EXPECT_DOUBLE_EQ(points[3].config.link.loss_rate, 0.5);
+}
+
+// ------------------------------------------------------- end-to-end runs
+
+/// A miniature task so the determinism run stays fast: 3 clients, tiny
+/// synthetic datasets, the Simple NN family.
+fl::FlTask tiny_task() {
+    ml::SyntheticCifarConfig config;
+    config.clients = 3;
+    config.train_per_client = 40;
+    config.test_per_client = 30;
+    config.global_test = 50;
+    config.dirichlet_alpha = 30.0;
+    config.seed = 99;
+    static const ml::FederatedData data = ml::make_synthetic_cifar(config);
+    return fl::make_simple_nn_task(data, /*model_seed=*/1);
+}
+
+ScenarioSpec tiny_spec() {
+    return parse_scenario(R"({
+        "name":"determinism_probe",
+        "rounds":2,
+        "seed":13,
+        "train_seconds":10,
+        "wait_policy":"wait_for=2,timeout=90s",
+        "max_sim_seconds":3000,
+        "network":{
+          "links":[{"a":0,"b":1,
+                    "latency":{"dist":"uniform","lo_ms":5,"hi_ms":60}}],
+          "partitions":[{"from_s":20,"until_s":40,"groups":[[0,1],[2]]}],
+          "churn":[{"peer":1,"offline":[[45,60]]}]
+        },
+        "sweep":{"loss":[0.0,0.3]}
+      })");
+}
+
+TEST(ScenarioRun, ByteIdenticalJsonAcrossThreadCounts) {
+    const ScenarioSpec spec = tiny_spec();
+    const fl::FlTask task = tiny_task();
+    std::string serial;
+    std::string parallel_wide;
+    {
+        parallel::ThreadCountOverride one(1);
+        serial = run_scenario(spec, task).dump();
+    }
+    {
+        parallel::ThreadCountOverride eight(8);
+        parallel_wide = run_scenario(spec, task).dump();
+    }
+    EXPECT_EQ(serial, parallel_wide)
+        << "scenario JSON diverged between BCFL_THREADS=1 and 8";
+}
+
+TEST(ScenarioRun, DocumentCarriesPointsWithFaultMetrics) {
+    const ScenarioSpec spec = tiny_spec();
+    parallel::ThreadCountOverride two(2);
+    const JsonValue doc = run_scenario(spec, tiny_task());
+    EXPECT_EQ(doc.find("bench")->as_string("bench"),
+              "scenario_determinism_probe");
+    const auto& points = doc.find("points")->items("points");
+    ASSERT_EQ(points.size(), 2u);
+    // The partition window (and, at point 1, 30% loss) must be visible in
+    // the drop accounting; every round still aggregates.
+    for (const JsonValue& point : points) {
+        EXPECT_GT(point.find("dropped_partition")->as_u64("p"), 0u);
+        EXPECT_GT(point.find("aggregated_rounds")->as_u64("r"), 0u);
+        EXPECT_GT(
+            point.find("final_accuracy")->as_double("final_accuracy"),
+            0.0);
+        EXPECT_FALSE(
+            point.find("fitness_fingerprint")->as_string("f").empty());
+    }
+    EXPECT_GE(points[1].find("messages_dropped")->as_u64("d"),
+              points[0].find("messages_dropped")->as_u64("d"));
+}
+
+}  // namespace
+}  // namespace bcfl::core
