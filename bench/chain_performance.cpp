@@ -4,15 +4,27 @@
 //   (a) throughput and inclusion latency vs number of participants — prior
 //       work reports throughput roughly halving when participants double;
 //   (b) block interval vs PoW difficulty at fixed hash rate;
-//   (c) block propagation delay vs payload (model) size.
+//   (c) block propagation delay vs payload (model) size;
+//   (d) long-chain import/reorg scaling: per-import cost at height H must
+//       be flat (O(new work)), not grow with H — the regression axis for
+//       the chain-index overhaul, with a cross-compiler-deterministic
+//       "parity" subtree that bench_compare.py gates exactly.
+//
+// BCFL_CHAIN_BENCH_SECTIONS=long_chain (comma list of throughput,
+// difficulty, propagation, long_chain) restricts a run to the named
+// sections — CI runs only the deterministic long-chain axis.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "chain/blockchain.hpp"
+#include "chain/pow.hpp"
 #include "crypto/keccak.hpp"
 #include "net/network.hpp"
 #include "net/sim.hpp"
@@ -23,6 +35,29 @@ namespace {
 
 using namespace bcfl;
 namespace abi = vm::registry_abi;
+
+bool section_enabled(const std::string& name) {
+    const char* env = std::getenv("BCFL_CHAIN_BENCH_SECTIONS");
+    if (env == nullptr || *env == '\0') return true;
+    const std::string list(env);
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        const std::size_t end = list.find(',', start);
+        const std::string token =
+            list.substr(start, end == std::string::npos ? std::string::npos
+                                                        : end - start);
+        if (token == name) return true;
+        if (end == std::string::npos) break;
+        start = end + 1;
+    }
+    return false;
+}
+
+double us_since(std::chrono::steady_clock::time_point begin) {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - begin)
+        .count();
+}
 
 struct ThroughputPoint {
     std::size_t participants;
@@ -117,6 +152,193 @@ ThroughputPoint measure_throughput(std::size_t participants,
     return point;
 }
 
+/// E3d — grows a 512-block chain with steady tx traffic, recording the
+/// wall time of every import, then forces a 32-deep reorg. Pure integer /
+/// hash arithmetic (no simulation, no floating point), so the counts and
+/// the canonical tx ordering are byte-stable across compilers — they form
+/// the gated "parity" subtree. Timings are informational.
+void run_long_chain(bench::Json& json) {
+    using namespace bcfl::chain;
+    bench::print_title(
+        "E3d — long-chain import & reorg scaling "
+        "(per-import cost must stay flat in height: O(new work), not O(H))");
+    const auto section_begin = std::chrono::steady_clock::now();
+
+    ChainConfig config;
+    config.initial_difficulty = 64;
+    config.min_difficulty = 64;
+    config.fixed_difficulty = true;
+    Blockchain main_chain(config, std::make_shared<NullExecutor>());
+    Blockchain fork_builder(config, std::make_shared<NullExecutor>());
+
+    constexpr std::size_t kBlocks = 512;
+    constexpr std::size_t kTxsPerBlock = 3;
+    constexpr std::size_t kSenders = 8;
+    constexpr std::uint64_t kForkDepth = 32;
+    const std::uint64_t fork_height = kBlocks - kForkDepth;
+
+    std::vector<crypto::KeyPair> keys;
+    for (std::size_t s = 0; s < kSenders; ++s) {
+        keys.push_back(crypto::KeyPair::from_seed(900 + s));
+    }
+    std::vector<std::uint64_t> nonces(kSenders, 0);
+    std::uint64_t ts = 0;
+    const auto seal_on = [&](Blockchain& builder,
+                             std::vector<Transaction> txs) {
+        Block block =
+            builder.build_block(crypto::KeyPair::from_seed(880).address(),
+                                std::move(txs), ts += 1000);
+        block.header.pow_nonce =
+            *mine_seal(block.header, 0, 100'000'000);
+        return block;
+    };
+
+    // Main chain: 512 blocks of steady traffic, per-import latency logged.
+    std::vector<double> import_us(kBlocks, 0.0);
+    for (std::size_t b = 0; b < kBlocks; ++b) {
+        std::vector<Transaction> txs;
+        for (std::size_t t = 0; t < kTxsPerBlock; ++t) {
+            const std::size_t s = (b * kTxsPerBlock + t) % kSenders;
+            txs.push_back(Transaction::make_signed(
+                keys[s], nonces[s]++, Address{}, 100'000, 1 + s,
+                str_bytes("long-chain payload")));
+        }
+        const Block block = seal_on(main_chain, txs);
+        const auto begin = std::chrono::steady_clock::now();
+        const ImportResult result = main_chain.import_block(block);
+        import_us[b] = us_since(begin);
+        if (result.status != ImportStatus::added_head) {
+            std::printf("long_chain: unexpected import failure at %zu: %s\n",
+                        b, result.reason.c_str());
+            return;
+        }
+        if (block.header.number <= fork_height) {
+            fork_builder.import_block(block);
+        }
+    }
+
+    // Scripted deep reorg: a 33-block side branch from 32 below the tip
+    // overtakes on total difficulty; the switch must only touch the
+    // divergent suffix.
+    std::vector<crypto::KeyPair> side_keys;
+    for (std::size_t s = 0; s < 4; ++s) {
+        side_keys.push_back(crypto::KeyPair::from_seed(950 + s));
+    }
+    std::vector<std::uint64_t> side_nonces(side_keys.size(), 0);
+    double reorg_us = 0.0;
+    std::uint64_t abandoned = 0;
+    for (std::uint64_t i = 0; i <= kForkDepth; ++i) {
+        std::vector<Transaction> txs;
+        for (std::size_t t = 0; t < 2; ++t) {
+            const std::size_t s = (i * 2 + t) % side_keys.size();
+            txs.push_back(Transaction::make_signed(
+                side_keys[s], side_nonces[s]++, Address{}, 100'000, 2,
+                str_bytes("fork payload")));
+        }
+        const Block block = seal_on(fork_builder, txs);
+        if (fork_builder.import_block(block).status !=
+            ImportStatus::added_head) {
+            std::printf("long_chain: fork builder rejected its block\n");
+            return;
+        }
+        const auto begin = std::chrono::steady_clock::now();
+        const ImportResult result = main_chain.import_block(block);
+        const double elapsed = us_since(begin);
+        if (i == kForkDepth) {
+            reorg_us = elapsed;
+            abandoned = result.abandoned_txs.size();
+            if (result.status != ImportStatus::added_head ||
+                !result.reorged) {
+                std::printf("long_chain: final fork block did not reorg\n");
+                return;
+            }
+        }
+    }
+
+    // Windowed means over the import-latency series.
+    struct Window {
+        std::size_t lo, hi;
+    };
+    const Window windows[] = {{16, 80}, {224, 288}, {448, 512}};
+    std::printf("%16s %20s\n", "height window", "mean import (us)");
+    bench::Json window_points = bench::Json::array();
+    double early_mean = 0.0;
+    double late_mean = 0.0;
+    for (const Window& w : windows) {
+        double sum = 0.0;
+        for (std::size_t i = w.lo; i < w.hi; ++i) sum += import_us[i];
+        const double mean = sum / static_cast<double>(w.hi - w.lo);
+        if (w.lo == windows[0].lo) early_mean = mean;
+        late_mean = mean;
+        std::printf("     [%3zu, %3zu) %20.1f\n", w.lo, w.hi, mean);
+        bench::Json point = bench::Json::object();
+        point.set("height_lo", static_cast<std::uint64_t>(w.lo));
+        point.set("height_hi", static_cast<std::uint64_t>(w.hi));
+        point.set("mean_import_us", mean);
+        window_points.push(std::move(point));
+    }
+    const double ratio = early_mean > 0.0 ? late_mean / early_mean : 0.0;
+    std::printf("late/early import ratio: %.2f (flat = O(new work); the "
+                "pre-overhaul O(height) paths grew this linearly)\n",
+                ratio);
+    std::printf("reorg depth %llu: %.1f us, %llu abandoned txs\n",
+                static_cast<unsigned long long>(kForkDepth), reorg_us,
+                static_cast<unsigned long long>(abandoned));
+
+    // Parity: deterministic counts + canonical tx ordering, cross-checked
+    // against a from-scratch parent-link walk of the head branch.
+    bool index_consistent = true;
+    {
+        Hash32 cursor = main_chain.head_hash();
+        std::uint64_t number = main_chain.height();
+        while (true) {
+            const Block* walked = main_chain.block_by_hash(cursor);
+            const Block* indexed = main_chain.block_by_number(number);
+            if (walked == nullptr || indexed == nullptr ||
+                walked->hash() != indexed->hash()) {
+                index_consistent = false;
+                break;
+            }
+            if (number == 0) break;
+            cursor = walked->header.parent_hash;
+            --number;
+        }
+    }
+    Bytes ordering;
+    std::uint64_t canonical_txs = 0;
+    for (std::uint64_t n = 1; n <= main_chain.height(); ++n) {
+        const Block* block = main_chain.block_by_number(n);
+        if (block == nullptr) {
+            index_consistent = false;
+            break;
+        }
+        for (const Transaction& tx : block->transactions) {
+            append(ordering, tx.hash().view());
+            ++canonical_txs;
+        }
+    }
+    const Hash32 digest = crypto::keccak256(ordering);
+
+    bench::Json section = bench::Json::object();
+    section.set("blocks", static_cast<std::uint64_t>(kBlocks));
+    section.set("txs_per_block", static_cast<std::uint64_t>(kTxsPerBlock));
+    section.set("fork_depth", kForkDepth);
+    section.set("window_points", std::move(window_points));
+    section.set("late_vs_early_import_ratio", ratio);
+    section.set("reorg_wall_us", reorg_us);
+    section.set("long_chain_wall_ms", bench::ms_since(section_begin));
+    bench::Json parity = bench::Json::object();
+    parity.set("head_number", main_chain.height());
+    parity.set("total_blocks",
+               static_cast<std::uint64_t>(main_chain.total_blocks()));
+    parity.set("canonical_txs", canonical_txs);
+    parity.set("abandoned_in_reorg", abandoned);
+    parity.set("index_consistent", index_consistent ? 1 : 0);
+    parity.set("canonical_tx_digest", "0x" + digest.hex());
+    section.set("parity", std::move(parity));
+    json.set("long_chain", std::move(section));
+}
+
 void BM_ChainPerformance(benchmark::State& state) {
     for (auto _ : state) {
         bench::Json json = bench::Json::object();
@@ -127,93 +349,106 @@ void BM_ChainPerformance(benchmark::State& state) {
         // parallel-engine speedups live in BENCH_micro_substrates.json and
         // BENCH_table1_fig3_vanilla_fl.json).
 
-        bench::print_title(
-            "E3a — throughput & inclusion latency vs participants "
-            "(64 KB chunk txs, saturated, 20 Mbit/s shared uplinks)");
-        std::printf("%12s %14s %22s %20s\n", "participants", "txs/s",
-                    "inclusion latency (s)", "block interval (s)");
         bench::Json throughput_points = bench::Json::array();
-        const auto throughput_begin = std::chrono::steady_clock::now();
-        for (std::size_t n : {2, 4, 8, 16}) {
-            const ThroughputPoint p =
-                measure_throughput(n, 64 * 1024, net::seconds(200));
-            std::printf("%12zu %14.3f %22.2f %20.2f\n", p.participants,
-                        p.txs_per_second, p.mean_inclusion_latency_s,
-                        p.mean_block_interval_s);
-            bench::Json point = bench::Json::object();
-            point.set("participants",
-                      static_cast<std::uint64_t>(p.participants));
-            point.set("txs_per_second", p.txs_per_second);
-            point.set("mean_inclusion_latency_s", p.mean_inclusion_latency_s);
-            point.set("mean_block_interval_s", p.mean_block_interval_s);
-            throughput_points.push(std::move(point));
+        if (section_enabled("throughput")) {
+            bench::print_title(
+                "E3a — throughput & inclusion latency vs participants "
+                "(64 KB chunk txs, saturated, 20 Mbit/s shared uplinks)");
+            std::printf("%12s %14s %22s %20s\n", "participants", "txs/s",
+                        "inclusion latency (s)", "block interval (s)");
+            const auto throughput_begin = std::chrono::steady_clock::now();
+            for (std::size_t n : {2, 4, 8, 16}) {
+                const ThroughputPoint p =
+                    measure_throughput(n, 64 * 1024, net::seconds(200));
+                std::printf("%12zu %14.3f %22.2f %20.2f\n", p.participants,
+                            p.txs_per_second, p.mean_inclusion_latency_s,
+                            p.mean_block_interval_s);
+                bench::Json point = bench::Json::object();
+                point.set("participants",
+                          static_cast<std::uint64_t>(p.participants));
+                point.set("txs_per_second", p.txs_per_second);
+                point.set("mean_inclusion_latency_s",
+                          p.mean_inclusion_latency_s);
+                point.set("mean_block_interval_s", p.mean_block_interval_s);
+                throughput_points.push(std::move(point));
+            }
+            json.set("throughput_wall_ms", bench::ms_since(throughput_begin));
         }
-        json.set("throughput_wall_ms", bench::ms_since(throughput_begin));
 
-        bench::print_title(
-            "E3b — block interval vs PoW difficulty (1 miner, 400 h/s, "
-            "retarget disabled)");
-        std::printf("%12s %20s %16s\n", "difficulty", "mean interval (s)",
-                    "blocks mined");
         bench::Json difficulty_points = bench::Json::array();
-        const auto difficulty_begin = std::chrono::steady_clock::now();
-        for (std::uint64_t difficulty : {200u, 400u, 800u, 1600u, 3200u}) {
-            net::Simulation sim;
-            net::Network network(sim, net::LinkParams{}, 3);
-            node::NodeConfig config;
-            config.chain.initial_difficulty = difficulty;
-            config.chain.min_difficulty = difficulty;
-            config.chain.fixed_difficulty = true;
-            config.key_seed = 5;
-            config.hash_rate = 400.0;
-            node::Node node(sim, network, config);
-            node.start();
-            sim.run_until(net::seconds(2000));
-            const double interval =
-                node.chain().height() > 0
-                    ? 2000.0 / static_cast<double>(node.chain().height())
-                    : 0.0;
-            std::printf("%12llu %20.2f %16llu\n",
-                        static_cast<unsigned long long>(difficulty), interval,
-                        static_cast<unsigned long long>(node.chain().height()));
-            bench::Json point = bench::Json::object();
-            point.set("difficulty", difficulty);
-            point.set("mean_interval_s", interval);
-            point.set("blocks_mined", node.chain().height());
-            difficulty_points.push(std::move(point));
+        if (section_enabled("difficulty")) {
+            bench::print_title(
+                "E3b — block interval vs PoW difficulty (1 miner, 400 h/s, "
+                "retarget disabled)");
+            std::printf("%12s %20s %16s\n", "difficulty", "mean interval (s)",
+                        "blocks mined");
+            const auto difficulty_begin = std::chrono::steady_clock::now();
+            for (std::uint64_t difficulty : {200u, 400u, 800u, 1600u, 3200u}) {
+                net::Simulation sim;
+                net::Network network(sim, net::LinkParams{}, 3);
+                node::NodeConfig config;
+                config.chain.initial_difficulty = difficulty;
+                config.chain.min_difficulty = difficulty;
+                config.chain.fixed_difficulty = true;
+                config.key_seed = 5;
+                config.hash_rate = 400.0;
+                node::Node node(sim, network, config);
+                node.start();
+                sim.run_until(net::seconds(2000));
+                const double interval =
+                    node.chain().height() > 0
+                        ? 2000.0 / static_cast<double>(node.chain().height())
+                        : 0.0;
+                std::printf(
+                    "%12llu %20.2f %16llu\n",
+                    static_cast<unsigned long long>(difficulty), interval,
+                    static_cast<unsigned long long>(node.chain().height()));
+                bench::Json point = bench::Json::object();
+                point.set("difficulty", difficulty);
+                point.set("mean_interval_s", interval);
+                point.set("blocks_mined", node.chain().height());
+                difficulty_points.push(std::move(point));
+            }
+            json.set("difficulty_wall_ms", bench::ms_since(difficulty_begin));
         }
-        json.set("difficulty_wall_ms", bench::ms_since(difficulty_begin));
 
-        bench::print_title(
-            "E3c — Figure 2 workflow: block propagation delay vs model "
-            "payload size (100 Mbit/s LAN)");
-        std::printf("%16s %24s\n", "payload (KB)", "propagation delay (ms)");
         bench::Json propagation_points = bench::Json::array();
-        const auto propagation_begin = std::chrono::steady_clock::now();
-        for (std::size_t kb : {16u, 64u, 248u, 1024u, 4096u, 21'200u}) {
-            net::Simulation sim;
-            net::LinkParams link;
-            link.jitter_fraction = 0.0;
-            net::Network network(sim, link, 5);
-            net::SimTime delivered = 0;
-            const auto a = network.add_node([](net::NodeId, const Bytes&) {});
-            const auto b = network.add_node(
-                [&](net::NodeId, const Bytes&) { delivered = sim.now(); });
-            (void)a;
-            network.send(0, b, Bytes(kb * 1024, 0x11));
-            sim.run();
-            const double delay_ms = static_cast<double>(delivered) / 1000.0;
-            std::printf("%16zu %24.2f\n", kb, delay_ms);
-            bench::Json point = bench::Json::object();
-            point.set("payload_kb", static_cast<std::uint64_t>(kb));
-            point.set("propagation_delay_ms", delay_ms);
-            propagation_points.push(std::move(point));
+        if (section_enabled("propagation")) {
+            bench::print_title(
+                "E3c — Figure 2 workflow: block propagation delay vs model "
+                "payload size (100 Mbit/s LAN)");
+            std::printf("%16s %24s\n", "payload (KB)",
+                        "propagation delay (ms)");
+            const auto propagation_begin = std::chrono::steady_clock::now();
+            for (std::size_t kb : {16u, 64u, 248u, 1024u, 4096u, 21'200u}) {
+                net::Simulation sim;
+                net::LinkParams link;
+                link.jitter_fraction = 0.0;
+                net::Network network(sim, link, 5);
+                net::SimTime delivered = 0;
+                const auto a =
+                    network.add_node([](net::NodeId, const Bytes&) {});
+                const auto b = network.add_node(
+                    [&](net::NodeId, const Bytes&) { delivered = sim.now(); });
+                (void)a;
+                network.send(0, b, Bytes(kb * 1024, 0x11));
+                sim.run();
+                const double delay_ms =
+                    static_cast<double>(delivered) / 1000.0;
+                std::printf("%16zu %24.2f\n", kb, delay_ms);
+                bench::Json point = bench::Json::object();
+                point.set("payload_kb", static_cast<std::uint64_t>(kb));
+                point.set("propagation_delay_ms", delay_ms);
+                propagation_points.push(std::move(point));
+            }
+            json.set("propagation_wall_ms",
+                     bench::ms_since(propagation_begin));
         }
-        json.set("propagation_wall_ms", bench::ms_since(propagation_begin));
 
         json.set("throughput_points", std::move(throughput_points));
         json.set("difficulty_points", std::move(difficulty_points));
         json.set("propagation_points", std::move(propagation_points));
+        if (section_enabled("long_chain")) run_long_chain(json);
         bench::write_bench_json("chain_performance", json);
     }
 }

@@ -5,13 +5,21 @@
     $ scripts/bench_compare.py            # scans . and build/ for BENCH_*.json
 
 For every fresh file with a matching baseline in bench/baselines/, the two
-JSON trees are walked in parallel and every numeric leaf whose key matches
-a *gated* pattern (accuracy / fitness — the precision trajectory the paper
-is about) is compared with a relative tolerance: the build FAILS if the
-fresh value regresses below baseline - max(atol, rtol*|baseline|).
-Improvements are reported and pass. Timing/throughput fields (wall-clock,
-speedups, hardware counts) vary by runner and are reported informationally
-but never gate; fingerprint strings are compiler-specific and skipped.
+JSON trees are walked in parallel and every leaf whose key matches a
+*gated* pattern is compared. Two gate kinds:
+
+* tolerance — numeric leaves whose path mentions accuracy / fitness (the
+  precision trajectory the paper is about): the build FAILS if the fresh
+  value regresses below baseline - max(atol, rtol*|baseline|).
+  Improvements are reported and pass.
+* exact — any leaf (numeric or string) whose path mentions "parity":
+  deterministic counts and ordering digests (e.g. the chain bench's
+  canonical-tx digest) that must match the baseline byte-for-byte in
+  either direction. These pin seeded behaviour, not performance.
+
+Timing/throughput fields (wall-clock, speedups, hardware counts) vary by
+runner and are reported informationally but never gate; fingerprint
+strings are compiler-specific and skipped.
 
 A baseline key missing from the fresh document is a failure too: silently
 dropping a tracked metric is how regressions hide. Fresh files without a
@@ -27,6 +35,7 @@ import os
 import sys
 
 GATED_SUBSTRINGS = ("accuracy", "fitness")
+EXACT_SUBSTRINGS = ("parity",)
 SKIPPED_SUBSTRINGS = (
     "fingerprint",   # %.17g strings, compiler-specific in the last ulps
     "_ms",           # wall-clock
@@ -36,26 +45,39 @@ SKIPPED_SUBSTRINGS = (
 )
 
 
-def is_gated(path: str) -> bool:
+def gate_kind(path: str):
+    """Returns "exact", "tolerance" or None for a leaf path."""
     lowered = path.lower()
     if any(s in lowered for s in SKIPPED_SUBSTRINGS):
-        return False
-    return any(s in lowered for s in GATED_SUBSTRINGS)
+        return None
+    if any(s in lowered for s in EXACT_SUBSTRINGS):
+        return "exact"
+    if any(s in lowered for s in GATED_SUBSTRINGS):
+        return "tolerance"
+    return None
 
 
-def numeric_leaves(node, prefix=""):
-    """Yields (path, value) for every numeric leaf, depth-first in
-    document order, so reports read like the file."""
+def leaves(node, prefix=""):
+    """Yields (path, value) for every numeric or string leaf, depth-first
+    in document order, so reports read like the file."""
     if isinstance(node, dict):
         for key, value in node.items():
-            yield from numeric_leaves(value, f"{prefix}.{key}" if prefix else key)
+            yield from leaves(value, f"{prefix}.{key}" if prefix else key)
     elif isinstance(node, list):
         for index, value in enumerate(node):
-            yield from numeric_leaves(value, f"{prefix}[{index}]")
+            yield from leaves(value, f"{prefix}[{index}]")
     elif isinstance(node, bool):
         return
     elif isinstance(node, (int, float)):
         yield prefix, float(node)
+    elif isinstance(node, str):
+        yield prefix, node
+
+
+def fmt(value) -> str:
+    if isinstance(value, str):
+        return value if len(value) <= 10 else value[:7] + "..."
+    return f"{value:.4f}"
 
 
 def compare_file(fresh_path, baseline_path, rtol, atol):
@@ -64,15 +86,37 @@ def compare_file(fresh_path, baseline_path, rtol, atol):
     with open(baseline_path) as fh:
         baseline = json.load(fh)
 
-    fresh_leaves = dict(numeric_leaves(fresh))
+    fresh_leaves = dict(leaves(fresh))
     rows = []
     failures = []
-    for path, base_value in numeric_leaves(baseline):
-        if not is_gated(path):
+    for path, base_value in leaves(baseline):
+        kind = gate_kind(path)
+        if kind is None:
             continue
+        if kind == "tolerance" and isinstance(base_value, str):
+            continue  # tolerance gating is numeric-only
         fresh_value = fresh_leaves.get(path)
         if fresh_value is None:
             failures.append(f"{path}: present in baseline, missing from fresh run")
+            continue
+        if kind == "exact":
+            # Deterministic counts / ordering digests: byte-equality, both
+            # directions — any drift means seeded behaviour changed.
+            if type(fresh_value) is not type(base_value) or fresh_value != base_value:
+                status = "MISMATCH"
+                failures.append(
+                    f"{path}: exact-gated, baseline {base_value!r} != fresh "
+                    f"{fresh_value!r}"
+                )
+            else:
+                status = "ok"
+            rows.append((path, base_value, fresh_value, 0.0, status))
+            continue
+        if isinstance(fresh_value, str):
+            failures.append(
+                f"{path}: baseline is numeric but fresh run emitted a "
+                f"string ({fresh_value!r})"
+            )
             continue
         slack = max(atol, rtol * abs(base_value))
         delta = fresh_value - base_value
@@ -131,7 +175,7 @@ def main() -> int:
               f"({len(rows)} gated metrics) ==")
         print(f"   {'metric':<58} {'baseline':>10} {'fresh':>10} {'delta':>9}  status")
         for path, base_value, fresh_value, delta, status in rows:
-            print(f"   {path:<58} {base_value:>10.4f} {fresh_value:>10.4f} "
+            print(f"   {path:<58} {fmt(base_value):>10} {fmt(fresh_value):>10} "
                   f"{delta:>+9.4f}  {status}")
         for failure in failures:
             print(f"   FAIL {failure}")
@@ -142,7 +186,8 @@ def main() -> int:
         print("bench_compare: nothing to compare (no fresh file has a baseline)")
         return 1
     if any_failure:
-        print("bench_compare: FAILED — precision regressed against bench/baselines")
+        print("bench_compare: FAILED — precision or parity regressed "
+              "against bench/baselines")
         return 1
     print(f"bench_compare: all green ({compared} file(s) within tolerance)")
     return 0

@@ -15,10 +15,13 @@
 # 4. Scenario smoke: the checked-in ci_smoke spec runs end-to-end at
 #    BCFL_THREADS=1 and 8 — the two JSON documents must be byte-identical
 #    (the scenario engine's determinism contract).
-# 5. Bench-baseline gate: scripts/bench_compare.py diffs the fresh
+# 5. Chain parity: the deterministic long-chain section of the chain
+#    bench runs (BCFL_CHAIN_BENCH_SECTIONS=long_chain) so its counts and
+#    canonical-ordering digest can be gated against the baseline.
+# 6. Bench-baseline gate: scripts/bench_compare.py diffs the fresh
 #    BENCH_*.json against bench/baselines/ and fails on any
-#    accuracy/fitness regression.
-# 6. A second configure with -Wall -Wextra -Werror to keep the tree
+#    accuracy/fitness regression or chain-parity mismatch.
+# 7. A second configure with -Wall -Wextra -Werror to keep the tree
 #    warning-clean.
 set -euo pipefail
 
@@ -73,9 +76,13 @@ if ! cmp -s build/BENCH_scenario_ci_smoke.threads1.json \
 fi
 echo "scenario JSON byte-identical across thread counts"
 
+echo "== chain parity: deterministic long-chain import/reorg section =="
+(cd build && BCFL_CHAIN_BENCH_SECTIONS=long_chain ./bench/chain_performance \
+  >/dev/null)
+
 echo "== bench-baseline gate: fresh JSON vs bench/baselines =="
 python3 scripts/bench_compare.py build/BENCH_micro_substrates.json \
-  build/BENCH_scenario_ci_smoke.json
+  build/BENCH_scenario_ci_smoke.json build/BENCH_chain_performance.json
 
 echo "== strict: -Wall -Wextra -Werror build =="
 cmake -B build-werror -S . -DBCFL_WERROR=ON

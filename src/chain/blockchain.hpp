@@ -23,6 +23,11 @@ struct ChainConfig {
     std::uint64_t target_interval_ms = 5'000;
     std::uint64_t block_gas_limit = 1'000'000'000;  // paper: "no constraints"
     std::uint64_t genesis_timestamp_ms = 0;
+    /// Canonical blocks deeper than this below the head drop their
+    /// account-nonce snapshot (0 = keep all). Bounds snapshot memory to
+    /// the recent window; forking the pruned deep past still validates —
+    /// it just pays a one-off branch walk to rebuild the nonce view.
+    std::uint64_t nonce_snapshot_horizon = 1024;
     GasSchedule gas;
 };
 
@@ -116,17 +121,50 @@ public:
     [[nodiscard]] const Block& genesis() const;
 
 private:
+    /// Fork-aware account-nonce index: the next expected nonce per sender
+    /// *after* a given block, for that block's branch. Copy-on-write: each
+    /// non-empty block adds one delta layer holding only the senders it
+    /// touched and shares everything below via `base`, so side branches
+    /// reuse their common prefix structurally. Layers are flattened into a
+    /// single map every kNonceFlattenDepth blocks, which keeps lookups
+    /// O(1) amortized while import stays O(txs in block) — never O(height).
+    struct NonceSnapshot {
+        std::shared_ptr<const NonceSnapshot> base;
+        std::unordered_map<Address, std::uint64_t, FixedBytesHasher> delta;
+        std::size_t depth = 0;  // delta layers above the flattened base
+
+        [[nodiscard]] std::uint64_t next_for(const Address& account) const;
+    };
+    static constexpr std::size_t kNonceFlattenDepth = 32;
+
     struct Record {
         Block block;
         std::vector<Receipt> receipts;
         // Total difficulty of the branch ending in this block.
         crypto::U256 total_difficulty;
+        // Per-branch account nonces after this block; null once the block
+        // sinks below ChainConfig::nonce_snapshot_horizon (see
+        // snapshot_for for the rebuild fallback).
+        std::shared_ptr<const NonceSnapshot> nonces;
     };
 
-    [[nodiscard]] std::string validate(const Block& block,
-                                       const Record& parent) const;
+    /// On success, `touched` holds the next expected nonce per sender
+    /// appearing in the block — exactly the delta layer of its snapshot.
+    [[nodiscard]] std::string validate(
+        const Block& block, const Record& parent,
+        const NonceSnapshot& parent_nonces,
+        std::unordered_map<Address, std::uint64_t, FixedBytesHasher>& touched)
+        const;
     void set_head(const Hash32& new_head, ImportResult& result);
-    void rebuild_canonical_index();
+    static void flatten(NonceSnapshot& snapshot);
+    /// The record's snapshot; if pruned, rebuilt by walking to the
+    /// nearest snapshot-bearing ancestor and memoized back (rare: only a
+    /// fork of the deep past pays the walk, and only once per record).
+    [[nodiscard]] std::shared_ptr<const NonceSnapshot> snapshot_for(
+        Record& record);
+    /// Drops the snapshot of the canonical block that just sank below the
+    /// horizon (one O(1) lookup per head advance).
+    void prune_snapshots();
 
     ChainConfig config_;
     std::shared_ptr<BlockExecutor> executor_;
@@ -136,6 +174,8 @@ private:
     std::unordered_map<Address, std::uint64_t, FixedBytesHasher> nonces_;
     Hash32 head_hash_;
     Hash32 genesis_hash_;
+    // Canonical numbers below this have had their snapshots pruned.
+    std::uint64_t pruned_below_ = 1;
 };
 
 }  // namespace bcfl::chain

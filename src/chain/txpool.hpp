@@ -2,7 +2,9 @@
 //
 // Orders candidate transactions by gas price (desc) then arrival order, and
 // enforces per-sender nonce sequencing so multi-chunk model publishes (chunk
-// txs with consecutive nonces) are mined in order.
+// txs with consecutive nonces) are mined in order. Selection merges
+// per-sender nonce-ordered queues by price in O(n log n), reproducing the
+// historical multi-pass scan order exactly (see select()).
 #pragma once
 
 #include <cstdint>
@@ -48,10 +50,24 @@ public:
     /// duplicates are skipped via `by_hash_`.
     void reinject(const std::vector<Transaction>& txs);
 
+    /// Drops every pending tx whose nonce is below its sender's next
+    /// expected nonce (already satisfied on the canonical chain): such a
+    /// tx can never be selected again, so keeping it is a leak. Covers
+    /// duplicates of mined txs re-admitted through gossip after the
+    /// node's bounded dedup set forgot them, and replaced same-nonce txs
+    /// whose sibling was mined. Returns the number dropped.
+    std::size_t prune_stale(
+        const std::unordered_map<Address, std::uint64_t, FixedBytesHasher>&
+            next_nonce_by_sender);
+
     [[nodiscard]] std::size_t size() const { return by_hash_.size(); }
     [[nodiscard]] bool empty() const { return by_hash_.empty(); }
 
 private:
+    /// Rebuilds `order_` without dead/duplicate ids once it is mostly
+    /// stale, bounding its memory by what is pending.
+    void maybe_compact_order();
+
     GasSchedule schedule_;
     std::unordered_map<Hash32, Transaction, FixedBytesHasher> by_hash_;
     std::vector<Hash32> order_;  // arrival order; may hold removed ids

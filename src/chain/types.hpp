@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -35,9 +36,14 @@ struct Transaction {
     crypto::Point sender_pub;
     crypto::Signature signature;
 
-    /// Sender address derived from the embedded public key.
+    /// Sender address derived from the embedded public key. The keccak of
+    /// the pubkey is cached on first use: sender() sits on the per-tx hot
+    /// path of validation, block building, mempool selection and chain
+    /// indexing. The cache relies on `sender_pub` being set only at
+    /// construction (make_signed / decode) and never mutated afterwards.
     [[nodiscard]] Address sender() const {
-        return crypto::to_address(sender_pub);
+        if (!sender_cache_) sender_cache_ = crypto::to_address(sender_pub);
+        return *sender_cache_;
     }
 
     /// RLP encoding of the fields covered by the signature.
@@ -56,6 +62,9 @@ struct Transaction {
                                    std::uint64_t nonce, const Address& to,
                                    std::uint64_t gas_limit,
                                    std::uint64_t gas_price, Bytes data);
+
+private:
+    mutable std::optional<Address> sender_cache_;
 };
 
 /// Execution outcome of one transaction.

@@ -44,8 +44,26 @@ void Node::start() {
 void Node::submit_tx(const chain::Transaction& tx) {
     if (!pool_.add(tx)) return;
     ++stats_.txs_submitted;
-    seen_.insert(tx.hash());
+    mark_seen(tx.hash());
     broadcast(MsgKind::tx, tx.encode());
+}
+
+bool Node::already_seen(const Hash32& id) const {
+    return seen_now_.contains(id) || seen_prev_.contains(id);
+}
+
+void Node::mark_seen(const Hash32& id) {
+    if (!seen_now_.insert(id).second) return;
+    if (seen_now_.size() < std::max<std::size_t>(config_.gossip_seen_cap, 1)) {
+        return;
+    }
+    // Generational rotation: the oldest generation is dropped wholesale —
+    // bounded memory instead of one hash per tx/block ever gossiped. A
+    // dropped hash that resurfaces costs only a duplicate chain import or
+    // a mempool admission check, both cheap and idempotent.
+    stats_.seen_evictions += seen_prev_.size();
+    seen_prev_ = std::move(seen_now_);
+    seen_now_.clear();
 }
 
 vm::CallResult Node::call_view(Bytes calldata) const {
@@ -89,8 +107,8 @@ void Node::handle_message(net::NodeId from, const Bytes& message) {
             case MsgKind::tx: {
                 const chain::Transaction tx = chain::Transaction::decode(body);
                 const Hash32 id = tx.hash();
-                if (seen_.contains(id)) return;
-                seen_.insert(id);
+                if (already_seen(id)) return;
+                mark_seen(id);
                 if (pool_.add(tx)) broadcast(MsgKind::tx, tx.encode());
                 return;
             }
@@ -123,8 +141,8 @@ void Node::handle_message(net::NodeId from, const Bytes& message) {
 
 void Node::handle_block(net::NodeId from, const chain::Block& block) {
     const Hash32 id = block.hash();
-    if (seen_.contains(id)) return;
-    seen_.insert(id);
+    if (already_seen(id)) return;
+    mark_seen(id);
     import_block(block, /*relay=*/true, from);
 }
 
@@ -146,7 +164,7 @@ void Node::request_block(net::NodeId peer, const Hash32& hash) {
     // fault that orphaned the block is retried naturally, because every
     // subsequently gossiped descendant re-enters import as an orphan and
     // asks again. Requests are 33 bytes; duplicates are cheap.
-    if (seen_.contains(hash) || chain_->block_by_hash(hash) != nullptr) {
+    if (already_seen(hash) || chain_->block_by_hash(hash) != nullptr) {
         return;  // already held (imported, buffered, or rejected for cause)
     }
     ++stats_.blocks_requested;
@@ -168,6 +186,20 @@ void Node::import_block(const chain::Block& block, bool relay,
                 pool_.reinject(result.abandoned_txs);
             }
             pool_.remove(block.transactions);
+            // Head changes can strand below-nonce txs in the pool (mined
+            // duplicates re-admitted after seen-set eviction, replaced
+            // same-nonce siblings, reorg leftovers); they are
+            // unselectable forever, so drop them — on every reorg, and
+            // otherwise every few heads so the O(pool) scan amortizes to
+            // O(new work) per import. Stale txs are harmless while they
+            // wait: select() can never pick them.
+            constexpr std::uint64_t kPruneHeadInterval = 16;
+            if (result.reorged ||
+                ++heads_since_prune_ >= kPruneHeadInterval) {
+                stats_.stale_txs_pruned +=
+                    pool_.prune_stale(chain_->account_nonces());
+                heads_since_prune_ = 0;
+            }
             if (relay) broadcast(MsgKind::block, block.encode());
             notify_new_head();
             retry_orphans();
@@ -179,9 +211,14 @@ void Node::import_block(const chain::Block& block, bool relay,
             if (relay) broadcast(MsgKind::block, block.encode());
             retry_orphans();
             return;
-        case chain::ImportStatus::orphan:
-            orphans_[block.header.parent_hash].push_back(block);
-            orphan_parent_[block.hash()] = block.header.parent_hash;
+        case chain::ImportStatus::orphan: {
+            // Idempotent buffering: after a seen-set rotation the same
+            // orphan can be re-delivered — never store a second copy.
+            const Hash32 id = block.hash();
+            if (!orphan_parent_.contains(id)) {
+                orphans_[block.header.parent_hash].push_back(block);
+                orphan_parent_[id] = block.header.parent_hash;
+            }
             // Ancestor sync: ask whoever sent us this block for the
             // earliest ancestor we lack (one hop per request; each reply is
             // itself an orphan until the fork point connects).
@@ -191,6 +228,7 @@ void Node::import_block(const chain::Block& block, bool relay,
                     earliest_missing_ancestor(block.header.parent_hash));
             }
             return;
+        }
         case chain::ImportStatus::duplicate:
             return;
         case chain::ImportStatus::rejected:
@@ -250,7 +288,7 @@ void Node::on_block_found(std::uint64_t generation) {
     }
     block.header.pow_nonce = *nonce;
     ++stats_.blocks_mined;
-    seen_.insert(block.hash());
+    mark_seen(block.hash());
     import_block(block, /*relay=*/true, id_);
     // import_block scheduled the next round via added_head.
 }

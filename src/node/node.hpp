@@ -35,6 +35,14 @@ struct NodeConfig {
     std::uint64_t rng_seed = 7;
     /// Cap on real nonce-search effort when sealing (safety valve).
     std::uint64_t max_seal_attempts = 50'000'000;
+    /// Generation size of the gossip-dedup set: when the current
+    /// generation reaches this many hashes it becomes the previous one and
+    /// the oldest generation is dropped, bounding memory at ~2x the cap
+    /// instead of one 32-byte hash per tx/block forever. Large enough that
+    /// anything still circulating in gossip is remembered; a forgotten
+    /// hash only costs a duplicate import (rejected as such) or a pool
+    /// re-admission check.
+    std::size_t gossip_seen_cap = 32'768;
 };
 
 struct NodeStats {
@@ -46,6 +54,12 @@ struct NodeStats {
     /// Ancestor-sync protocol traffic (see handle_message: get_block).
     std::uint64_t blocks_requested = 0;
     std::uint64_t block_requests_served = 0;
+    /// Gossip-dedup hashes dropped by generational rotation (memory bound).
+    std::uint64_t seen_evictions = 0;
+    /// Pool txs dropped because their nonce was already satisfied on the
+    /// canonical chain (e.g. a mined tx's duplicate re-admitted through
+    /// gossip after its hash left the bounded dedup set).
+    std::uint64_t stale_txs_pruned = 0;
 };
 
 class Node {
@@ -79,6 +93,17 @@ public:
         head_callbacks_.push_back(std::move(callback));
     }
 
+    /// Current gossip-dedup footprint (both generations); bounded at
+    /// ~2 * NodeConfig::gossip_seen_cap entries.
+    [[nodiscard]] std::size_t gossip_seen_size() const {
+        return seen_now_.size() + seen_prev_.size();
+    }
+
+    /// Blocks currently waiting in the orphan buffer for a missing parent.
+    [[nodiscard]] std::size_t orphan_blocks_buffered() const {
+        return orphan_parent_.size();
+    }
+
     /// Builds the genesis world state shared by all nodes: the model
     /// registry contract deployed at its well-known address.
     static vm::WorldState genesis_state();
@@ -94,6 +119,10 @@ private:
     /// a partition heals, gossiped heads reference unknown parents; walking
     /// the parent chain back to the fork point reconnects the forks).
     void request_block(net::NodeId peer, const Hash32& hash);
+    /// Gossip dedup with bounded memory: two generations rotated when the
+    /// current one reaches NodeConfig::gossip_seen_cap.
+    [[nodiscard]] bool already_seen(const Hash32& id) const;
+    void mark_seen(const Hash32& id);
     /// Follows the orphan buffer from `hash` to the earliest ancestor we
     /// do not hold at all — the next block actually worth requesting.
     [[nodiscard]] Hash32 earliest_missing_ancestor(Hash32 hash) const;
@@ -115,8 +144,14 @@ private:
     NodeStats stats_;
     double compute_load_ = 0.0;
     std::uint64_t mining_generation_ = 0;
+    // Head changes since the last stale-tx prune (see import_block): the
+    // pool scan is amortized so imports stay O(new work).
+    std::uint64_t heads_since_prune_ = 0;
     bool started_ = false;
-    std::unordered_set<Hash32, FixedBytesHasher> seen_;
+    // Generational gossip-dedup: lookups consult both sets; inserts go to
+    // seen_now_, which rotates into seen_prev_ at the cap (see mark_seen).
+    std::unordered_set<Hash32, FixedBytesHasher> seen_now_;
+    std::unordered_set<Hash32, FixedBytesHasher> seen_prev_;
     std::unordered_map<Hash32, std::vector<chain::Block>, FixedBytesHasher>
         orphans_;  // parent hash -> waiting blocks
     std::unordered_map<Hash32, Hash32, FixedBytesHasher>

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <limits>
 #include <memory>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "chain/blockchain.hpp"
 #include "chain/gas.hpp"
@@ -9,6 +12,7 @@
 #include "chain/txpool.hpp"
 #include "chain/types.hpp"
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "crypto/keccak.hpp"
 
 namespace bcfl::chain {
@@ -291,6 +295,164 @@ TEST(TxPool, RemoveFreesAllStateForEvictThenReadd) {
     EXPECT_TRUE(reselected.empty());
 }
 
+TEST(TxPool, PruneStaleDropsMinedNonces) {
+    // Regression: a duplicate of an already-mined tx re-admitted through
+    // gossip (after the node's bounded dedup set forgot its hash) used to
+    // sit in the pool forever — select() can never pick a below-nonce tx
+    // and remove() only sees freshly mined ones. prune_stale drops
+    // everything the canonical nonces have moved past, and nothing else.
+    TxPool pool;
+    const KeyPair key = KeyPair::from_seed(4);
+    const auto mk = [&](std::uint64_t nonce, std::uint64_t price) {
+        return Transaction::make_signed(key, nonce, Address{}, 50'000, price,
+                                        {});
+    };
+    const Transaction mined = mk(0, 1);
+    const Transaction replaced = mk(1, 2);  // same-nonce sibling lost out
+    const Transaction pending = mk(2, 1);
+    const Transaction other = sample_tx(5, 0);
+    ASSERT_TRUE(pool.add(mined));
+    ASSERT_TRUE(pool.add(replaced));
+    ASSERT_TRUE(pool.add(pending));
+    ASSERT_TRUE(pool.add(other));
+
+    // Chain advanced past nonces 0 and 1 for this sender (nonce 1 was
+    // satisfied by a different tx); the other sender is untouched.
+    EXPECT_EQ(pool.prune_stale({{mined.sender(), 2}}), 2u);
+    EXPECT_EQ(pool.size(), 2u);
+    EXPECT_FALSE(pool.contains(mined.hash()));
+    EXPECT_FALSE(pool.contains(replaced.hash()));
+    EXPECT_TRUE(pool.contains(pending.hash()));
+    EXPECT_TRUE(pool.contains(other.hash()));
+    EXPECT_EQ(pool.prune_stale({{mined.sender(), 2}}), 0u);  // idempotent
+    const auto selected = pool.select(1'000'000, {{mined.sender(), 2}});
+    ASSERT_EQ(selected.size(), 2u);  // pending + other, both still viable
+}
+
+/// The historical O(n²) multi-pass selection loop, kept verbatim as the
+/// semantic reference: the production O(n log n) queue-merge in
+/// TxPool::select must reproduce its output bit-for-bit.
+std::vector<Transaction> multi_pass_reference_select(
+    const std::vector<Transaction>& arrival, std::uint64_t block_gas_limit,
+    const std::unordered_map<Address, std::uint64_t, FixedBytesHasher>&
+        next_nonce_by_sender) {
+    std::vector<const Transaction*> candidates;
+    candidates.reserve(arrival.size());
+    for (const Transaction& tx : arrival) candidates.push_back(&tx);
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Transaction* a, const Transaction* b) {
+                         return a->gas_price > b->gas_price;
+                     });
+    std::unordered_map<Address, std::uint64_t, FixedBytesHasher> next_nonce =
+        next_nonce_by_sender;
+    std::vector<Transaction> selected;
+    std::uint64_t gas_left = block_gas_limit;
+    bool progressed = true;
+    std::vector<bool> taken(candidates.size(), false);
+    while (progressed) {
+        progressed = false;
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+            if (taken[i]) continue;
+            const Transaction& tx = *candidates[i];
+            if (tx.gas_limit > gas_left) continue;
+            const Address from = tx.sender();
+            const auto nonce_it = next_nonce.find(from);
+            const std::uint64_t expected =
+                nonce_it == next_nonce.end() ? 0 : nonce_it->second;
+            if (tx.nonce != expected) continue;
+            selected.push_back(tx);
+            taken[i] = true;
+            next_nonce[from] = expected + 1;
+            gas_left -= tx.gas_limit;
+            progressed = true;
+        }
+    }
+    return selected;
+}
+
+TEST(TxPool, PreservesMultiPassPassBoundaryOrder) {
+    // Sender A: nonce 0 at price 5, nonce 1 at price 10; sender B: nonce 0
+    // at price 4. The multi-pass scan takes A0 and B0 in the first pass
+    // and A1 only in the second — a greedy merge that re-considers A1 the
+    // moment A0 unlocks it would emit A0,A1,B0 instead. This pins the
+    // pass-boundary semantics the O(n log n) rewrite must preserve.
+    const KeyPair a = KeyPair::from_seed(71);
+    const KeyPair b = KeyPair::from_seed(72);
+    const Transaction a1 =
+        Transaction::make_signed(a, 1, Address{}, 50'000, 10, {});
+    const Transaction a0 =
+        Transaction::make_signed(a, 0, Address{}, 50'000, 5, {});
+    const Transaction b0 =
+        Transaction::make_signed(b, 0, Address{}, 50'000, 4, {});
+    TxPool pool;
+    ASSERT_TRUE(pool.add(a1));
+    ASSERT_TRUE(pool.add(a0));
+    ASSERT_TRUE(pool.add(b0));
+    const auto selected = pool.select(1'000'000, {});
+    ASSERT_EQ(selected.size(), 3u);
+    EXPECT_EQ(selected[0].hash(), a0.hash());
+    EXPECT_EQ(selected[1].hash(), b0.hash());
+    EXPECT_EQ(selected[2].hash(), a1.hash());
+}
+
+TEST(TxPool, SelectMatchesMultiPassReferenceOnRandomWorkloads) {
+    // Randomized differential test: shuffled nonces, duplicate nonces,
+    // nonce gaps, price ties and tight gas budgets, checked against the
+    // verbatim multi-pass reference for identical output order.
+    Rng rng(0xbcf15e1ec7ull);
+    for (int round = 0; round < 6; ++round) {
+        const std::size_t n_senders = 2 + rng.next_below(4);
+        std::vector<KeyPair> keys;
+        std::vector<std::uint64_t> base_nonce;
+        std::unordered_map<Address, std::uint64_t, FixedBytesHasher> base;
+        for (std::size_t s = 0; s < n_senders; ++s) {
+            keys.push_back(KeyPair::from_seed(700 + 10 * round + s));
+            base_nonce.push_back(rng.next_below(3));
+            if (base_nonce.back() > 0) {
+                base[keys.back().address()] = base_nonce.back();
+            }
+        }
+        std::vector<Transaction> arrival;
+        for (std::size_t s = 0; s < n_senders; ++s) {
+            const std::size_t count = 3 + rng.next_below(6);
+            std::vector<std::uint64_t> nonces;
+            for (std::size_t i = 0; i < count; ++i) {
+                nonces.push_back(base_nonce[s] + i);
+            }
+            if (rng.next_below(2) == 0) nonces.push_back(nonces.back());  // dup
+            if (rng.next_below(3) == 0) nonces.push_back(nonces.back() + 2);  // gap
+            rng.shuffle(std::span<std::uint64_t>(nonces));
+            for (const std::uint64_t nonce : nonces) {
+                arrival.push_back(Transaction::make_signed(
+                    keys[s], nonce, Address{},
+                    30'000 + 30'000 * rng.next_below(4),
+                    1 + rng.next_below(4), str_bytes("d")));
+            }
+        }
+        rng.shuffle(std::span<Transaction>(arrival));
+        TxPool pool;
+        std::vector<Transaction> accepted;
+        for (const Transaction& tx : arrival) {
+            if (pool.add(tx)) accepted.push_back(tx);  // drops exact dups
+        }
+        std::uint64_t total_gas = 0;
+        for (const Transaction& tx : accepted) total_gas += tx.gas_limit;
+        for (const std::uint64_t budget :
+             {total_gas, total_gas / 2, total_gas / 5}) {
+            const auto got = pool.select(budget, base);
+            const auto want =
+                multi_pass_reference_select(accepted, budget, base);
+            ASSERT_EQ(got.size(), want.size())
+                << "round " << round << " budget " << budget;
+            for (std::size_t i = 0; i < got.size(); ++i) {
+                EXPECT_EQ(got[i].hash(), want[i].hash())
+                    << "round " << round << " budget " << budget
+                    << " position " << i;
+            }
+        }
+    }
+}
+
 // -------------------------------------------------------------- Blockchain
 
 class BlockchainTest : public ::testing::Test {
@@ -447,6 +609,353 @@ TEST_F(BlockchainTest, DifficultyRetargetsAlongChain) {
         ts += 100;  // much faster than the 1000ms target
     }
     EXPECT_GT(chain_.head().difficulty, 16u);
+}
+
+TEST_F(BlockchainTest, RejectsGasBudgetOverflow) {
+    // Regression: the block gas check used to *sum* gas limits into a
+    // uint64 accumulator — two txs of 2^63 wrapped to 0 and slipped past
+    // `gas_budget > h.gas_limit`. The budget is now spent down with a
+    // per-tx bound, which cannot wrap.
+    const std::uint64_t half = 1ull << 63;
+    const Transaction t1 = Transaction::make_signed(
+        KeyPair::from_seed(21), 0, Address{}, half, 1, {});
+    const Transaction t2 = Transaction::make_signed(
+        KeyPair::from_seed(22), 0, Address{}, half, 1, {});
+    const Block block = make_next({t1, t2}, 1000);
+    const ImportResult r = chain_.import_block(block);
+    EXPECT_EQ(r.status, ImportStatus::rejected);
+    EXPECT_EQ(r.reason, "block over gas limit");
+}
+
+// --------------------------------------------- Incremental index invariants
+
+namespace indices {
+
+ChainConfig fixed_config() {
+    ChainConfig config;
+    config.initial_difficulty = 16;
+    config.min_difficulty = 4;
+    config.fixed_difficulty = true;  // TD = height: longest branch wins
+    config.target_interval_ms = 1000;
+    return config;
+}
+
+Block seal_on(Blockchain& builder, std::vector<Transaction> txs,
+              std::uint64_t timestamp_ms, std::uint64_t miner_seed) {
+    Block block = builder.build_block(KeyPair::from_seed(miner_seed).address(),
+                                      std::move(txs), timestamp_ms);
+    const auto nonce = mine_seal(block.header, 0, 10'000'000);
+    EXPECT_TRUE(nonce.has_value());
+    block.header.pow_nonce = *nonce;
+    EXPECT_EQ(builder.import_block(block).status, ImportStatus::added_head);
+    return block;
+}
+
+/// From-scratch canonical path, oldest first, via parent links only.
+std::vector<Block> canonical_walk(
+    const Blockchain& chain,
+    const std::unordered_map<Hash32, Block, FixedBytesHasher>& all_blocks) {
+    std::vector<Block> path;
+    Hash32 cursor = chain.head_hash();
+    while (true) {
+        const Block& block = all_blocks.at(cursor);
+        path.push_back(block);
+        if (block.header.number == 0) break;
+        cursor = block.header.parent_hash;
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+/// The pre-overhaul reorg behaviour, verbatim: walk the *whole* old
+/// canonical chain head-first and keep every tx not anywhere on the new
+/// branch. The incremental fork-point reorg must match it exactly.
+std::vector<Hash32> full_walk_abandoned(const std::vector<Block>& old_chain,
+                                        const std::vector<Block>& new_chain) {
+    std::unordered_set<Hash32, FixedBytesHasher> new_txs;
+    for (const Block& block : new_chain) {
+        for (const Transaction& tx : block.transactions) {
+            new_txs.insert(tx.hash());
+        }
+    }
+    std::vector<Hash32> abandoned;
+    for (auto it = old_chain.rbegin(); it != old_chain.rend(); ++it) {
+        for (const Transaction& tx : it->transactions) {
+            if (!new_txs.contains(tx.hash())) abandoned.push_back(tx.hash());
+        }
+    }
+    return abandoned;
+}
+
+/// Asserts canonical_, tx_index_ and account nonces (through the public
+/// API) exactly match a from-scratch rebuild of the head branch.
+void verify_against_rebuild(
+    const Blockchain& chain,
+    const std::unordered_map<Hash32, Block, FixedBytesHasher>& all_blocks,
+    const std::vector<Transaction>& all_txs) {
+    const std::vector<Block> canonical = canonical_walk(chain, all_blocks);
+    ASSERT_EQ(chain.height() + 1, canonical.size());
+    for (std::uint64_t n = 0; n < canonical.size(); ++n) {
+        const Block* got = chain.block_by_number(n);
+        ASSERT_NE(got, nullptr) << "number " << n;
+        EXPECT_EQ(got->hash(), canonical[n].hash()) << "number " << n;
+    }
+    for (std::uint64_t n = chain.height() + 1; n <= chain.height() + 4; ++n) {
+        EXPECT_EQ(chain.block_by_number(n), nullptr)
+            << "stale canonical entry above head at " << n;
+    }
+
+    std::unordered_map<Hash32, TxLocation, FixedBytesHasher> ref_locations;
+    std::unordered_map<Address, std::uint64_t, FixedBytesHasher> ref_nonces;
+    for (const Block& block : canonical) {
+        for (std::size_t i = 0; i < block.transactions.size(); ++i) {
+            const Transaction& tx = block.transactions[i];
+            ref_locations[tx.hash()] =
+                TxLocation{block.hash(), block.header.number, i};
+            ref_nonces[tx.sender()]++;
+        }
+    }
+    for (const Transaction& tx : all_txs) {
+        const auto got = chain.locate_tx(tx.hash());
+        const auto want = ref_locations.find(tx.hash());
+        if (want == ref_locations.end()) {
+            EXPECT_FALSE(got.has_value())
+                << "off-canonical tx still indexed: " << tx.hash().hex();
+        } else {
+            ASSERT_TRUE(got.has_value()) << tx.hash().hex();
+            EXPECT_EQ(got->block_hash, want->second.block_hash);
+            EXPECT_EQ(got->block_number, want->second.block_number);
+            EXPECT_EQ(got->index, want->second.index);
+        }
+    }
+    EXPECT_EQ(chain.account_nonces(), ref_nonces);
+}
+
+}  // namespace indices
+
+TEST(BlockchainIndices, IncrementalIndicesMatchFromScratchAfterRandomReorgs) {
+    using namespace indices;
+    const ChainConfig config = fixed_config();
+    Blockchain main_chain(config, std::make_shared<NullExecutor>());
+    Blockchain branch_a(config, std::make_shared<NullExecutor>());
+    Blockchain branch_b(config, std::make_shared<NullExecutor>());
+
+    std::unordered_map<Hash32, Block, FixedBytesHasher> all_blocks;
+    all_blocks.emplace(main_chain.genesis().hash(), main_chain.genesis());
+    std::vector<Transaction> all_txs;
+    std::unordered_map<std::uint64_t, std::uint64_t> nonce_a;  // seed->nonce
+    std::unordered_map<std::uint64_t, std::uint64_t> nonce_b;
+    Rng rng(0x1ce5);
+    std::uint64_t ts = 1000;
+    std::uint64_t deepest_abandoned = 0;
+
+    // Imports `block` into the fork-choice chain under test and checks
+    // every index invariant, including abandoned-tx equivalence with the
+    // historical full-walk reorg on every actual reorg.
+    const auto import_and_verify = [&](const Block& block) {
+        all_blocks.emplace(block.hash(), block);
+        for (const Transaction& tx : block.transactions) {
+            all_txs.push_back(tx);
+        }
+        const std::vector<Block> before =
+            canonical_walk(main_chain, all_blocks);
+        const ImportResult result = main_chain.import_block(block);
+        ASSERT_TRUE(result.status == ImportStatus::added_head ||
+                    result.status == ImportStatus::added_side)
+            << result.reason;
+        if (result.reorged) {
+            const std::vector<Block> after =
+                canonical_walk(main_chain, all_blocks);
+            const std::vector<Hash32> want = full_walk_abandoned(before, after);
+            ASSERT_EQ(result.abandoned_txs.size(), want.size());
+            for (std::size_t i = 0; i < want.size(); ++i) {
+                EXPECT_EQ(result.abandoned_txs[i].hash(), want[i])
+                    << "abandoned position " << i;
+            }
+            deepest_abandoned = std::max<std::uint64_t>(deepest_abandoned,
+                                                        want.size());
+        }
+        verify_against_rebuild(main_chain, all_blocks, all_txs);
+    };
+
+    // Random txs from a branch-private sender set, advancing that branch's
+    // own nonce view (which diverges from the other branch's after the
+    // fork point — exactly what the per-record snapshots must track).
+    const auto random_txs = [&](std::unordered_map<std::uint64_t,
+                                                   std::uint64_t>& nonces,
+                                std::uint64_t seed_base) {
+        std::vector<Transaction> txs;
+        const std::size_t count = rng.next_below(4);  // 0..3, empty blocks too
+        for (std::size_t i = 0; i < count; ++i) {
+            const std::uint64_t seed = seed_base + rng.next_below(3);
+            txs.push_back(sample_tx(seed, nonces[seed]++,
+                                    1 + rng.next_below(3)));
+        }
+        return txs;
+    };
+
+    const auto extend = [&](Blockchain& builder,
+                            std::unordered_map<std::uint64_t, std::uint64_t>&
+                                nonces,
+                            std::uint64_t seed_base, std::size_t blocks,
+                            std::uint64_t miner_seed) {
+        for (std::size_t i = 0; i < blocks; ++i) {
+            import_and_verify(seal_on(builder, random_txs(nonces, seed_base),
+                                      ts += 100, miner_seed));
+        }
+    };
+
+    // Shared prefix: 6 blocks on A, mirrored into B's builder.
+    std::vector<Block> prefix;
+    for (std::size_t i = 0; i < 6; ++i) {
+        prefix.push_back(seal_on(branch_a, random_txs(nonce_a, 30), ts += 100,
+                                 60));
+        import_and_verify(prefix.back());
+    }
+    for (const Block& block : prefix) {
+        ASSERT_EQ(branch_b.import_block(block).status,
+                  ImportStatus::added_head);
+    }
+    nonce_b = nonce_a;  // branch B inherits the fork-point nonce state
+
+    // A tx included on *both* branches (same sender, same nonce, same
+    // payload → same hash): must never be reported abandoned.
+    const Transaction shared_tx = sample_tx(55, 0, 2);
+    {
+        Block a_block = seal_on(branch_a, {shared_tx}, ts += 100, 60);
+        import_and_verify(a_block);
+        Block b_block = seal_on(branch_b, {shared_tx}, ts += 100, 61);
+        import_and_verify(b_block);  // added_side at equal height
+    }
+
+    // Interleaved tug-of-war with progressively deeper reorgs. Branch
+    // lengths also push the copy-on-write snapshots past the flatten
+    // threshold (32 layers).
+    extend(branch_a, nonce_a, 30, 4, 60);   // A ahead
+    extend(branch_b, nonce_b, 40, 8, 61);   // reorg to B (depth ~5)
+    extend(branch_a, nonce_a, 30, 9, 60);   // reorg back to A
+    extend(branch_b, nonce_b, 40, 12, 61);  // deeper reorg to B
+    extend(branch_a, nonce_a, 30, 14, 60);  // deepest reorg back to A
+    extend(branch_a, nonce_a, 30, 20, 60);  // long quiet growth (flatten)
+
+    EXPECT_GE(main_chain.height(), 40u);
+    EXPECT_GE(deepest_abandoned, 8u) << "script no longer reorgs deeply";
+}
+
+TEST(BlockchainIndices, SnapshotHorizonPruningKeepsDeepForksValid) {
+    // Snapshots sink out of memory once a block is nonce_snapshot_horizon
+    // below the head; forking the pruned deep past must still validate
+    // nonces correctly (via the walk-and-rebuild fallback) and leave the
+    // indices coherent after the resulting deep reorg.
+    using namespace indices;
+    ChainConfig config = fixed_config();
+    config.nonce_snapshot_horizon = 8;
+    Blockchain main_chain(config, std::make_shared<NullExecutor>());
+    Blockchain branch_a(config, std::make_shared<NullExecutor>());
+    Blockchain branch_b(config, std::make_shared<NullExecutor>());
+
+    std::unordered_map<Hash32, Block, FixedBytesHasher> all_blocks;
+    all_blocks.emplace(main_chain.genesis().hash(), main_chain.genesis());
+    std::vector<Transaction> all_txs;
+    std::uint64_t ts = 1000;
+    const auto record = [&](const Block& block) {
+        all_blocks.emplace(block.hash(), block);
+        for (const Transaction& tx : block.transactions) {
+            all_txs.push_back(tx);
+        }
+    };
+
+    // Shared prefix: sender 81 spends nonces 0..3 in blocks 1..4.
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        const Block block =
+            seal_on(branch_a, {sample_tx(81, i)}, ts += 100, 60);
+        record(block);
+        ASSERT_EQ(main_chain.import_block(block).status,
+                  ImportStatus::added_head);
+        ASSERT_EQ(branch_b.import_block(block).status,
+                  ImportStatus::added_head);
+    }
+    // Branch A races ahead to height 30: the fork point (block 4) sinks
+    // 26 below the head, far past the horizon of 8, so its snapshot is
+    // pruned from the canonical index.
+    for (std::uint64_t i = 0; i < 26; ++i) {
+        const Block block =
+            seal_on(branch_a, {sample_tx(82, i)}, ts += 100, 60);
+        record(block);
+        ASSERT_EQ(main_chain.import_block(block).status,
+                  ImportStatus::added_head);
+    }
+
+    // A wrong-nonce block on the pruned fork point must still be caught
+    // by the rebuilt nonce view (sender 81 is at nonce 4 there, not 5).
+    Block bad = branch_b.build_block(KeyPair::from_seed(61).address(),
+                                     {sample_tx(81, 5)}, ts += 100);
+    bad.header.pow_nonce = *mine_seal(bad.header, 0, 10'000'000);
+    const ImportResult rejected = main_chain.import_block(bad);
+    EXPECT_EQ(rejected.status, ImportStatus::rejected);
+    EXPECT_EQ(rejected.reason, "bad tx nonce");
+
+    // The correct continuation (nonce 4) forks the deep past and grows
+    // until it overtakes — a 26-deep reorg below the prune watermark.
+    bool reorged = false;
+    for (std::uint64_t i = 0; i < 28; ++i) {
+        const Block block = seal_on(
+            branch_b, {sample_tx(81, 4 + i)}, ts += 100, 61);
+        record(block);
+        const ImportResult result = main_chain.import_block(block);
+        ASSERT_TRUE(result.status == ImportStatus::added_head ||
+                    result.status == ImportStatus::added_side)
+            << result.reason;
+        reorged |= result.reorged;
+    }
+    EXPECT_TRUE(reorged);
+    EXPECT_EQ(main_chain.height(), 32u);
+    verify_against_rebuild(main_chain, all_blocks, all_txs);
+
+    // Post-reorg growth re-sweeps the rewound prune watermark and keeps
+    // extending cleanly.
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        const Block block =
+            seal_on(branch_b, {sample_tx(81, 32 + i)}, ts += 100, 61);
+        record(block);
+        ASSERT_EQ(main_chain.import_block(block).status,
+                  ImportStatus::added_head);
+    }
+    verify_against_rebuild(main_chain, all_blocks, all_txs);
+}
+
+TEST(BlockchainIndices, NonceValidationIsPerBranch) {
+    using namespace indices;
+    const ChainConfig config = fixed_config();
+    Blockchain main_chain(config, std::make_shared<NullExecutor>());
+    Blockchain branch_a(config, std::make_shared<NullExecutor>());
+    Blockchain branch_b(config, std::make_shared<NullExecutor>());
+
+    // Branch A mines the sender's nonce-0 tx; branch B stays empty.
+    const Block a1 = seal_on(branch_a, {sample_tx(77, 0)}, 1000, 60);
+    const Block b1 = seal_on(branch_b, {}, 1500, 61);
+    const Block b2 = seal_on(branch_b, {}, 2000, 61);
+    ASSERT_EQ(main_chain.import_block(a1).status, ImportStatus::added_head);
+    ASSERT_EQ(main_chain.import_block(b1).status, ImportStatus::added_side);
+    ASSERT_EQ(main_chain.import_block(b2).status, ImportStatus::added_head);
+
+    // A nonce-1 tx is valid on top of A (which holds nonce 0)...
+    const Block a2 = seal_on(branch_a, {sample_tx(77, 1)}, 2500, 60);
+    const ImportResult on_a = main_chain.import_block(a2);
+    EXPECT_EQ(on_a.status, ImportStatus::added_side) << on_a.reason;
+
+    // ...but the same sender starts at nonce 0 on branch B: a nonce-1 tx
+    // there must be rejected even though the *canonical* nonce map (B is
+    // the head) has nothing for the sender — and a fresh nonce-0 tx works.
+    Block bad = main_chain.build_block(KeyPair::from_seed(61).address(),
+                                       {sample_tx(77, 1)}, 3000);
+    bad.header.pow_nonce = *mine_seal(bad.header, 0, 10'000'000);
+    const ImportResult rejected = main_chain.import_block(bad);
+    EXPECT_EQ(rejected.status, ImportStatus::rejected);
+    EXPECT_EQ(rejected.reason, "bad tx nonce");
+
+    const Block good = seal_on(branch_b, {sample_tx(77, 0)}, 3000, 61);
+    EXPECT_EQ(main_chain.import_block(good).status, ImportStatus::added_head);
 }
 
 TEST(IntrinsicGas, ChargesPerByte) {

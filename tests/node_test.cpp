@@ -223,6 +223,40 @@ TEST(NodePartition, ForksReconvergeThroughAncestorSyncAfterHeal) {
     EXPECT_GT(reorgs, 0u);
 }
 
+TEST(NodeGossip, SeenSetIsBoundedByGenerationalRotation) {
+    // Regression: the gossip-dedup set used to keep one 32-byte hash per
+    // tx and block forever (the leak class PR 3 removed from TxPool).
+    // With a small cap, a long run must rotate generations, keep the
+    // footprint under 2x the cap, and still converge on one head.
+    net::Simulation sim;
+    net::Network network(sim, net::LinkParams{}, /*seed=*/9);
+    chain::ChainConfig chain_config;
+    chain_config.initial_difficulty = 200;
+    chain_config.min_difficulty = 64;
+    chain_config.fixed_difficulty = true;
+    std::vector<std::unique_ptr<Node>> nodes;
+    for (std::uint64_t i = 0; i < 2; ++i) {
+        NodeConfig config;
+        config.chain = chain_config;
+        config.key_seed = 300 + i;
+        config.hash_rate = 200.0;
+        config.rng_seed = 2000 + i;
+        config.gossip_seen_cap = 64;
+        nodes.push_back(std::make_unique<Node>(sim, network, config));
+    }
+    for (auto& node : nodes) node->start();
+    sim.run_until(net::seconds(400));  // ~1 block/s: well past the cap
+
+    ASSERT_GT(nodes[0]->chain().height(), 128u);
+    EXPECT_EQ(nodes[0]->chain().head_hash(), nodes[1]->chain().head_hash());
+    std::uint64_t evictions = 0;
+    for (const auto& node : nodes) {
+        EXPECT_LE(node->gossip_seen_size(), 2u * 64u) << "node " << node->id();
+        evictions += node->stats().seen_evictions;
+    }
+    EXPECT_GT(evictions, 0u);
+}
+
 TEST(NodeSingle, NonMinerNeverExtendsChain) {
     net::Simulation sim;
     net::Network network(sim, net::LinkParams{});
