@@ -1,0 +1,40 @@
+// Fuzz target: vm::assemble and vm::disassemble — contract text and
+// bytecode are operator/peer input once coordination moves on chain.
+//
+// Contracts under test:
+//   * assemble throws bcfl::Error on bad source (token cap, immediate
+//     overflow, unknown mnemonics), never anything else, never UB;
+//   * disassemble never throws on ANY byte string — it is the tool
+//     operators point at untrusted chain bytecode first;
+//   * assembler output always disassembles (every emitted byte is
+//     printable as an opcode or flagged INVALID/truncated).
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "vm/assembler.hpp"
+#include "vm/disasm.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+    // Interpretation 1: the input is assembler source text.
+    const std::string_view source{reinterpret_cast<const char*>(data), size};
+    try {
+        const bcfl::Bytes code = bcfl::vm::assemble(source);
+        const std::string listing = bcfl::vm::disassemble(code);
+        if (!code.empty() && listing.empty()) {
+            std::fprintf(stderr, "asm: non-empty code, empty listing\n");
+            std::abort();
+        }
+    } catch (const bcfl::Error&) {
+        // Typed rejection is the contract for malformed source.
+    }
+    // Interpretation 2: the input is raw bytecode. Disassembly is total —
+    // no try block, any escape aborts the process.
+    (void)bcfl::vm::disassemble(bcfl::BytesView{data, size});
+    return 0;
+}

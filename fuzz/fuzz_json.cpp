@@ -1,0 +1,41 @@
+// Fuzz target: core::JsonValue::parse and core::parse_scenario — the
+// scenario specs operators feed the runner, the least-trusted text
+// surface in the repo.
+//
+// Contracts under test:
+//   * malformed input throws bcfl::Error, never anything else, never UB;
+//   * for accepted documents, dump() is a fixed point: parsing the dump
+//     and dumping again yields the same bytes (the property every
+//     BENCH_*.json byte-comparison gate rests on);
+//   * parse_scenario either yields a validated spec or throws typed.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+#include "core/scenario.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+    const std::string_view text{reinterpret_cast<const char*>(data), size};
+    try {
+        const bcfl::core::JsonValue value = bcfl::core::JsonValue::parse(text);
+        const std::string once = value.dump();
+        const std::string twice = bcfl::core::JsonValue::parse(once).dump();
+        if (once != twice) {
+            std::fprintf(stderr, "json: dump is not a parse fixed point\n");
+            std::abort();
+        }
+    } catch (const bcfl::Error&) {
+        // Typed rejection is the contract for malformed input.
+    }
+    try {
+        (void)bcfl::core::parse_scenario(text);
+    } catch (const bcfl::Error&) {
+        // Ditto for full spec validation.
+    }
+    return 0;
+}

@@ -1,0 +1,39 @@
+// Fuzz target: ml::deserialize_weights — the model-update payload a peer
+// decodes straight off the chain, exactly the surface the BCFL threat
+// models flag for malicious updates.
+//
+// Contracts under test:
+//   * malformed input throws bcfl::DecodeError (a bcfl::Error), never
+//     anything else — in particular a forged parameter count must hit
+//     the cap, not std::length_error/OOM;
+//   * the format is canonical: a blob that decodes re-serializes to the
+//     exact input bytes (header, payload and digest).
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/error.hpp"
+#include "ml/serialize.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+    const bcfl::BytesView input{data, size};
+    try {
+        const std::vector<float> weights = bcfl::ml::deserialize_weights(input);
+        const bcfl::Bytes round_trip = bcfl::ml::serialize_weights(weights);
+        if (!(round_trip.size() == size &&
+              bcfl::bytes_equal(round_trip, input))) {
+            std::fprintf(stderr,
+                         "model: decode accepted non-canonical blob "
+                         "(%zu bytes re-encoded to %zu)\n",
+                         size, round_trip.size());
+            std::abort();
+        }
+        (void)bcfl::ml::weights_digest(input);
+    } catch (const bcfl::Error&) {
+        // Typed rejection is the contract for malformed input.
+    }
+    return 0;
+}

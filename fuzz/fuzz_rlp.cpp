@@ -1,0 +1,35 @@
+// Fuzz target: rlp::decode — the wire format every transaction and block
+// header crosses before hashing/signing.
+//
+// Contracts under test:
+//   * malformed input throws bcfl::DecodeError (a bcfl::Error), never
+//     anything else, never UB, never unbounded recursion (depth cap);
+//   * the decoder only accepts canonical RLP, so a successful decode must
+//     re-encode to the exact input bytes.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "rlp/rlp.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+    const bcfl::BytesView input{data, size};
+    try {
+        const bcfl::rlp::Item item = bcfl::rlp::decode(input);
+        const bcfl::Bytes round_trip = bcfl::rlp::encode(item);
+        if (!(round_trip.size() == size &&
+              bcfl::bytes_equal(round_trip, input))) {
+            std::fprintf(stderr,
+                         "rlp: decode accepted non-canonical input "
+                         "(%zu bytes re-encoded to %zu)\n",
+                         size, round_trip.size());
+            std::abort();
+        }
+    } catch (const bcfl::Error&) {
+        // Typed rejection is the contract for malformed input.
+    }
+    return 0;
+}

@@ -1,0 +1,56 @@
+// Standalone driver for the fuzz harnesses when the toolchain lacks
+// libFuzzer (-fsanitize=fuzzer): replays each file argument through
+// LLVMFuzzerTestOneInput, so the checked-in corpus doubles as a
+// regression suite under plain gcc + ASan. With no arguments it reads
+// one input from stdin.
+//
+// This mirrors the contract libFuzzer's own main provides: the harness
+// cannot tell which driver is running it.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+std::vector<std::uint8_t> read_stream(std::FILE* stream) {
+    std::vector<std::uint8_t> data;
+    std::uint8_t buffer[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), stream)) > 0) {
+        data.insert(data.end(), buffer, buffer + n);
+    }
+    return data;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        const std::vector<std::uint8_t> data = read_stream(stdin);
+        LLVMFuzzerTestOneInput(data.data(), data.size());
+        std::printf("1 input from stdin: OK\n");
+        return 0;
+    }
+    int replayed = 0;
+    for (int i = 1; i < argc; ++i) {
+        // Skip libFuzzer-style flags so the same command line works for
+        // both drivers (e.g. `-max_total_time=60 corpus/`).
+        if (argv[i][0] == '-') continue;
+        std::FILE* file = std::fopen(argv[i], "rb");
+        if (file == nullptr) {
+            std::fprintf(stderr, "cannot open %s\n", argv[i]);
+            return 2;
+        }
+        const std::vector<std::uint8_t> data = read_stream(file);
+        std::fclose(file);
+        LLVMFuzzerTestOneInput(data.data(), data.size());
+        ++replayed;
+    }
+    std::printf("%d corpus input(s): OK\n", replayed);
+    return 0;
+}

@@ -7,6 +7,8 @@
 #      is documented in docs/policies.md.
 #   3. Every scenario-spec key the core/scenario.cpp parser accepts is
 #      documented in docs/scenarios.md.
+#   4. Every bcfl-lint rule name (RULE_NAMES in scripts/bcfl_lint.py) is
+#      documented in docs/development.md.
 #
 #   $ scripts/check_docs.sh        # from anywhere; exits non-zero on failure
 set -euo pipefail
@@ -81,6 +83,25 @@ for key in "${scenario_keys[@]}"; do
   fi
 done
 echo "verified ${#scenario_keys[@]} scenario keys"
+
+echo "== docs: bcfl-lint rules documented in docs/development.md =="
+# The linter is the source of truth: harvest the RULE_NAMES tuple so a
+# rule added there without a docs entry fails this job.
+mapfile -t lint_rules < <(python3 scripts/bcfl_lint.py --list-rules \
+  | awk '{print $1}')
+if [ "${#lint_rules[@]}" -lt 5 ]; then
+  echo "suspiciously few lint rules reported by scripts/bcfl_lint.py (${#lint_rules[@]})"
+  fail=1
+fi
+for rule in "${lint_rules[@]}"; do
+  # Code context again: backtick, the rule name, then a character that
+  # cannot extend the name (rule names are [a-z-]).
+  if ! grep -qE '`'"${rule}"'[^a-z-]' docs/development.md; then
+    echo "UNDOCUMENTED LINT RULE: \"$rule\" (defined in scripts/bcfl_lint.py, missing from docs/development.md)"
+    fail=1
+  fi
+done
+echo "verified ${#lint_rules[@]} lint rules: ${lint_rules[*]}"
 
 if [ "$fail" -ne 0 ]; then
   echo "check_docs.sh: FAILED"

@@ -3,9 +3,16 @@
 # CI runs.
 #
 #   $ scripts/ci.sh            # from the repo root
+#   $ scripts/ci.sh --fast     # skip the slow analysis extras (clang-tidy
+#                              # and the fuzz-corpus replay build)
 #
-# 1. Docs: markdown links resolve, every factory policy spec and scenario
-#    key is documented.
+# 0. Static analysis: bcfl-lint self-check + full-tree pass (always);
+#    clang-tidy via scripts/run_tidy.sh and an ASan+UBSan fuzz-corpus
+#    replay of fuzz/corpus/ (both skipped under --fast; run_tidy.sh also
+#    self-skips when clang-tidy is not installed unless
+#    BCFL_TIDY_STRICT=1, which CI sets).
+# 1. Docs: markdown links resolve, every factory policy spec, scenario
+#    key and lint rule is documented.
 # 2. Default configure, full build, then ctest twice: once with the
 #    parallel engine pinned serial (BCFL_THREADS=1) and once at the default
 #    width — the suite must be green in both worlds.
@@ -28,8 +35,35 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
-echo "== docs: links + policy-spec coverage =="
+FAST=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    *) echo "ci.sh: unknown argument '$arg' (supported: --fast)" >&2; exit 2 ;;
+  esac
+done
+
+echo "== docs: links + policy-spec + scenario-key + lint-rule coverage =="
 scripts/check_docs.sh
+
+echo "== lint: bcfl-lint self-check + full tree =="
+python3 scripts/bcfl_lint.py --self-check
+python3 scripts/bcfl_lint.py
+
+if [ "${FAST}" -eq 1 ]; then
+  echo "== tidy + fuzz replay: skipped (--fast) =="
+else
+  echo "== tidy: curated clang-tidy set over all first-party TUs =="
+  scripts/run_tidy.sh
+
+  echo "== fuzz replay: checked-in corpora under ASan+UBSan =="
+  cmake -B build-fuzz -S . -DBCFL_FUZZ=ON -DBCFL_ASAN=ON \
+    -DBCFL_BUILD_TESTS=OFF -DBCFL_BUILD_BENCHES=OFF -DBCFL_BUILD_EXAMPLES=OFF
+  cmake --build build-fuzz -j "${JOBS}"
+  for target in json rlp asm model; do
+    ./build-fuzz/fuzz/fuzz_${target} fuzz/corpus/${target}/*
+  done
+fi
 
 echo "== tier-1: configure + build =="
 cmake -B build -S . -DBCFL_BUILD_BENCHES=ON

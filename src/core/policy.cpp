@@ -407,7 +407,9 @@ std::vector<float> scaled_fedavg(const AggregationInput& input,
     for (std::size_t i = 0; i < kept.size(); ++i) {
         const fl::ModelUpdate& update = input.updates[kept[i]];
         scaled.push_back({update.weights, update.sample_count * multipliers[i]});
-        total += scaled.back().sample_count;
+        // Scalar bookkeeping sum, one term per update in round order — the
+        // serial order is the spec; only its sign is consumed below.
+        total += scaled.back().sample_count;  // bcfl-lint: allow(fp-accumulation)
     }
     if (total <= 0.0) return fl::fedavg_subset(input.updates, kept);
     return fl::fedavg(scaled);

@@ -13,12 +13,19 @@ constexpr std::uint8_t kMagic[4] = {'b', 'c', 'f', 'l'};
 constexpr std::uint8_t kVersion = 1;
 constexpr std::size_t kHeader = 4 + 1 + 8;  // magic + version + count
 constexpr std::size_t kDigest = 32;
+// Untrusted-input guard: a declared parameter count past this cap (1 GiB
+// of fp32) is rejected before the length arithmetic below can wrap or the
+// weight vector allocation can OOM. Far above any model the repo ships.
+constexpr std::uint64_t kMaxWeights = 1ull << 28;
 
 static_assert(std::endian::native == std::endian::little,
               "serializer assumes a little-endian host");
 }  // namespace
 
 Bytes serialize_weights(std::span<const float> weights) {
+    if (weights.size() > kMaxWeights) {
+        throw ShapeError("weights: parameter count exceeds cap");
+    }
     // Build the header+payload region at its final size up front (also
     // sidesteps a GCC 12 -Wstringop-overflow false positive on insert-into-
     // reserved-vector).
@@ -44,6 +51,10 @@ std::vector<float> deserialize_weights(BytesView blob) {
     }
     if (blob[4] != kVersion) throw DecodeError("weights: bad version");
     const std::uint64_t count = be_u64(blob.subspan(5, 8));
+    if (count > kMaxWeights) {
+        // Also guards the size check below: count * 4 can no longer wrap.
+        throw DecodeError("weights: parameter count exceeds cap");
+    }
     if (blob.size() != kHeader + count * 4 + kDigest) {
         throw DecodeError("weights: length mismatch");
     }
@@ -52,7 +63,11 @@ std::vector<float> deserialize_weights(BytesView blob) {
     const Hash32 stored = Hash32::from(blob.subspan(blob.size() - kDigest));
     if (expected != stored) throw DecodeError("weights: digest mismatch");
     std::vector<float> weights(count);
-    std::memcpy(weights.data(), blob.data() + kHeader, count * 4);
+    if (count != 0) {
+        // An empty vector's data() may be null, and memcpy's contract
+        // forbids null even for zero-length copies (UBSan enforces this).
+        std::memcpy(weights.data(), blob.data() + kHeader, count * 4);
+    }
     return weights;
 }
 

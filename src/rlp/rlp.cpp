@@ -6,6 +6,11 @@ namespace bcfl::rlp {
 
 namespace {
 
+/// Untrusted-input guard: list nesting beyond this depth is rejected
+/// before the recursive decoder can exhaust the stack. Every structure the
+/// chain encodes (transactions, headers, model announcements) is < 8 deep.
+constexpr std::size_t kMaxDepth = 64;
+
 void encode_length(Bytes& out, std::size_t length, std::uint8_t short_base,
                    std::uint8_t long_base) {
     if (length <= 55) {
@@ -65,7 +70,8 @@ std::size_t read_long_length(Cursor& cursor, std::size_t n_bytes) {
     return length;
 }
 
-Item decode_one(Cursor& cursor) {
+Item decode_one(Cursor& cursor, std::size_t depth) {
+    if (depth > kMaxDepth) throw DecodeError("rlp: nesting too deep");
     const std::uint8_t prefix = cursor.peek();
     ++cursor.pos;
     if (prefix < 0x80) {
@@ -92,7 +98,9 @@ Item decode_one(Cursor& cursor) {
     const std::size_t end = cursor.pos + payload_length;
     if (end > cursor.data.size()) throw DecodeError("rlp: truncated list");
     std::vector<Item> children;
-    while (cursor.pos < end) children.push_back(decode_one(cursor));
+    while (cursor.pos < end) {
+        children.push_back(decode_one(cursor, depth + 1));
+    }
     if (cursor.pos != end) throw DecodeError("rlp: list payload overrun");
     return Item::list(std::move(children));
 }
@@ -127,7 +135,7 @@ Bytes encode(const Item& item) {
 
 Item decode(BytesView data) {
     Cursor cursor{data, 0};
-    Item item = decode_one(cursor);
+    Item item = decode_one(cursor, 1);
     if (cursor.pos != data.size()) throw DecodeError("rlp: trailing bytes");
     return item;
 }

@@ -1,6 +1,7 @@
 #include "vm/assembler.hpp"
 
 #include <cctype>
+#include <limits>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -16,13 +17,18 @@ namespace {
 
 struct Token {
     std::string text;
-    int line;
+    std::size_t line;
 };
+
+/// Untrusted-input guard: the longest legitimate token is a PUSH32 hex
+/// immediate ("0x" + 64 digits); anything past this cap is rejected while
+/// still short enough to echo in the error message.
+constexpr std::size_t kMaxTokenLength = 128;
 
 std::vector<Token> tokenize(std::string_view source) {
     std::vector<Token> tokens;
     std::string current;
-    int line = 1;
+    std::size_t line = 1;
     bool in_comment = false;
     const auto flush = [&] {
         if (!current.empty()) {
@@ -47,6 +53,12 @@ std::vector<Token> tokenize(std::string_view source) {
             flush();
             continue;
         }
+        if (current.size() >= kMaxTokenLength) {
+            std::ostringstream out;
+            out << "asm line " << line << ": token exceeds " << kMaxTokenLength
+                << " characters";
+            throw DecodeError(out.str());
+        }
         current.push_back(c);
     }
     flush();
@@ -57,7 +69,7 @@ std::vector<Token> tokenize(std::string_view source) {
     std::ostringstream out;
     out << "asm line " << token.line << ": " << message << " ('" << token.text
         << "')";
-    throw Error(out.str());
+    throw DecodeError(out.str());
 }
 
 std::optional<std::uint8_t> simple_opcode(const std::string& name) {
@@ -123,7 +135,11 @@ Bytes parse_immediate(const Token& token, std::size_t width) {
             if (!std::isdigit(static_cast<unsigned char>(c))) {
                 fail(token, "expected numeric immediate");
             }
-            number = number * 10 + static_cast<std::uint64_t>(c - '0');
+            const auto digit = static_cast<std::uint64_t>(c - '0');
+            if (number > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+                fail(token, "decimal immediate overflows 64 bits (use hex)");
+            }
+            number = number * 10 + digit;
         }
         while (number > 0) {
             value.insert(value.begin(),

@@ -1,0 +1,15 @@
+// lint fixture: allow-comment escape for bench-json (e.g. a tool that
+// only *reads* an existing BENCH_ file by name). Must produce no
+// findings.
+#include <fstream>
+#include <string>
+
+namespace bcfl::fixture {
+
+std::string slurp() {
+    // bcfl-lint: allow(bench-json)
+    std::ifstream in("BENCH_micro_substrates.json");
+    return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+}  // namespace bcfl::fixture

@@ -1,0 +1,13 @@
+// lint fixture: known-bad — hand-rolled JSON writer for a BENCH_
+// document, bypassing core::JsonValue. Must produce only [bench-json]
+// findings.
+#include <fstream>
+
+namespace bcfl::fixture {
+
+void emit(double accuracy) {
+    std::ofstream out("BENCH_fixture.json");
+    out << "{\"bench\":\"fixture\",\"accuracy\":" << accuracy << "}\n";
+}
+
+}  // namespace bcfl::fixture

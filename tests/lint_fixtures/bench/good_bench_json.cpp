@@ -1,0 +1,25 @@
+// lint fixture: known-good — the BENCH_ document is assembled through
+// core::JsonValue (the one ordered writer) and written via its dump.
+// Must produce no findings.
+#include <fstream>
+#include <string>
+
+namespace bcfl::core {
+class JsonValue {
+public:
+    static JsonValue object();
+    JsonValue& set(const std::string& key, double value);
+    std::string dump() const;
+};
+}  // namespace bcfl::core
+
+namespace bcfl::fixture {
+
+void emit(double accuracy) {
+    core::JsonValue doc = core::JsonValue::object();
+    doc.set("accuracy", accuracy);
+    std::ofstream out("BENCH_fixture.json");
+    out << doc.dump() << "\n";
+}
+
+}  // namespace bcfl::fixture

@@ -1,0 +1,30 @@
+// lint fixture: allow-comment escape for unordered-iteration — here the
+// loop only sums values (order-independent) before the sum reaches the
+// sink, which is safe but beyond the linter's heuristic. Must produce no
+// findings.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace bcfl::core {
+class JsonValue {
+public:
+    JsonValue& set(const std::string& key, std::uint64_t value);
+};
+}  // namespace bcfl::core
+
+namespace bcfl::fixture {
+
+void dump_total(
+    const std::unordered_map<std::string, std::uint64_t>& balances,
+    core::JsonValue& out) {
+    std::uint64_t total = 0;
+    // bcfl-lint: allow(unordered-iteration)
+    for (const auto& [address, balance] : balances) {
+        (void)address;
+        total += balance;
+    }
+    out.set("total", total);
+}
+
+}  // namespace bcfl::fixture

@@ -1,0 +1,25 @@
+// lint fixture: known-bad — iterating an unordered_map inside a function
+// that writes into a JSON document. Iteration order would leak into the
+// gated bytes. Must produce only [unordered-iteration] findings.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace bcfl::core {
+class JsonValue {
+public:
+    JsonValue& set(const std::string& key, std::uint64_t value);
+};
+}  // namespace bcfl::core
+
+namespace bcfl::fixture {
+
+void dump_balances(
+    const std::unordered_map<std::string, std::uint64_t>& balances,
+    core::JsonValue& out) {
+    for (const auto& [address, balance] : balances) {
+        out.set(address, balance);
+    }
+}
+
+}  // namespace bcfl::fixture

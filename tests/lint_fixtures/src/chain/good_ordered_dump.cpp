@@ -1,0 +1,41 @@
+// lint fixture: known-good — the unordered container is copied into a
+// sorted vector before anything reaches the JSON sink, and a non-sink
+// function may iterate unordered state freely. Must produce no findings.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace bcfl::core {
+class JsonValue {
+public:
+    JsonValue& set(const std::string& key, std::uint64_t value);
+};
+}  // namespace bcfl::core
+
+namespace bcfl::fixture {
+
+void dump_balances(
+    const std::unordered_map<std::string, std::uint64_t>& balances,
+    core::JsonValue& out) {
+    std::vector<std::pair<std::string, std::uint64_t>> ordered(
+        balances.begin(), balances.end());
+    std::sort(ordered.begin(), ordered.end());
+    for (const auto& [address, balance] : ordered) {
+        out.set(address, balance);
+    }
+}
+
+std::uint64_t total_balance(
+    const std::unordered_map<std::string, std::uint64_t>& balances) {
+    std::uint64_t total = 0;
+    for (const auto& [address, balance] : balances) {
+        (void)address;
+        total += balance;
+    }
+    return total;
+}
+
+}  // namespace bcfl::fixture

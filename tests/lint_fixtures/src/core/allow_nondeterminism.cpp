@@ -1,0 +1,13 @@
+// lint fixture: the allow-comment escape hatch — the same forbidden
+// pattern as the bad fixture, suppressed on its line. Must produce no
+// findings.
+#include <cstdlib>
+
+namespace bcfl::fixture {
+
+const char* threads_env() {
+    // bcfl-lint: allow(nondeterminism)
+    return std::getenv("BCFL_THREADS");
+}
+
+}  // namespace bcfl::fixture

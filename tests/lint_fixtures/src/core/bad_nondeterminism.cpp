@@ -1,0 +1,24 @@
+// lint fixture: known-bad — every nondeterminism source the rule names.
+// Must produce only [nondeterminism] findings.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace bcfl::fixture {
+
+unsigned long entropy_soup() {
+    std::random_device rd;                       // entropy read
+    unsigned long x = rd();
+    x += static_cast<unsigned long>(
+        std::chrono::system_clock::now().time_since_epoch().count());
+    x += static_cast<unsigned long>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    x += static_cast<unsigned long>(time(nullptr));  // wall clock
+    srand(42);                                   // libc RNG
+    x += static_cast<unsigned long>(rand());
+    if (const char* env = std::getenv("FIXTURE")) x += env[0];
+    return x;
+}
+
+}  // namespace bcfl::fixture

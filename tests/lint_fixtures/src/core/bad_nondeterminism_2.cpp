@@ -1,0 +1,16 @@
+// lint fixture: the allow comment suppresses exactly the named rule —
+// this line violates both nondeterminism and raw-thread, allows only
+// raw-thread, and must still produce the [nondeterminism] finding
+// (and only that one).
+#include <random>
+#include <thread>
+
+namespace bcfl::fixture {
+
+void spawn_with_entropy() {
+    // bcfl-lint: allow(raw-thread)
+    std::thread t([] { std::random_device rd; (void)rd(); });
+    t.join();
+}
+
+}  // namespace bcfl::fixture

@@ -1,0 +1,14 @@
+// lint fixture: known-good — randomness from an explicitly seeded engine,
+// no wall-clock or environment reads. Must produce no findings.
+#include <cstdint>
+#include <random>
+
+namespace bcfl::fixture {
+
+double seeded_draw(std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> uniform(0.0, 1.0);
+    return uniform(rng);
+}
+
+}  // namespace bcfl::fixture

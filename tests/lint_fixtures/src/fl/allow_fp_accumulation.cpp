@@ -1,0 +1,17 @@
+// lint fixture: allow-comment escape for fp-accumulation — a scalar
+// bookkeeping sum whose serial order is itself the spec (one value per
+// update, never chunked). Must produce no findings.
+#include <cstddef>
+#include <span>
+
+namespace bcfl::fixture {
+
+double total_weight(std::span<const double> sample_counts) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < sample_counts.size(); ++i) {
+        total += sample_counts[i];  // bcfl-lint: allow(fp-accumulation)
+    }
+    return total;
+}
+
+}  // namespace bcfl::fixture

@@ -1,0 +1,25 @@
+// lint fixture: known-bad — a serial floating-point reduction loop in an
+// aggregation file, with no route through the chunked reducers. FP
+// addition is non-associative, so any future re-ordering (vectorizer,
+// thread split) changes the bits. Must produce only [fp-accumulation]
+// findings.
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace bcfl::fixture {
+
+std::vector<float> average(std::span<const std::vector<float>> updates) {
+    const std::size_t dim = updates.empty() ? 0 : updates[0].size();
+    std::vector<float> out(dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+        double acc = 0.0;
+        for (const std::vector<float>& update : updates) {
+            acc += static_cast<double>(update[i]);
+        }
+        out[i] = static_cast<float>(acc / static_cast<double>(updates.size()));
+    }
+    return out;
+}
+
+}  // namespace bcfl::fixture

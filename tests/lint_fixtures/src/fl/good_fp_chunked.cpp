@@ -1,0 +1,37 @@
+// lint fixture: known-good — the same reduction routed through the
+// chunked reducer: fixed chunk boundaries and index-ordered accumulation
+// keep the result bit-identical at any worker count. Must produce no
+// findings.
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace bcfl::core::parallel {
+void for_each(std::size_t n, const std::function<void(std::size_t)>& task);
+}
+
+namespace bcfl::fixture {
+
+std::vector<float> average(std::span<const std::vector<float>> updates) {
+    const std::size_t dim = updates.empty() ? 0 : updates[0].size();
+    std::vector<float> out(dim);
+    constexpr std::size_t kChunk = 16384;
+    const std::size_t chunks = (dim + kChunk - 1) / kChunk;
+    core::parallel::for_each(chunks, [&](std::size_t chunk) {
+        const std::size_t begin = chunk * kChunk;
+        const std::size_t end = std::min(begin + kChunk, dim);
+        for (std::size_t i = begin; i < end; ++i) {
+            double acc = 0.0;
+            for (const std::vector<float>& update : updates) {
+                acc += static_cast<double>(update[i]);
+            }
+            out[i] =
+                static_cast<float>(acc / static_cast<double>(updates.size()));
+        }
+    });
+    return out;
+}
+
+}  // namespace bcfl::fixture

@@ -1,0 +1,12 @@
+// lint fixture: allow-comment escape for raw-thread, suppressed on the
+// offending line itself. Must produce no findings.
+#include <thread>
+
+namespace bcfl::fixture {
+
+void pinned_helper() {
+    std::thread helper([] {});  // bcfl-lint: allow(raw-thread)
+    helper.join();
+}
+
+}  // namespace bcfl::fixture

@@ -1,0 +1,19 @@
+// lint fixture: known-bad — spawning threads and futures outside
+// core/parallel. Must produce only [raw-thread] findings.
+#include <future>
+#include <thread>
+#include <vector>
+
+namespace bcfl::fixture {
+
+int fan_out() {
+    int a = 0;
+    std::thread worker([&] { a = 1; });
+    worker.join();
+    auto b = std::async(std::launch::async, [] { return 2; });
+    std::vector<std::thread> team;
+    for (auto& t : team) t.join();
+    return a + b.get();
+}
+
+}  // namespace bcfl::fixture

@@ -1,0 +1,24 @@
+// lint fixture: known-good — std::thread:: metadata queries are not
+// spawns, and parallelism routed through the engine is the sanctioned
+// path. Must produce no findings.
+#include <cstddef>
+#include <thread>
+
+namespace bcfl::core::parallel {
+void for_each(std::size_t n, void (*task)(std::size_t));
+}
+
+namespace bcfl::fixture {
+
+std::size_t ambient_width() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    const std::thread::id self = std::this_thread::get_id();
+    (void)self;
+    return hw == 0 ? 1 : hw;
+}
+
+void fan_out(std::size_t n, void (*task)(std::size_t)) {
+    core::parallel::for_each(n, task);
+}
+
+}  // namespace bcfl::fixture

@@ -411,6 +411,46 @@ TEST(Serialize, RejectsGarbage) {
     EXPECT_THROW(deserialize_weights(str_bytes("not a model")), DecodeError);
 }
 
+// Builds a structurally valid header declaring `count` parameters over an
+// empty payload (magic + version + count + digest = 45 bytes).
+Bytes forged_count_blob(std::uint64_t count) {
+    Bytes blob{'b', 'c', 'f', 'l', 1};
+    append(blob, be_bytes(count));
+    blob.resize(blob.size() + 32);  // digest placeholder
+    return blob;
+}
+
+TEST(Serialize, CountOverflowCannotWrapLengthCheck) {
+    // count = 2^62 makes count*4 wrap to 0 in 64-bit arithmetic, so the
+    // pre-cap length check `size == header + count*4 + digest` accepted a
+    // 45-byte blob and then tried to allocate 2^62 floats. The count cap
+    // must reject it as a typed decode error instead.
+    EXPECT_THROW(deserialize_weights(forged_count_blob(1ull << 62)),
+                 DecodeError);
+    // One past the cap (2^28): rejected by the cap, not by OOM.
+    EXPECT_THROW(deserialize_weights(forged_count_blob((1ull << 28) + 1)),
+                 DecodeError);
+}
+
+TEST(Serialize, EmptyModelRoundTrips) {
+    // Zero-parameter blob (fuzz corpus seed empty_model): the decoder must
+    // not hand a null destination to memcpy even for a zero-length copy —
+    // UBSan flags that as a contract violation.
+    const Bytes blob = serialize_weights(std::span<const float>{});
+    const std::vector<float> weights = deserialize_weights(blob);
+    EXPECT_TRUE(weights.empty());
+    EXPECT_EQ(serialize_weights(weights), blob);
+}
+
+TEST(Serialize, EncodeSideRespectsSameCap) {
+    // A span that *claims* to exceed the cap must be refused before the
+    // serializer sizes a multi-GiB buffer. (The pointer is never read —
+    // the guard fires on the size alone.)
+    const std::span<const float> absurd(static_cast<const float*>(nullptr),
+                                        (1ull << 28) + 1);
+    EXPECT_THROW((void)serialize_weights(absurd), ShapeError);
+}
+
 // ---------------------------------------------------------------- Training
 
 TEST(Training, SimpleNnLearnsSyntheticData) {

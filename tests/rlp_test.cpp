@@ -105,5 +105,62 @@ TEST(Rlp, ListPayloadOverrunRejected) {
     EXPECT_THROW(decode(from_hex("c2826162")), DecodeError);
 }
 
+// Builds a chain of singleton lists `depth` deep ([[[...]]]) with correct
+// length prefixes at every level, without recursing: level sizes are
+// precomputed innermost-out, then headers are emitted outermost-first.
+Bytes nested_lists(std::size_t depth) {
+    std::vector<std::size_t> sizes{1};  // innermost: bare empty list 0xc0
+    while (sizes.size() < depth) {
+        const std::size_t payload = sizes.back();
+        std::size_t header = 1;
+        if (payload > 55) {
+            std::size_t rest = payload;
+            while (rest > 0) {
+                ++header;
+                rest >>= 8;
+            }
+        }
+        sizes.push_back(payload + header);
+    }
+    Bytes data;
+    data.reserve(sizes.back());
+    for (std::size_t level = depth; level-- > 1;) {
+        const std::size_t payload = sizes[level - 1];
+        if (payload <= 55) {
+            data.push_back(static_cast<std::uint8_t>(0xc0 + payload));
+        } else {
+            Bytes len;
+            std::size_t rest = payload;
+            while (rest > 0) {
+                len.insert(len.begin(), static_cast<std::uint8_t>(rest & 0xff));
+                rest >>= 8;
+            }
+            data.push_back(static_cast<std::uint8_t>(0xf7 + len.size()));
+            append(data, len);
+        }
+    }
+    data.push_back(0xc0);
+    return data;
+}
+
+TEST(Rlp, NestingDepthCapBoundary) {
+    // The decoder caps list nesting at 64 so adversarial input cannot
+    // exhaust the call stack. Exactly at the cap decodes; one past throws.
+    Item item = decode(nested_lists(64));
+    std::size_t measured = 1;
+    while (!item.children().empty()) {
+        item = item.children()[0];
+        ++measured;
+    }
+    EXPECT_EQ(measured, 64u);
+    EXPECT_THROW(decode(nested_lists(65)), DecodeError);
+}
+
+TEST(Rlp, DeepNestingRejectedNotStackOverflow) {
+    // Pre-cap this input recursed 100k frames deep. It must now be a
+    // typed decode error, reported long before the stack is at risk.
+    EXPECT_THROW(decode(nested_lists(100000)), DecodeError);
+}
+
 }  // namespace
 }  // namespace bcfl::rlp

@@ -50,6 +50,16 @@ TEST(JsonValue, RejectsMalformedDocuments) {
     EXPECT_THROW((void)JsonValue::parse(deep), Error);
 }
 
+TEST(Json, NestingDepthCapBoundary) {
+    // The parser admits 33 nesting levels (root at depth 0, cap at 32);
+    // the 34th throws. Pin both sides so the cap can't silently drift.
+    const auto nested = [](int levels) {
+        return std::string(levels, '[') + std::string(levels, ']');
+    };
+    EXPECT_NO_THROW((void)JsonValue::parse(nested(33)));
+    EXPECT_THROW((void)JsonValue::parse(nested(34)), Error);
+}
+
 // ---------------------------------------------------------- spec parsing
 
 std::string minimal_spec(const std::string& extra = "") {

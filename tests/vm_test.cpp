@@ -88,6 +88,25 @@ TEST(Assembler, RejectsDuplicateLabel) {
     EXPECT_THROW(assemble("a: JUMPDEST a: JUMPDEST"), Error);
 }
 
+TEST(Assembler, TokenLengthCapBoundary) {
+    // Tokens are capped at 128 characters (a PUSH32 hex immediate is 66).
+    // A 128-char label round-trips; 129 characters throw a typed error.
+    const std::string max_label(127, 'a');  // +':' = 128-char token
+    EXPECT_NO_THROW(assemble(max_label + ": JUMPDEST"));
+    const std::string overlong(129, 'a');
+    EXPECT_THROW(assemble(overlong + " JUMPDEST"), DecodeError);
+}
+
+TEST(Assembler, DecimalImmediateOverflowRejected) {
+    // 2^64 exactly: one past the widest decimal immediate. Pre-cap this
+    // wrapped silently and emitted PUSH8 0x00...00.
+    EXPECT_THROW(assemble("PUSH8 18446744073709551616"), DecodeError);
+    // 2^64 - 1 still fits.
+    const Bytes code = assemble("PUSH8 18446744073709551615");
+    const Bytes expected{0x67, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff};
+    EXPECT_EQ(code, expected);
+}
+
 TEST(Assembler, DupSwapLogVariants) {
     const Bytes code = assemble("DUP1 DUP16 SWAP1 SWAP16 LOG0 LOG4");
     const Bytes expected{0x80, 0x8f, 0x90, 0x9f, 0xa0, 0xa4};
