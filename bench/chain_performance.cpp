@@ -8,13 +8,18 @@
 //   (d) long-chain import/reorg scaling: per-import cost at height H must
 //       be flat (O(new work)), not grow with H — the regression axis for
 //       the chain-index overhaul, with a cross-compiler-deterministic
-//       "parity" subtree that bench_compare.py gates exactly.
+//       "parity" subtree that bench_compare.py gates exactly;
+//   (e) peers-axis scaling past the 16-participant ceiling of (a): flood
+//       dissemination over the flat full mesh vs the hierarchical
+//       committee overlay (core/topology.hpp) at 16/64/256 peers, with a
+//       parity subtree of pure-integer topology facts.
 //
-// BCFL_CHAIN_BENCH_SECTIONS=long_chain (comma list of throughput,
-// difficulty, propagation, long_chain) restricts a run to the named
-// sections — CI runs only the deterministic long-chain axis.
+// BCFL_CHAIN_BENCH_SECTIONS=long_chain,scaling (comma list of throughput,
+// difficulty, propagation, long_chain, scaling) restricts a run to the
+// named sections — CI runs only the deterministic axes.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <memory>
@@ -25,6 +30,7 @@
 #include "bench_util.hpp"
 #include "chain/blockchain.hpp"
 #include "chain/pow.hpp"
+#include "core/topology.hpp"
 #include "crypto/keccak.hpp"
 #include "net/network.hpp"
 #include "net/sim.hpp"
@@ -339,6 +345,183 @@ void run_long_chain(bench::Json& json) {
     json.set("long_chain", std::move(section));
 }
 
+struct FloodResult {
+    /// Nodes that received the payload at least once (must equal the
+    /// roster for the overlay to be a working broadcast medium).
+    std::size_t covered = 0;
+    std::uint64_t messages_sent = 0;
+    std::uint64_t bytes_sent = 0;
+    /// Simulated time until the last first-receipt.
+    double coverage_ms = 0.0;
+};
+
+/// Naive flood over a fixed adjacency: every node forwards the payload to
+/// all neighbors (except the sender) on first receipt. With shared
+/// uplinks, a node's broadcast serializes — the cost model that makes a
+/// full mesh superlinear in the roster while the committee overlay keeps
+/// per-node fan-out bounded by the cluster size / head count.
+FloodResult measure_flood(
+    const std::vector<std::vector<std::size_t>>& adjacency,
+    std::size_t origin, std::size_t payload_bytes) {
+    net::Simulation sim;
+    net::LinkParams link;
+    link.latency = net::ms(20);
+    link.bytes_per_us = 2.5;  // 20 Mbit/s shared uplink, as in E3a
+    link.jitter_fraction = 0.0;
+    net::Network network(sim, link, 23);
+
+    const std::size_t count = adjacency.size();
+    std::vector<bool> seen(count, false);
+    net::SimTime last_receipt = 0;
+    std::size_t covered = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        network.add_node([&, i](net::NodeId from, const Bytes& payload) {
+            if (seen[i]) return;
+            seen[i] = true;
+            ++covered;
+            last_receipt = sim.now();
+            for (std::size_t neighbor : adjacency[i]) {
+                if (neighbor == static_cast<std::size_t>(from)) continue;
+                network.send(static_cast<net::NodeId>(i),
+                             static_cast<net::NodeId>(neighbor), payload);
+            }
+        });
+    }
+    seen[origin] = true;
+    ++covered;
+    const Bytes payload(payload_bytes, 0x5a);
+    for (std::size_t neighbor : adjacency[origin]) {
+        network.send(static_cast<net::NodeId>(origin),
+                     static_cast<net::NodeId>(neighbor), payload);
+    }
+    sim.run();
+
+    FloodResult result;
+    result.covered = covered;
+    result.messages_sent = network.stats().messages_sent;
+    result.bytes_sent = network.stats().bytes_sent;
+    result.coverage_ms = static_cast<double>(last_receipt) / 1000.0;
+    return result;
+}
+
+/// E3e — the participants axis past 16. E3a's full deployment saturates
+/// well before 64 peers because every model tx and block crosses a full
+/// mesh; this section isolates the dissemination cost at 16/64/256 peers
+/// and contrasts it with the hierarchical committee overlay the topology
+/// layer builds (heads mesh among themselves and fan out to their own
+/// members). All roster/edge/message counts and the adjacency digest are
+/// pure integer arithmetic — they form the gated "parity" subtree;
+/// simulated coverage times are informational.
+void run_scaling(bench::Json& json) {
+    bench::print_title(
+        "E3e — dissemination scaling vs participants: flat full mesh vs "
+        "hierarchical committee overlay (64 KB payload, 20 Mbit/s)");
+    const auto section_begin = std::chrono::steady_clock::now();
+    constexpr std::size_t kPayload = 64 * 1024;
+
+    std::printf("%8s %10s %14s %18s %14s %18s\n", "peers", "topology",
+                "overlay edges", "flood messages", "coverage", "time (ms)");
+    bench::Json points = bench::Json::array();
+    const struct {
+        std::size_t peers;
+        std::size_t cluster_size;
+    } axis[] = {{16, 4}, {64, 8}, {256, 16}};
+    for (const auto& [peers, cluster_size] : axis) {
+        // Flat: the full mesh every pre-topology deployment gossips over.
+        std::vector<std::vector<std::size_t>> mesh(peers);
+        for (std::size_t i = 0; i < peers; ++i) {
+            for (std::size_t j = 0; j < peers; ++j) {
+                if (j != i) mesh[i].push_back(j);
+            }
+        }
+        // Hierarchical: the overlay core/experiment.cpp wires for a
+        // resolved topology — heads mesh + per-cluster stars.
+        core::TopologyConfig config;
+        config.cluster_size = cluster_size;
+        const core::ResolvedTopology topo =
+            core::resolve_topology(config, peers);
+        std::vector<std::vector<std::size_t>> overlay(peers);
+        for (std::size_t k = 0; k < topo.clusters.size(); ++k) {
+            const std::size_t head = topo.heads[k];
+            for (std::size_t other : topo.heads) {
+                if (other != head) overlay[head].push_back(other);
+            }
+            for (std::size_t member : topo.clusters[k]) {
+                if (member == head) continue;
+                overlay[head].push_back(member);
+                overlay[member].push_back(head);
+            }
+            std::sort(overlay[head].begin(), overlay[head].end());
+        }
+
+        const auto edge_count =
+            [](const std::vector<std::vector<std::size_t>>& adjacency) {
+                std::uint64_t degrees = 0;
+                for (const auto& neighbors : adjacency) {
+                    degrees += neighbors.size();
+                }
+                return degrees / 2;
+            };
+        const auto digest_of =
+            [](const std::vector<std::vector<std::size_t>>& adjacency) {
+                Bytes wire;
+                for (std::size_t i = 0; i < adjacency.size(); ++i) {
+                    append(wire, be_bytes(static_cast<std::uint64_t>(i)));
+                    for (std::size_t neighbor : adjacency[i]) {
+                        append(wire, be_bytes(
+                                         static_cast<std::uint64_t>(neighbor)));
+                    }
+                }
+                return crypto::keccak256(wire);
+            };
+
+        const FloodResult flat =
+            measure_flood(mesh, /*origin=*/0, kPayload);
+        const FloodResult tiered =
+            measure_flood(overlay, topo.top_head, kPayload);
+        std::printf("%8zu %10s %14llu %18llu %11zu/%zu %18.1f\n", peers,
+                    "flat", static_cast<unsigned long long>(edge_count(mesh)),
+                    static_cast<unsigned long long>(flat.messages_sent),
+                    flat.covered, peers, flat.coverage_ms);
+        std::printf("%8zu %10s %14llu %18llu %11zu/%zu %18.1f\n", peers,
+                    "tiered",
+                    static_cast<unsigned long long>(edge_count(overlay)),
+                    static_cast<unsigned long long>(tiered.messages_sent),
+                    tiered.covered, peers, tiered.coverage_ms);
+
+        bench::Json point = bench::Json::object();
+        point.set("participants", static_cast<std::uint64_t>(peers));
+        point.set("cluster_size", static_cast<std::uint64_t>(cluster_size));
+        point.set("flat_coverage_ms", flat.coverage_ms);
+        point.set("tiered_coverage_ms", tiered.coverage_ms);
+        point.set("flat_bytes_sent", flat.bytes_sent);
+        point.set("tiered_bytes_sent", tiered.bytes_sent);
+        bench::Json parity = bench::Json::object();
+        parity.set("participants", static_cast<std::uint64_t>(peers));
+        parity.set("clusters",
+                   static_cast<std::uint64_t>(topo.clusters.size()));
+        parity.set("heads", static_cast<std::uint64_t>(topo.heads.size()));
+        parity.set("max_cluster_size",
+                   static_cast<std::uint64_t>(topo.max_cluster_size()));
+        parity.set("flat_edges", edge_count(mesh));
+        parity.set("overlay_edges", edge_count(overlay));
+        parity.set("flat_flood_messages", flat.messages_sent);
+        parity.set("tiered_flood_messages", tiered.messages_sent);
+        parity.set("flat_covered", static_cast<std::uint64_t>(flat.covered));
+        parity.set("tiered_covered",
+                   static_cast<std::uint64_t>(tiered.covered));
+        parity.set("overlay_digest", "0x" + digest_of(overlay).hex());
+        point.set("parity", std::move(parity));
+        points.push(std::move(point));
+    }
+
+    bench::Json section = bench::Json::object();
+    section.set("payload_bytes", static_cast<std::uint64_t>(kPayload));
+    section.set("points", std::move(points));
+    section.set("scaling_wall_ms", bench::ms_since(section_begin));
+    json.set("scaling", std::move(section));
+}
+
 void BM_ChainPerformance(benchmark::State& state) {
     for (auto _ : state) {
         bench::Json json = bench::Json::object();
@@ -449,6 +632,7 @@ void BM_ChainPerformance(benchmark::State& state) {
         json.set("difficulty_points", std::move(difficulty_points));
         json.set("propagation_points", std::move(propagation_points));
         if (section_enabled("long_chain")) run_long_chain(json);
+        if (section_enabled("scaling")) run_scaling(json);
         bench::write_bench_json("chain_performance", json);
     }
 }

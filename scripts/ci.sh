@@ -19,12 +19,14 @@
 # 3. Parallel determinism: the micro_substrates serial-vs-parallel bench
 #    runs under both thread settings; the fitness fingerprints in
 #    BENCH_micro_substrates.json must be byte-identical.
-# 4. Scenario smoke: the checked-in ci_smoke spec runs end-to-end at
-#    BCFL_THREADS=1 and 8 — the two JSON documents must be byte-identical
-#    (the scenario engine's determinism contract).
-# 5. Chain parity: the deterministic long-chain section of the chain
-#    bench runs (BCFL_CHAIN_BENCH_SECTIONS=long_chain) so its counts and
-#    canonical-ordering digest can be gated against the baseline.
+# 4. Scenario smoke: the checked-in ci_smoke spec (flat) and the
+#    hierarchical_ci_smoke spec (flat-vs-clustered sweep) run end-to-end
+#    at BCFL_THREADS=1 and 8 — each pair of JSON documents must be
+#    byte-identical (the scenario engine's determinism contract).
+# 5. Chain parity: the deterministic long-chain and peers-axis scaling
+#    sections of the chain bench run
+#    (BCFL_CHAIN_BENCH_SECTIONS=long_chain,scaling) so their counts and
+#    digests can be gated against the baseline.
 # 6. Bench-baseline gate: scripts/bench_compare.py diffs the fresh
 #    BENCH_*.json against bench/baselines/ and fails on any
 #    accuracy/fitness regression or chain-parity mismatch.
@@ -110,13 +112,31 @@ if ! cmp -s build/BENCH_scenario_ci_smoke.threads1.json \
 fi
 echo "scenario JSON byte-identical across thread counts"
 
-echo "== chain parity: deterministic long-chain import/reorg section =="
-(cd build && BCFL_CHAIN_BENCH_SECTIONS=long_chain ./bench/chain_performance \
-  >/dev/null)
+echo "== scenario smoke: hierarchical spec, byte-identical at 1 vs 8 threads =="
+(cd build && BCFL_THREADS=1 ./examples/bcfl_scenario \
+  ../scenarios/hierarchical_ci_smoke.json \
+  --out=BENCH_scenario_hierarchical_ci_smoke.threads1.json)
+(cd build && BCFL_THREADS=8 ./examples/bcfl_scenario \
+  ../scenarios/hierarchical_ci_smoke.json \
+  --out=BENCH_scenario_hierarchical_ci_smoke.json >/dev/null)
+if ! cmp -s build/BENCH_scenario_hierarchical_ci_smoke.threads1.json \
+            build/BENCH_scenario_hierarchical_ci_smoke.json; then
+  echo "HIERARCHICAL SCENARIO DIVERGENCE between BCFL_THREADS=1 and 8:"
+  diff build/BENCH_scenario_hierarchical_ci_smoke.threads1.json \
+       build/BENCH_scenario_hierarchical_ci_smoke.json || true
+  exit 1
+fi
+echo "hierarchical scenario JSON byte-identical across thread counts"
+
+echo "== chain parity: deterministic long-chain + peers-axis scaling sections =="
+(cd build && BCFL_CHAIN_BENCH_SECTIONS=long_chain,scaling \
+  ./bench/chain_performance >/dev/null)
 
 echo "== bench-baseline gate: fresh JSON vs bench/baselines =="
 python3 scripts/bench_compare.py build/BENCH_micro_substrates.json \
-  build/BENCH_scenario_ci_smoke.json build/BENCH_chain_performance.json
+  build/BENCH_scenario_ci_smoke.json \
+  build/BENCH_scenario_hierarchical_ci_smoke.json \
+  build/BENCH_chain_performance.json
 
 echo "== strict: -Wall -Wextra -Werror build =="
 cmake -B build-werror -S . -DBCFL_WERROR=ON

@@ -1,10 +1,12 @@
 #include "core/experiment.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 
 #include "common/error.hpp"
 #include "core/parallel.hpp"
+#include "ml/serialize.hpp"
 
 namespace bcfl::core {
 
@@ -28,6 +30,20 @@ DecentralizedResult run_decentralized(const fl::FlTask& task,
     chain_config.min_difficulty = config.min_difficulty;
     chain_config.target_interval_ms = config.target_interval_ms;
 
+    // Resolve the hierarchy first: node overlays depend on it. NodeId == i
+    // holds by construction order below.
+    std::optional<ResolvedTopology> topo;
+    if (config.topology.enabled()) {
+        topo.emplace(resolve_topology(config.topology, config.peers));
+    }
+    const auto head_slot = [&](std::size_t i) -> std::optional<std::size_t> {
+        if (!topo.has_value()) return std::nullopt;
+        for (std::size_t k = 0; k < topo->heads.size(); ++k) {
+            if (topo->heads[k] == i) return k;
+        }
+        return std::nullopt;
+    };
+
     std::vector<std::unique_ptr<node::Node>> nodes;
     std::vector<Address> roster;
     for (std::size_t i = 0; i < config.peers; ++i) {
@@ -36,6 +52,37 @@ DecentralizedResult run_decentralized(const fl::FlTask& task,
         node_config.key_seed = 9000 + i;
         node_config.hash_rate = config.hash_rate_per_node;
         node_config.rng_seed = config.seed * 1000 + i;
+        if (topo.has_value()) {
+            const std::optional<std::size_t> slot = head_slot(i);
+            if (slot.has_value()) {
+                // Heads mesh among themselves and fan out to their own
+                // members; txs circulate only on the head mesh (members
+                // never need foreign txs — they follow blocks).
+                for (std::size_t h : topo->heads) {
+                    if (h == i) continue;
+                    node_config.neighbors.push_back(
+                        static_cast<net::NodeId>(h));
+                    node_config.tx_neighbors.push_back(
+                        static_cast<net::NodeId>(h));
+                }
+                for (std::size_t m : topo->clusters[*slot]) {
+                    if (m == i) continue;
+                    node_config.neighbors.push_back(
+                        static_cast<net::NodeId>(m));
+                }
+                std::sort(node_config.neighbors.begin(),
+                          node_config.neighbors.end());
+            } else {
+                // Members: leaf nodes hanging off their cluster head. They
+                // do not mine — consensus runs on the head committee — so
+                // the per-round verify cost scales with heads, not peers.
+                node_config.mine = false;
+                const net::NodeId head = static_cast<net::NodeId>(
+                    topo->heads[topo->cluster_of[i]]);
+                node_config.neighbors.push_back(head);
+                node_config.tx_neighbors.push_back(head);
+            }
+        }
         nodes.push_back(
             std::make_unique<node::Node>(sim, network, node_config));
         roster.push_back(nodes.back()->address());
@@ -63,6 +110,28 @@ DecentralizedResult run_decentralized(const fl::FlTask& task,
                     peer_config.train_duration =
                         config.straggler_train_duration;
                 }
+            }
+        }
+        if (topo.has_value()) {
+            PeerTierConfig& tier = peer_config.tier;
+            tier.top_head = topo->top_head;
+            tier.head_policy = config.topology.head_policy;
+            tier.head_aggregation = config.topology.head_aggregation;
+            tier.top_policy = config.topology.top_policy;
+            tier.top_aggregation = config.topology.top_aggregation;
+            tier.member_timeout = config.topology.member_timeout;
+            if (const std::optional<std::size_t> slot = head_slot(i);
+                slot.has_value()) {
+                tier.cluster = topo->clusters[*slot];
+                if (i == topo->top_head) {
+                    tier.role = TierRole::top_head;
+                    tier.clusters = topo->clusters;
+                    tier.heads = topo->heads;
+                } else {
+                    tier.role = TierRole::head;
+                }
+            } else {
+                tier.role = TierRole::member;
             }
         }
         peers.push_back(std::make_unique<BcflPeer>(sim, *nodes[i], task,
@@ -93,6 +162,8 @@ DecentralizedResult run_decentralized(const fl::FlTask& task,
     double wait_seconds = 0.0;
     std::size_t samples = 0;
     for (auto& peer : peers) {
+        result.final_model_digests.push_back(
+            ml::weights_digest(ml::serialize_weights(peer->current_weights())));
         result.peer_records.push_back(peer->records());
         for (const PeerRoundRecord& record : peer->records()) {
             if (record.aggregated_at == 0) continue;

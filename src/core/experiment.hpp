@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/peer.hpp"
+#include "core/topology.hpp"
 #include "fl/task.hpp"
 #include "net/network.hpp"
 
@@ -70,6 +71,15 @@ struct DecentralizedConfig {
     /// net::seconds / net::from_seconds) before the peer's round 1
     /// starts; shorter than `peers` means the remainder join at t=0.
     std::vector<net::SimTime> peer_start_delays;
+
+    /// Hierarchical committee aggregation (core/topology.hpp). Disabled
+    /// (the default) runs the original flat deployment bit-identically.
+    /// When enabled, peers are grouped into clusters whose heads run the
+    /// tier-1 round loop, publish one cluster model each, and the top head
+    /// merges those into the round's global model. Cluster members stop
+    /// mining and gossip only through their head, so network and pool-
+    /// admission cost scale with heads, not with the full roster.
+    TopologyConfig topology;
 };
 
 struct DecentralizedResult {
@@ -82,6 +92,10 @@ struct DecentralizedResult {
     double mean_round_seconds = 0.0;
     /// Mean lag between publishing and aggregating (the "wait" cost).
     double mean_wait_seconds = 0.0;
+    /// keccak digest of each peer's serialized final model, in roster
+    /// order — lets tests assert consensus (every peer adopted identical
+    /// weights) without holding every weight vector.
+    std::vector<Hash32> final_model_digests;
 };
 
 [[nodiscard]] DecentralizedResult run_decentralized(

@@ -67,6 +67,10 @@ void ModelStore::ingest(const chain::Block& block,
         if (!receipt.success) continue;
         for (const chain::LogEntry& log : receipt.logs) {
             if (const auto published = abi::parse_published(log)) {
+                if (filter_ &&
+                    !filter_(published->round, published->publisher)) {
+                    continue;
+                }
                 PublishedModel& model =
                     models_[{published->round, published->publisher}];
                 model.owner = published->publisher;
@@ -78,6 +82,9 @@ void ModelStore::ingest(const chain::Block& block,
                 continue;
             }
             if (const auto chunk = abi::parse_chunk(log)) {
+                if (filter_ && !filter_(chunk->round, chunk->publisher)) {
+                    continue;
+                }
                 // The payload travels in the transaction calldata; verify it
                 // against the digest the contract stored (the log publisher
                 // must equal the tx sender by construction of CALLER).

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <vector>
@@ -16,6 +17,30 @@
 #include "net/sim.hpp"
 
 namespace bcfl::core {
+
+/// Aggregation tier a published model belongs to (hierarchical topologies,
+/// core/topology.hpp). The registry contract keys models by a uint64
+/// round; tiers are encoded into its high bits via `tier_round` so the
+/// on-chain contract needs no schema change and flat deployments (always
+/// ModelKind::member) keep their exact historical round numbering.
+enum class ModelKind : std::uint8_t {
+    member = 0,   ///< a peer's locally trained update
+    cluster = 1,  ///< a cluster head's tier-1 aggregate
+    global = 2,   ///< the top head's tier-2 aggregate for the round
+};
+
+/// Registry round key for (kind, communication round). member models map
+/// to the plain round number, so flat rounds are bit-identical to the
+/// pre-tier encoding.
+[[nodiscard]] constexpr std::uint64_t tier_round(ModelKind kind,
+                                                 std::uint64_t round) {
+    return round + (static_cast<std::uint64_t>(kind) << 40);
+}
+
+/// Inverse of `tier_round` for the kind bits (rounds stay below 2^40).
+[[nodiscard]] constexpr ModelKind tier_of(std::uint64_t registry_round) {
+    return static_cast<ModelKind>(registry_round >> 40);
+}
 
 struct PublishedModel {
     Address owner;
@@ -37,6 +62,18 @@ struct PublishedModel {
 
 class ModelStore {
 public:
+    /// Ingestion filter: when set, only registry events whose
+    /// (registry round, owner) the predicate accepts are stored. A peer in
+    /// a hierarchical topology needs a small, role-specific slice of the
+    /// registry traffic (a member only the global models, a head only its
+    /// own cluster's member models plus the cluster/global tier), and at
+    /// hundreds of peers storing everything at every peer is the dominant
+    /// memory cost. Set before the first sync; the filter must be a pure
+    /// function of its arguments, or reorg rescans diverge.
+    using Filter = std::function<bool(std::uint64_t registry_round,
+                                      const Address& owner)>;
+    void set_filter(Filter filter) { filter_ = std::move(filter); }
+
     /// Brings the store up to date with the canonical chain of `chain`.
     /// Incremental: a last-synced-height cursor means each call only scans
     /// the blocks appended since the previous call (O(new blocks), not
@@ -82,6 +119,7 @@ private:
 
     using Key = std::pair<std::uint64_t, Address>;
     std::map<Key, PublishedModel> models_;
+    Filter filter_;
     // Incremental-sync cursor: every canonical block up to `synced_height_`
     // (whose hash is `synced_hash_`) has been ingested. Replaces the
     // old per-block-hash scanned set, which grew without bound and forced

@@ -35,9 +35,11 @@ inline ml::SyntheticCifarConfig paper_data_config() {
     return config;
 }
 
-/// Simple NN task with the calibrated learning rate.
-inline fl::FlTask paper_simple_task(const ml::FederatedData& data) {
-    fl::FlTask task = fl::make_simple_nn_task(data, /*model_seed=*/1);
+/// Simple NN task with the calibrated learning rate. `hidden` (default: the
+/// calibrated width) shrinks the MLP for large-roster scaling scenarios.
+inline fl::FlTask paper_simple_task(const ml::FederatedData& data,
+                                    std::size_t hidden = 96) {
+    fl::FlTask task = fl::make_simple_nn_task(data, /*model_seed=*/1, hidden);
     task.train_template.sgd.learning_rate = 0.015f;
     return task;
 }

@@ -30,10 +30,82 @@ BcflPeer::BcflPeer(net::Simulation& sim, node::Node& node,
     if (roster_[config_.index] != node_.address()) {
         throw Error("peer: node key does not match roster entry");
     }
+    const TierRole role = config_.tier.role;
+    if (role == TierRole::head || role == TierRole::top_head) {
+        if (config_.tier.cluster.empty()) {
+            throw Error("peer: head role without a cluster");
+        }
+        head_policy_ = make_wait_policy(config_.tier.head_policy);
+        head_aggregation_ =
+            make_aggregation_strategy(config_.tier.head_aggregation);
+    }
+    if (role == TierRole::top_head) {
+        if (config_.tier.heads.empty() ||
+            config_.tier.heads.size() != config_.tier.clusters.size()) {
+            throw Error("peer: top head with inconsistent cluster lists");
+        }
+        top_policy_ = make_wait_policy(config_.tier.top_policy);
+        top_aggregation_ =
+            make_aggregation_strategy(config_.tier.top_aggregation);
+    }
+    if (role != TierRole::flat) install_store_filter();
     // React to chain progress: every new head may complete a model.
     node_.on_new_head([this](const chain::Block&) {
         if (waiting_) poll_wait_policy();
     });
+}
+
+void BcflPeer::install_store_filter() {
+    // Ingest-side admission control: a hierarchical peer only ever reads a
+    // bounded slice of the registry, so everything else is dropped before
+    // it is buffered — per-peer model memory is O(tier fan-in), not
+    // O(roster). The sets below are tiny; linear scans beat hashing.
+    const Address top = roster_[config_.tier.top_head];
+    std::vector<Address> cluster_addrs;
+    for (std::size_t m : config_.tier.cluster) {
+        cluster_addrs.push_back(roster_[m]);
+    }
+    std::vector<Address> head_addrs;
+    for (std::size_t h : config_.tier.heads) {
+        head_addrs.push_back(roster_[h]);
+    }
+    const auto contains = [](const std::vector<Address>& set,
+                             const Address& a) {
+        return std::find(set.begin(), set.end(), a) != set.end();
+    };
+    switch (config_.tier.role) {
+        case TierRole::member:
+            // Members only consume the top head's global model.
+            store_.set_filter([top](std::uint64_t round, const Address& owner) {
+                return tier_of(round) == ModelKind::global && owner == top;
+            });
+            break;
+        case TierRole::head:
+            store_.set_filter([top, cluster_addrs = std::move(cluster_addrs),
+                               contains](std::uint64_t round,
+                                         const Address& owner) {
+                const ModelKind kind = tier_of(round);
+                if (kind == ModelKind::member) {
+                    return contains(cluster_addrs, owner);
+                }
+                return kind == ModelKind::global && owner == top;
+            });
+            break;
+        case TierRole::top_head:
+            store_.set_filter([cluster_addrs = std::move(cluster_addrs),
+                               head_addrs = std::move(head_addrs),
+                               contains](std::uint64_t round,
+                                         const Address& owner) {
+                const ModelKind kind = tier_of(round);
+                if (kind == ModelKind::member) {
+                    return contains(cluster_addrs, owner);
+                }
+                return kind == ModelKind::cluster && contains(head_addrs, owner);
+            });
+            break;
+        case TierRole::flat:
+            break;
+    }
 }
 
 void BcflPeer::run_rounds(std::size_t rounds) {
@@ -71,28 +143,44 @@ void BcflPeer::finish_training() {
     model_->train_local(task_.client_train[config_.index], train_config);
     own_update_ = model_->weights();
 
+    // A member-tier registry round equals the plain round number, so flat
+    // deployments publish exactly the bytes they always did.
+    const std::uint64_t member_round =
+        tier_round(ModelKind::member, current_round_);
     if (config_.poison_updates) {
         // Publish a corrupted update (fault injection for the poisoning
         // experiments): flip signs and inflate magnitudes so the model is
         // confidently wrong rather than merely random.
         std::vector<float> poisoned = own_update_;
         for (float& w : poisoned) w = -2.0f * w;
-        publish_weights(poisoned);
+        publish_weights(member_round, poisoned);
     } else {
-        publish_weights(own_update_);
+        publish_weights(member_round, own_update_);
     }
     records_.back().published_at = sim_.now();
 
-    // Hand control to the WaitPolicy: it decides, from the evolving chain
-    // view, when this round's aggregation happens.
-    waiting_ = true;
-    ++wait_generation_;
-    timer_pending_ = false;
-    wait_policy_->begin_wait(round_view());
-    poll_wait_policy();
+    switch (config_.tier.role) {
+        case TierRole::flat:
+            // Hand control to the WaitPolicy: it decides, from the
+            // evolving chain view, when this round's aggregation happens.
+            waiting_ = true;
+            ++wait_generation_;
+            timer_pending_ = false;
+            wait_policy_->begin_wait(round_view());
+            poll_wait_policy();
+            return;
+        case TierRole::member:
+            enter_phase(Phase::wait_global);
+            return;
+        case TierRole::head:
+        case TierRole::top_head:
+            enter_phase(Phase::wait_members);
+            return;
+    }
 }
 
-void BcflPeer::publish_weights(const std::vector<float>& weights) {
+void BcflPeer::publish_weights(std::uint64_t registry_round,
+                               const std::vector<float>& weights) {
     Bytes payload = ml::serialize_weights(weights);
     const Hash32 model_hash = ml::weights_digest(payload);
     payload.resize(payload.size() + config_.payload_pad_bytes, 0);
@@ -110,14 +198,14 @@ void BcflPeer::publish_weights(const std::vector<float>& weights) {
             node_.key(), next_nonce_++, vm::registry_address(), gas_limit,
             config_.gas_price, std::move(calldata)));
     };
-    submit(abi::publish_calldata(current_round_, model_hash, chunk_count,
+    submit(abi::publish_calldata(registry_round, model_hash, chunk_count,
                                  payload.size()));
     for (std::size_t i = 0; i < chunk_count; ++i) {
         const std::size_t begin = i * config_.chunk_bytes;
         const std::size_t end =
             std::min(begin + config_.chunk_bytes, payload.size());
         submit(abi::chunk_calldata(
-            current_round_, i,
+            registry_round, i,
             BytesView(payload).subspan(begin, end - begin)));
     }
 }
@@ -172,18 +260,39 @@ RoundView BcflPeer::round_view() {
 
 void BcflPeer::poll_wait_policy() {
     if (!waiting_) return;
-    const RoundView view = round_view();
-    switch (wait_policy_->decide(view)) {
-        case WaitDecision::aggregate_now:
-            aggregate(false);
-            return;
-        case WaitDecision::timed_out:
-            aggregate(true);
-            return;
-        case WaitDecision::keep_waiting:
+    // Hierarchical phases carry their own (policy, view, aggregate) triple;
+    // Phase::idle while waiting means the flat single-tier loop.
+    WaitPolicy* policy = wait_policy_.get();
+    RoundView view;
+    switch (phase_) {
+        case Phase::idle:
+            view = round_view();
             break;
+        case Phase::wait_members:
+            policy = head_policy_.get();
+            view = cluster_view();
+            break;
+        case Phase::wait_clusters:
+            policy = top_policy_.get();
+            view = top_view();
+            break;
+        case Phase::wait_global:
+            poll_wait_global();
+            return;
     }
-    if (const auto deadline = wait_policy_->next_deadline(view);
+    const WaitDecision decision = policy->decide(view);
+    if (decision != WaitDecision::keep_waiting) {
+        const bool timed_out = decision == WaitDecision::timed_out;
+        if (phase_ == Phase::wait_members) {
+            aggregate_members(timed_out);
+        } else if (phase_ == Phase::wait_clusters) {
+            aggregate_clusters(timed_out);
+        } else {
+            aggregate(timed_out);
+        }
+        return;
+    }
+    if (const auto deadline = policy->next_deadline(view);
         deadline.has_value()) {
         schedule_policy_timer(*deadline);
     }
@@ -202,6 +311,276 @@ void BcflPeer::schedule_policy_timer(net::SimTime when) {
         if (timer_pending_ && timer_at_ == when) timer_pending_ = false;
         poll_wait_policy();
     });
+}
+
+void BcflPeer::enter_phase(Phase phase) {
+    phase_ = phase;
+    phase_started_ = sim_.now();
+    waiting_ = true;
+    ++wait_generation_;  // cancels the previous phase's pending timers
+    timer_pending_ = false;
+    if (phase == Phase::wait_members) {
+        head_policy_->begin_wait(cluster_view());
+    } else if (phase == Phase::wait_clusters) {
+        top_policy_->begin_wait(top_view());
+    }
+    // Phase::wait_global is a plain deadline wait; no policy to arm.
+    poll_wait_policy();
+}
+
+RoundView BcflPeer::cluster_view() {
+    store_.sync(node_.chain());
+    RoundView view;
+    view.round = current_round_;
+    view.roster_size = config_.tier.cluster.size();
+    view.now = sim_.now();
+    view.wait_started = phase_started_;
+    const std::uint64_t member_round =
+        tier_round(ModelKind::member, current_round_);
+    for (std::size_t m : config_.tier.cluster) {
+        if (m == config_.index) {
+            ++view.models_available;  // own update is local
+            continue;
+        }
+        if (const PublishedModel* model = store_.find(member_round, roster_[m]);
+            model != nullptr && model->complete()) {
+            ++view.models_available;
+        }
+        // Tier aggregation never backfills stale models: a straggler's
+        // earlier-round weights re-enter through the next round instead.
+    }
+    return view;
+}
+
+RoundView BcflPeer::top_view() {
+    store_.sync(node_.chain());
+    RoundView view;
+    view.round = current_round_;
+    view.roster_size = config_.tier.heads.size();
+    view.now = sim_.now();
+    view.wait_started = phase_started_;
+    const std::uint64_t cluster_round =
+        tier_round(ModelKind::cluster, current_round_);
+    for (std::size_t h : config_.tier.heads) {
+        if (h == config_.index) {
+            ++view.models_available;  // own cluster model is local
+            continue;
+        }
+        if (const PublishedModel* model =
+                store_.find(cluster_round, roster_[h]);
+            model != nullptr && model->complete()) {
+            ++view.models_available;
+        }
+    }
+    return view;
+}
+
+void BcflPeer::aggregate_members(bool timed_out) {
+    waiting_ = false;
+    ++wait_generation_;
+    timer_pending_ = false;
+    store_.sync(node_.chain());
+
+    PeerRoundRecord& record = records_.back();
+    record.timed_out = record.timed_out || timed_out;
+
+    // Tier-1 inputs: the cluster's member models, in sorted member order.
+    // roster_indices/names stay in the *global* index space so combination
+    // labels and reputation tracking read the same across tiers.
+    const std::uint64_t member_round =
+        tier_round(ModelKind::member, current_round_);
+    std::vector<fl::ModelUpdate> updates;
+    std::vector<std::size_t> roster_indices;
+    std::vector<UpdateMeta> meta;
+    std::size_t self_pos = 0;
+    for (std::size_t m : config_.tier.cluster) {
+        if (m == config_.index) {
+            self_pos = updates.size();
+            updates.push_back(
+                {own_update_,
+                 static_cast<double>(task_.client_train[m].size())});
+            roster_indices.push_back(m);
+            meta.push_back({current_round_, record.published_at, 0});
+            continue;
+        }
+        auto weights = chain_weights(member_round, roster_[m]);
+        if (!weights.has_value()) continue;
+        const PublishedModel* model = store_.find(member_round, roster_[m]);
+        updates.push_back(
+            {std::move(*weights),
+             static_cast<double>(task_.client_train[m].size())});
+        roster_indices.push_back(m);
+        meta.push_back({current_round_, model->completed_at, 0});
+    }
+
+    AggregationInput input;
+    input.updates = updates;
+    input.roster_indices = roster_indices;
+    input.meta = meta;
+    input.self_pos = self_pos;
+    input.roster_size = roster_.size();
+    input.round = current_round_;
+    input.now = sim_.now();
+    input.names = client_names();
+    input.evaluate = [this](std::span<const float> candidate) {
+        probe_->set_weights(candidate);
+        return probe_->evaluate(task_.client_test[config_.index]);
+    };
+    input.make_evaluator =
+        [this]() -> std::function<double(std::span<const float>)> {
+        std::shared_ptr<fl::FlModel> probe = task_.make_model();
+        return [this, probe](std::span<const float> candidate) {
+            probe->set_weights(candidate);
+            return probe->evaluate(task_.client_test[config_.index]);
+        };
+    };
+    AggregationResult outcome = head_aggregation_->aggregate(input);
+
+    cluster_weights_ = std::move(outcome.weights);
+    record.combos = std::move(outcome.combos);
+    record.filtered_out = std::move(outcome.filtered_out);
+    record.models_available = updates.size() - record.filtered_out.size();
+    record.chosen_label = std::move(outcome.chosen_label);
+    record.chosen_accuracy = outcome.chosen_accuracy;
+
+    if (config_.tier.role == TierRole::top_head) {
+        enter_phase(Phase::wait_clusters);
+        return;
+    }
+    publish_weights(tier_round(ModelKind::cluster, current_round_),
+                    cluster_weights_);
+    enter_phase(Phase::wait_global);
+}
+
+void BcflPeer::aggregate_clusters(bool timed_out) {
+    waiting_ = false;
+    ++wait_generation_;
+    timer_pending_ = false;
+    store_.sync(node_.chain());
+
+    PeerRoundRecord& record = records_.back();
+    record.timed_out = record.timed_out || timed_out;
+
+    // Tier-2 inputs: one update per cluster, weighted by the cluster's
+    // total training-set size. The weight is static (configured data
+    // sizes, not per-round arrivals) — exact under wait_all at tier 1 and
+    // a documented simplification when a head aggregated a partial
+    // cluster.
+    const std::uint64_t cluster_round =
+        tier_round(ModelKind::cluster, current_round_);
+    std::vector<fl::ModelUpdate> updates;
+    std::vector<std::size_t> roster_indices;
+    std::vector<UpdateMeta> meta;
+    std::size_t self_pos = 0;
+    for (std::size_t k = 0; k < config_.tier.heads.size(); ++k) {
+        const std::size_t head = config_.tier.heads[k];
+        double samples = 0.0;
+        for (std::size_t m : config_.tier.clusters[k]) {
+            samples += static_cast<double>(task_.client_train[m].size());
+        }
+        if (head == config_.index) {
+            self_pos = updates.size();
+            updates.push_back({cluster_weights_, samples});
+            roster_indices.push_back(head);
+            meta.push_back({current_round_, sim_.now(), 0});
+            continue;
+        }
+        auto weights = chain_weights(cluster_round, roster_[head]);
+        if (!weights.has_value()) continue;
+        const PublishedModel* model = store_.find(cluster_round, roster_[head]);
+        updates.push_back({std::move(*weights), samples});
+        roster_indices.push_back(head);
+        meta.push_back({current_round_, model->completed_at, 0});
+    }
+
+    AggregationInput input;
+    input.updates = updates;
+    input.roster_indices = roster_indices;
+    input.meta = meta;
+    input.self_pos = self_pos;
+    input.roster_size = roster_.size();
+    input.round = current_round_;
+    input.now = sim_.now();
+    input.names = client_names();
+    input.evaluate = [this](std::span<const float> candidate) {
+        probe_->set_weights(candidate);
+        return probe_->evaluate(task_.client_test[config_.index]);
+    };
+    input.make_evaluator =
+        [this]() -> std::function<double(std::span<const float>)> {
+        std::shared_ptr<fl::FlModel> probe = task_.make_model();
+        return [this, probe](std::span<const float> candidate) {
+            probe->set_weights(candidate);
+            return probe->evaluate(task_.client_test[config_.index]);
+        };
+    };
+    AggregationResult outcome = top_aggregation_->aggregate(input);
+
+    publish_weights(tier_round(ModelKind::global, current_round_),
+                    outcome.weights);
+    global_weights_ = std::move(outcome.weights);
+    // Keep the tier-1 rows and append the tier-2 ones: one record carries
+    // the whole round's table rows, like a flat round does.
+    record.combos.insert(record.combos.end(),
+                         std::make_move_iterator(outcome.combos.begin()),
+                         std::make_move_iterator(outcome.combos.end()));
+    record.chosen_label = "global";
+    record.chosen_accuracy = outcome.chosen_accuracy;
+    complete_round();
+}
+
+void BcflPeer::poll_wait_global() {
+    store_.sync(node_.chain());
+    PeerRoundRecord& record = records_.back();
+    const auto evaluate = [this](const std::vector<float>& weights) {
+        probe_->set_weights(weights);
+        return probe_->evaluate(task_.client_test[config_.index]);
+    };
+    if (auto weights =
+            chain_weights(tier_round(ModelKind::global, current_round_),
+                          roster_[config_.tier.top_head]);
+        weights.has_value()) {
+        waiting_ = false;
+        ++wait_generation_;
+        timer_pending_ = false;
+        global_weights_ = std::move(*weights);
+        record.chosen_label = "global";
+        record.chosen_accuracy = evaluate(global_weights_);
+        if (config_.tier.role == TierRole::member) {
+            record.models_available = 1;  // the adopted global model
+        }
+        complete_round();
+        return;
+    }
+    const net::SimTime deadline =
+        phase_started_ + config_.tier.member_timeout;
+    if (sim_.now() >= deadline) {
+        // Give up on this round's global model: fall back to the best
+        // model this role holds and move on (the "not to wait" branch at
+        // the hierarchy's edges).
+        waiting_ = false;
+        ++wait_generation_;
+        timer_pending_ = false;
+        record.timed_out = true;
+        if (config_.tier.role == TierRole::head) {
+            global_weights_ = cluster_weights_;
+            record.chosen_label = "cluster";
+        } else {
+            global_weights_ = own_update_;
+            record.chosen_label = "self";
+        }
+        record.chosen_accuracy = evaluate(global_weights_);
+        complete_round();
+        return;
+    }
+    schedule_policy_timer(deadline);
+}
+
+void BcflPeer::complete_round() {
+    records_.back().aggregated_at = sim_.now();
+    ++completed_rounds_;
+    phase_ = Phase::idle;
+    begin_round();
 }
 
 void BcflPeer::aggregate(bool timed_out) {
@@ -297,16 +676,15 @@ void BcflPeer::aggregate(bool timed_out) {
     record.models_available = updates.size() - record.filtered_out.size();
     record.chosen_label = std::move(outcome.chosen_label);
     record.chosen_accuracy = outcome.chosen_accuracy;
-    record.aggregated_at = sim_.now();
-    ++completed_rounds_;
-
-    begin_round();
+    complete_round();
 }
 
 std::string BcflPeer::client_names() const {
     std::string names;
     for (std::size_t i = 0; i < roster_.size(); ++i) {
-        names.push_back(static_cast<char>('A' + i));
+        // Cycled alphabet: labels stay printable past 26 peers (labels are
+        // reporting-only; identity is the roster index).
+        names.push_back(static_cast<char>('A' + (i % 26)));
     }
     return names;
 }

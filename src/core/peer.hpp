@@ -23,12 +23,43 @@
 
 #include "core/model_store.hpp"
 #include "core/policy.hpp"
+#include "core/topology.hpp"
 #include "fl/combinations.hpp"
 #include "fl/task.hpp"
 #include "net/sim.hpp"
 #include "node/node.hpp"
 
 namespace bcfl::core {
+
+/// Role a peer plays in a hierarchical topology (core/topology.hpp).
+/// `flat` (the default) is the original single-tier round loop.
+enum class TierRole : std::uint8_t { flat, member, head, top_head };
+
+/// Per-peer tier wiring, derived from a ResolvedTopology by the experiment
+/// runner. Fields beyond a role's needs may stay empty: members use only
+/// `top_head` and `member_timeout`; heads add `cluster` and the head
+/// specs; the top head additionally needs `heads`, `clusters` and the top
+/// specs.
+struct PeerTierConfig {
+    TierRole role = TierRole::flat;
+    /// Own cluster's members (sorted, including self) — head roles.
+    std::vector<std::size_t> cluster;
+    /// All clusters (normalized) — top head only, for cluster weighting.
+    std::vector<std::vector<std::size_t>> clusters;
+    /// All cluster heads, aligned with `clusters` — top head only.
+    std::vector<std::size_t> heads;
+    /// Roster index of the tier-2 aggregator publishing the global model.
+    std::size_t top_head = 0;
+
+    /// Tier policy/aggregation factory specs (core/policy.hpp).
+    std::string head_policy = "wait_all,timeout=900s";
+    std::string head_aggregation = "fedavg_all";
+    std::string top_policy = "wait_all,timeout=900s";
+    std::string top_aggregation = "fedavg_all";
+
+    /// Give-up deadline while waiting for the round's global model.
+    net::SimTime member_timeout = net::seconds(1800);
+};
 
 struct PeerConfig {
     std::size_t index = 0;  // client index (0 = A, 1 = B, ...)
@@ -57,6 +88,10 @@ struct PeerConfig {
     /// AggregationStrategy factory spec, e.g. "best_combination",
     /// "trimmed_mean,trim=1" or "staleness_fedavg,half_life=2r".
     std::string aggregation = "best_combination";
+
+    /// Hierarchical wiring; `tier.role == flat` leaves the original
+    /// single-tier loop untouched (bit-identical output).
+    PeerTierConfig tier;
 };
 
 struct PeerRoundRecord {
@@ -105,9 +140,22 @@ public:
     }
 
 private:
+    /// Hierarchical round progress. A flat peer stays in `idle` between
+    /// training and its single aggregation; hierarchical roles step through
+    /// the tiers: heads wait_members -> (publish cluster model) ->
+    /// wait_global; the top head wait_members -> wait_clusters; members go
+    /// straight to wait_global after publishing.
+    enum class Phase : std::uint8_t {
+        idle,
+        wait_members,
+        wait_clusters,
+        wait_global,
+    };
+
     void begin_round();
     void finish_training();
-    void publish_weights(const std::vector<float>& weights);
+    void publish_weights(std::uint64_t registry_round,
+                         const std::vector<float>& weights);
     /// Consults the WaitPolicy against the current chain view and either
     /// aggregates or (re)schedules the policy's next deadline.
     void poll_wait_policy();
@@ -118,6 +166,26 @@ private:
     [[nodiscard]] std::optional<std::vector<float>> chain_weights(
         std::uint64_t round, const Address& owner) const;
 
+    // --- hierarchical tiers (no-ops for TierRole::flat) ---
+    /// Arms `phase` with the matching tier policy and polls it once.
+    void enter_phase(Phase phase);
+    /// Chain view over this head's cluster members (tier-1 wait).
+    [[nodiscard]] RoundView cluster_view();
+    /// Chain view over the cluster heads' cluster models (tier-2 wait).
+    [[nodiscard]] RoundView top_view();
+    /// Head: aggregates member models into the cluster model and either
+    /// publishes it (plain head) or advances to wait_clusters (top head).
+    void aggregate_members(bool timed_out);
+    /// Top head: merges cluster models into the round's global model.
+    void aggregate_clusters(bool timed_out);
+    /// Member/head: adopts the published global model (or falls back to the
+    /// best local tier model after member_timeout).
+    void poll_wait_global();
+    void complete_round();
+    /// Restricts ModelStore ingest to the registry rounds/owners this role
+    /// can ever consume, bounding per-peer memory to its tier fan-in.
+    void install_store_filter();
+
     net::Simulation& sim_;
     node::Node& node_;
     const fl::FlTask& task_;
@@ -126,6 +194,11 @@ private:
 
     std::unique_ptr<WaitPolicy> wait_policy_;
     std::unique_ptr<AggregationStrategy> aggregation_;
+    // Tier policies (constructed only for the roles that use them).
+    std::unique_ptr<WaitPolicy> head_policy_;
+    std::unique_ptr<AggregationStrategy> head_aggregation_;
+    std::unique_ptr<WaitPolicy> top_policy_;
+    std::unique_ptr<AggregationStrategy> top_aggregation_;
 
     std::unique_ptr<fl::FlModel> model_;   // training instance
     std::unique_ptr<fl::FlModel> probe_;   // evaluation instance
@@ -141,6 +214,9 @@ private:
     std::uint64_t wait_generation_ = 0;
     bool timer_pending_ = false;           // a policy deadline is scheduled
     net::SimTime timer_at_ = 0;
+    Phase phase_ = Phase::idle;
+    net::SimTime phase_started_ = 0;
+    std::vector<float> cluster_weights_;   // head's tier-1 aggregate
     std::vector<PeerRoundRecord> records_;
 };
 

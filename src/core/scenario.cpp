@@ -63,16 +63,22 @@ struct Parser {
         if (depth > kMaxDepth) die("nesting too deep");
         skip_ws();
         if (done()) die("unexpected end of input");
+        // Every parsed value remembers where its token began, so spec
+        // validation errors can cite the exact byte offset.
+        const std::size_t at = pos;
         const char c = text[pos];
+        JsonValue out;
         switch (c) {
-            case '{': return parse_object(depth);
-            case '[': return parse_array(depth);
-            case '"': return JsonValue(parse_string());
-            case 't': expect_word("true"); return JsonValue(true);
-            case 'f': expect_word("false"); return JsonValue(false);
-            case 'n': expect_word("null"); return JsonValue();
-            default: return parse_number();
+            case '{': out = parse_object(depth); break;
+            case '[': out = parse_array(depth); break;
+            case '"': out = JsonValue(parse_string()); break;
+            case 't': expect_word("true"); out = JsonValue(true); break;
+            case 'f': expect_word("false"); out = JsonValue(false); break;
+            case 'n': expect_word("null"); out = JsonValue(); break;
+            default: out = parse_number(); break;
         }
+        out.set_source_offset(at);
+        return out;
     }
 
     JsonValue parse_object(int depth) {
@@ -383,6 +389,49 @@ double require_positive(double v, const std::string& key) {
     return v;
 }
 
+/// Like fail(), but cites the byte offset of the offending parsed value so
+/// the failing spec construct can be located directly.
+[[noreturn]] void fail_at(const JsonValue& value, const std::string& what) {
+    fail(what + " (at offset " + std::to_string(value.source_offset()) +
+         ")");
+}
+
+/// True when an AggregationStrategy spec names a combination-search
+/// strategy (exponential in its input width); the head token is the part
+/// before the first ','.
+bool is_combination_search(const std::string& spec) {
+    const std::string head = spec.substr(0, spec.find(','));
+    return head == "best_combination" || head == "consider";
+}
+
+/// Widest roster any combination-search strategy would enumerate over in
+/// this config: peers when flat; per-tier widths when hierarchical.
+/// Resolves the topology (throwing its validation errors) as a side
+/// effect, so every sweep point's partition is checked at parse time.
+void validate_aggregation_widths(const DecentralizedConfig& config) {
+    constexpr std::size_t kMaxComboWidth = 8;
+    const auto check = [&](const std::string& spec, std::size_t width,
+                           const char* where) {
+        if (is_combination_search(spec) && width > kMaxComboWidth) {
+            fail(std::string(where) + " \"" + spec +
+                 "\" enumerates combinations over " + std::to_string(width) +
+                 " inputs; the search is exponential, so widths above " +
+                 std::to_string(kMaxComboWidth) +
+                 " are rejected (use clusters or a linear strategy)");
+        }
+    };
+    if (!config.topology.enabled()) {
+        check(config.aggregation, config.peers, "aggregation");
+        return;
+    }
+    const ResolvedTopology topo =
+        resolve_topology(config.topology, config.peers);
+    check(config.topology.head_aggregation, topo.max_cluster_size(),
+          "topology.head_aggregation");
+    check(config.topology.top_aggregation, topo.heads.size(),
+          "topology.top_aggregation");
+}
+
 /// Peer references must be range-checked *before* the narrowing NodeId
 /// cast, or 2^32 wraps back into the roster and passes validation.
 net::NodeId parse_node_id(const JsonValue& value,
@@ -402,6 +451,39 @@ std::vector<std::size_t> parse_index_array(const JsonValue& value,
         out.push_back(item.as_u64(key + " entry"));
     }
     return out;
+}
+
+void parse_topology(const JsonValue& value, TopologyConfig& topology) {
+    for (const auto& [key, field] : value.members("topology")) {
+        if (key == "cluster_size") {
+            topology.cluster_size = field.as_u64("topology.cluster_size");
+        } else if (key == "clusters") {
+            for (const JsonValue& cluster :
+                 field.items("topology.clusters")) {
+                topology.clusters.push_back(
+                    parse_index_array(cluster, "topology.clusters entry"));
+            }
+        } else if (key == "heads") {
+            topology.heads = parse_index_array(field, "topology.heads");
+        } else if (key == "head_policy") {
+            topology.head_policy = field.as_string(key);
+            (void)make_wait_policy(topology.head_policy);
+        } else if (key == "head_aggregation") {
+            topology.head_aggregation = field.as_string(key);
+            (void)make_aggregation_strategy(topology.head_aggregation);
+        } else if (key == "top_policy") {
+            topology.top_policy = field.as_string(key);
+            (void)make_wait_policy(topology.top_policy);
+        } else if (key == "top_aggregation") {
+            topology.top_aggregation = field.as_string(key);
+            (void)make_aggregation_strategy(topology.top_aggregation);
+        } else if (key == "member_timeout_s") {
+            topology.member_timeout = net::from_seconds(
+                require_positive(field.as_double(key), key));
+        } else {
+            fail_at(field, "topology: unknown key \"" + key + "\"");
+        }
+    }
 }
 
 /// Applies one scalar (sweepable) spec key to a config. Returns false when
@@ -514,6 +596,13 @@ bool apply_scalar_key(DecentralizedConfig& config, const std::string& key,
     }
     if (key == "shared_uplink") {
         config.link.shared_uplink = value.as_bool(key);
+        return true;
+    }
+    if (key == "cluster_size") {
+        // Sweepable hierarchy knob: 0 = flat (topology off), N = contiguous
+        // clusters of N (core/topology.hpp). Sweeping [0, N] compares flat
+        // and hierarchical deployments of the same roster in one document.
+        config.topology.cluster_size = value.as_u64(key);
         return true;
     }
     return false;
@@ -768,6 +857,12 @@ void parse_data(const JsonValue& value, ml::SyntheticCifarConfig& data) {
             }
         } else if (key == "global_test") {
             data.global_test = field.as_u64(key);
+        } else if (key == "height") {
+            data.height = field.as_u64(key);
+            if (data.height == 0) fail("\"height\" must be >= 1");
+        } else if (key == "width") {
+            data.width = field.as_u64(key);
+            if (data.width == 0) fail("\"width\" must be >= 1");
         } else if (key == "alpha") {
             data.dirichlet_alpha = require_positive(field.as_double(key), key);
         } else if (key == "data_seed") {
@@ -872,7 +967,7 @@ JsonValue point_json(const ScenarioPoint& point,
             JsonValue(samples ? sum / static_cast<double>(samples) : 0.0));
     }
 
-    return JsonValue::object()
+    JsonValue out = JsonValue::object()
         .set("label", point.label)
         .set("overrides", std::move(overrides))
         .set("wait_policy", point.config.wait_policy)
@@ -897,6 +992,21 @@ JsonValue point_json(const ScenarioPoint& point,
         .set("dropped_offline", result.traffic.dropped_offline)
         .set("bytes_sent", result.traffic.bytes_sent)
         .set("fitness_fingerprint", fingerprint);
+    // Appended only for hierarchical points: flat documents stay
+    // byte-identical to the pre-topology schema.
+    if (point.config.topology.enabled()) {
+        const ResolvedTopology topo = resolve_topology(
+            point.config.topology, result.peer_records.size());
+        out.set("topology",
+                JsonValue::object()
+                    .set("clusters",
+                         static_cast<std::uint64_t>(topo.clusters.size()))
+                    .set("max_cluster_size", static_cast<std::uint64_t>(
+                                                 topo.max_cluster_size()))
+                    .set("top_head",
+                         static_cast<std::uint64_t>(topo.top_head)));
+    }
+    return out;
 }
 
 constexpr std::size_t kMaxGridPoints = 1024;
@@ -926,7 +1036,18 @@ ScenarioSpec parse_scenario(std::string_view json_text) {
         }
     }
 
+    // Same both-places guard for the sweepable hierarchy knob.
+    if (const JsonValue* topology = doc.find("topology");
+        topology != nullptr && topology->is_object()) {
+        if (doc.find("cluster_size") != nullptr &&
+            topology->find("cluster_size") != nullptr) {
+            fail("\"cluster_size\" appears both at top level and inside "
+                 "\"topology\" — set it in one place");
+        }
+    }
+
     const JsonValue* sweep = nullptr;
+    const JsonValue* topology_value = nullptr;
     for (const auto& [key, value] : doc.members("scenario document")) {
         if (key == "name") {
             spec.name = value.as_string(key);
@@ -945,9 +1066,16 @@ ScenarioSpec parse_scenario(std::string_view json_text) {
             }
         } else if (key == "peers") {
             spec.base.peers = value.as_u64(key);
-            if (spec.base.peers < 2 || spec.base.peers > 8) {
-                fail("\"peers\" must be within [2, 8] (combination search "
-                     "is exponential in the roster)");
+            // Large rosters are the hierarchical topology's reason to
+            // exist; whether a roster is *aggregatable* is a per-strategy
+            // width question checked by validate_aggregation_widths.
+            if (spec.base.peers < 2 || spec.base.peers > 512) {
+                fail("\"peers\" must be within [2, 512]");
+            }
+        } else if (key == "model_hidden") {
+            spec.model_hidden = value.as_u64(key);
+            if (spec.model_hidden == 0) {
+                fail("\"model_hidden\" must be >= 1");
             }
         } else if (key == "threads") {
             spec.threads = value.as_u64(key);
@@ -955,6 +1083,10 @@ ScenarioSpec parse_scenario(std::string_view json_text) {
             parse_data(value, spec.data);
         } else if (key == "network") {
             parse_network(value, spec.base);
+        } else if (key == "topology") {
+            // Stashed: resolution needs "peers", which may appear later in
+            // document order.
+            topology_value = &value;
         } else if (key == "sweep") {
             sweep = &value;
         } else if (!apply_scalar_key(spec.base, key, value)) {
@@ -962,6 +1094,21 @@ ScenarioSpec parse_scenario(std::string_view json_text) {
         }
     }
     if (spec.name.empty()) fail("\"name\" is required");
+
+    if (topology_value != nullptr) {
+        parse_topology(*topology_value, spec.base.topology);
+    }
+    // Resolve the base topology (partition validity: disjoint cover,
+    // member heads, in-range peers) and check aggregation widths; errors
+    // cite the topology object's byte offset.
+    try {
+        validate_aggregation_widths(spec.base);
+    } catch (const Error& e) {
+        std::string what = e.what();
+        if (what.rfind("scenario: ", 0) == 0) what.erase(0, 10);
+        if (topology_value != nullptr) fail_at(*topology_value, what);
+        fail(what);
+    }
 
     // Sweep axes parse last so dry-application sees the final base config.
     if (sweep != nullptr) {
@@ -982,6 +1129,16 @@ ScenarioSpec parse_scenario(std::string_view json_text) {
                     fail("sweep: \"" + key + "\" is not a sweepable key");
                 }
                 validate_peer_refs(spec, scratch);
+                // Every grid point must both resolve its topology and keep
+                // combination searches within width; a bad cluster_size
+                // axis value fails here, citing its own byte offset.
+                try {
+                    validate_aggregation_widths(scratch);
+                } catch (const Error& e) {
+                    std::string what = e.what();
+                    if (what.rfind("scenario: ", 0) == 0) what.erase(0, 10);
+                    fail_at(value, "sweep: " + what);
+                }
             }
             grid *= axis.values.size();
             if (grid > kMaxGridPoints) {
@@ -1077,7 +1234,7 @@ JsonValue run_scenario(const ScenarioSpec& spec) {
     const ml::FederatedData data = ml::make_synthetic_cifar(data_config);
     const fl::FlTask task = spec.model == "effnet"
                                 ? paper_effnet_task(data)
-                                : paper_simple_task(data);
+                                : paper_simple_task(data, spec.model_hidden);
     return run_scenario(spec, task);
 }
 

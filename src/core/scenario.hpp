@@ -87,6 +87,12 @@ public:
 
     [[nodiscard]] std::string dump() const;
 
+    /// Byte offset of this value's first token in the parsed document
+    /// (0 for programmatically built values). Validation errors cite it so
+    /// a failing spec line can be found without re-reading the schema.
+    [[nodiscard]] std::size_t source_offset() const { return source_offset_; }
+    void set_source_offset(std::size_t offset) { source_offset_ = offset; }
+
 private:
     Kind kind_ = Kind::null;
     bool boolean_ = false;
@@ -95,6 +101,7 @@ private:
     std::string string_;
     std::vector<JsonValue> elements_;
     std::vector<std::pair<std::string, JsonValue>> members_;
+    std::size_t source_offset_ = 0;
 
     void write(std::string& out) const;
 };
@@ -110,6 +117,9 @@ struct SweepAxis {
 struct ScenarioSpec {
     std::string name;               // [a-z0-9_]+, names the output file
     std::string model = "simple";   // "simple" | "effnet"
+    /// Hidden-layer width of the "simple" model; small values make large-
+    /// roster scaling scenarios train in seconds (ignored by "effnet").
+    std::size_t model_hidden = 96;
     /// Worker threads for the grid fan-out (0 = ambient BCFL_THREADS /
     /// hardware default). Points always run their inner engine serially —
     /// the grid owns the worker pool.

@@ -1,0 +1,113 @@
+#include "core/topology.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace bcfl::core {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+    throw Error("topology: " + what);
+}
+
+}  // namespace
+
+ResolvedTopology resolve_topology(const TopologyConfig& config,
+                                  std::size_t peers) {
+    if (!config.enabled()) fail("resolve called on a disabled topology");
+    if (peers == 0) fail("empty roster");
+    if (config.cluster_size > 0 && !config.clusters.empty()) {
+        fail("\"cluster_size\" conflicts with explicit \"clusters\" — "
+             "give the partition one way");
+    }
+    if (!config.heads.empty() && config.clusters.empty()) {
+        fail("\"heads\" requires explicit \"clusters\"");
+    }
+
+    ResolvedTopology out;
+    if (config.cluster_size > 0) {
+        if (config.cluster_size > peers) {
+            fail("\"cluster_size\" (" + std::to_string(config.cluster_size) +
+                 ") exceeds the peer count (" + std::to_string(peers) + ")");
+        }
+        // Contiguous equal-size blocks; the last takes the remainder.
+        for (std::size_t begin = 0; begin < peers;
+             begin += config.cluster_size) {
+            const std::size_t end =
+                std::min(begin + config.cluster_size, peers);
+            std::vector<std::size_t> cluster;
+            cluster.reserve(end - begin);
+            for (std::size_t p = begin; p < end; ++p) cluster.push_back(p);
+            out.clusters.push_back(std::move(cluster));
+        }
+    } else {
+        if (!config.heads.empty() &&
+            config.heads.size() != config.clusters.size()) {
+            fail("\"heads\" must list one head per cluster (" +
+                 std::to_string(config.heads.size()) + " heads for " +
+                 std::to_string(config.clusters.size()) + " clusters)");
+        }
+        out.clusters = config.clusters;
+    }
+
+    // Per-cluster head (explicit or smallest member), then normalize:
+    // members ascending, clusters by head index. Validation happens on the
+    // normalized form so error messages are order-independent too.
+    std::vector<std::size_t> heads(out.clusters.size());
+    for (std::size_t k = 0; k < out.clusters.size(); ++k) {
+        auto& cluster = out.clusters[k];
+        if (cluster.empty()) fail("cluster " + std::to_string(k) + " is empty");
+        std::sort(cluster.begin(), cluster.end());
+        heads[k] = cluster.front();
+        if (!config.heads.empty()) {
+            heads[k] = config.heads[k];
+            if (!std::binary_search(cluster.begin(), cluster.end(),
+                                    heads[k])) {
+                fail("head " + std::to_string(heads[k]) +
+                     " is not a member of its cluster");
+            }
+        }
+    }
+    std::vector<std::size_t> order(out.clusters.size());
+    for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return heads[a] < heads[b];
+    });
+    ResolvedTopology sorted;
+    for (std::size_t k : order) {
+        sorted.clusters.push_back(std::move(out.clusters[k]));
+        sorted.heads.push_back(heads[k]);
+    }
+    out.clusters = std::move(sorted.clusters);
+    out.heads = std::move(sorted.heads);
+
+    // Exactly-one-cluster cover of [0, peers).
+    constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+    out.cluster_of.assign(peers, kNone);
+    for (std::size_t k = 0; k < out.clusters.size(); ++k) {
+        for (std::size_t member : out.clusters[k]) {
+            if (member >= peers) {
+                fail("peer " + std::to_string(member) +
+                     " is outside the roster (peers=" +
+                     std::to_string(peers) + ")");
+            }
+            if (out.cluster_of[member] != kNone) {
+                fail("peer " + std::to_string(member) +
+                     " is listed in two clusters");
+            }
+            out.cluster_of[member] = k;
+        }
+    }
+    for (std::size_t p = 0; p < peers; ++p) {
+        if (out.cluster_of[p] == kNone) {
+            fail("peer " + std::to_string(p) + " is in no cluster (the "
+                 "partition must cover every peer)");
+        }
+    }
+    out.top_head = out.heads.front();
+    return out;
+}
+
+}  // namespace bcfl::core

@@ -45,6 +45,32 @@ std::vector<float> fedavg(std::span<const ModelUpdate> updates) {
     return out;
 }
 
+std::vector<float> hierarchical_fedavg(
+    std::span<const ModelUpdate> updates,
+    std::span<const std::vector<std::size_t>> clusters) {
+    if (clusters.empty()) throw ShapeError("hierarchical_fedavg: no clusters");
+    std::vector<bool> used(updates.size(), false);
+    std::vector<ModelUpdate> cluster_models;
+    cluster_models.reserve(clusters.size());
+    for (const std::vector<std::size_t>& cluster : clusters) {
+        double samples = 0.0;
+        for (std::size_t index : cluster) {
+            if (index >= updates.size()) {
+                throw ShapeError("hierarchical_fedavg: bad index");
+            }
+            if (used[index]) {
+                throw ShapeError("hierarchical_fedavg: index in two clusters");
+            }
+            used[index] = true;
+            // Sequential over a fixed cluster order — worker-count
+            // independent by construction, like the norm loop in fedavg.
+            samples += updates[index].sample_count;  // bcfl-lint: allow(fp-accumulation)
+        }
+        cluster_models.push_back({fedavg_subset(updates, cluster), samples});
+    }
+    return fedavg(cluster_models);
+}
+
 std::vector<float> fedavg_subset(std::span<const ModelUpdate> updates,
                                  std::span<const std::size_t> indices) {
     std::vector<ModelUpdate> selected;

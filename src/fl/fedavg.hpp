@@ -21,4 +21,16 @@ struct ModelUpdate {
     std::span<const ModelUpdate> updates,
     std::span<const std::size_t> indices);
 
+/// Two-tier FedAvg (hierarchical/committee aggregation, core/topology.hpp):
+/// each cluster (a list of indices into `updates`, disjoint cover) is
+/// averaged into one cluster model carrying the summed sample count, then
+/// the cluster models are averaged. Algebraically this equals flat
+/// `fedavg` over the same updates — and with power-of-two-exact inputs the
+/// equality holds bit-for-bit (the equivalence pin in
+/// tests/property_test.cpp). Throws ShapeError on an empty partition, an
+/// out-of-range index, or an index used twice.
+[[nodiscard]] std::vector<float> hierarchical_fedavg(
+    std::span<const ModelUpdate> updates,
+    std::span<const std::vector<std::size_t>> clusters);
+
 }  // namespace bcfl::fl

@@ -10,8 +10,9 @@ namespace {
 
 class SimpleNnModel final : public FlModel {
 public:
-    SimpleNnModel(const ml::InputDims& dims, std::uint64_t seed)
-        : model_(ml::make_simple_nn(dims, seed)) {}
+    SimpleNnModel(const ml::InputDims& dims, std::uint64_t seed,
+                  std::size_t hidden)
+        : model_(ml::make_simple_nn(dims, seed, hidden)) {}
 
     std::vector<float> weights() override { return model_.flat_weights(); }
     void set_weights(std::span<const float> weights) override {
@@ -90,7 +91,7 @@ ml::InputDims dims_of(const ml::FederatedData& data) {
 }  // namespace
 
 FlTask make_simple_nn_task(const ml::FederatedData& data,
-                           std::uint64_t model_seed) {
+                           std::uint64_t model_seed, std::size_t hidden) {
     FlTask task;
     task.model_name = "SimpleNN";
     task.clients = data.client_train.size();
@@ -98,8 +99,8 @@ FlTask make_simple_nn_task(const ml::FederatedData& data,
     task.client_test = data.client_test;
     task.aggregator_test = data.global_test;
     const ml::InputDims dims = dims_of(data);
-    task.make_model = [dims, model_seed] {
-        return std::make_unique<SimpleNnModel>(dims, model_seed);
+    task.make_model = [dims, model_seed, hidden] {
+        return std::make_unique<SimpleNnModel>(dims, model_seed, hidden);
     };
     task.train_template.epochs = 5;
     task.train_template.batch_size = 32;

@@ -46,9 +46,12 @@ struct FlTask {
     ml::TrainConfig train_template;
 };
 
-/// SimpleNN task: raw images, full model trained.
+/// SimpleNN task: raw images, full model trained. `hidden` is the MLP's
+/// hidden-layer width (small values make large-roster scaling scenarios
+/// cheap to train).
 [[nodiscard]] FlTask make_simple_nn_task(const ml::FederatedData& data,
-                                         std::uint64_t model_seed);
+                                         std::uint64_t model_seed,
+                                         std::size_t hidden = 96);
 
 struct EffnetTaskOptions {
     std::size_t pretrain_samples = 2000;

@@ -95,7 +95,18 @@ void Node::broadcast(MsgKind kind, const Bytes& body) {
     message.reserve(body.size() + 1);
     message.push_back(static_cast<std::uint8_t>(kind));
     append(message, body);
-    network_.broadcast(id_, message);
+    // Overlay-restricted flood: txs may take a narrower overlay than
+    // blocks (see NodeConfig::tx_neighbors). An empty list means the full
+    // mesh, the historical behavior.
+    const std::vector<net::NodeId>& overlay =
+        (kind == MsgKind::tx && !config_.tx_neighbors.empty())
+            ? config_.tx_neighbors
+            : config_.neighbors;
+    if (overlay.empty()) {
+        network_.broadcast(id_, message);
+        return;
+    }
+    for (net::NodeId to : overlay) network_.send(id_, to, message);
 }
 
 void Node::handle_message(net::NodeId from, const Bytes& message) {

@@ -35,6 +35,20 @@ struct NodeConfig {
     std::uint64_t rng_seed = 7;
     /// Cap on real nonce-search effort when sealing (safety valve).
     std::uint64_t max_seal_attempts = 50'000'000;
+    /// Gossip overlay: when non-empty, this node's broadcasts go only to
+    /// the listed peers (flood-with-dedup over the overlay graph) instead
+    /// of the full mesh. Hierarchical deployments (core/topology.hpp) use
+    /// a two-level overlay — members link only to their cluster head,
+    /// heads form a mesh among themselves plus their members — so a
+    /// broadcast costs O(peers + heads^2) sends instead of O(peers^2).
+    /// Empty (the default) preserves the full-mesh flood exactly.
+    std::vector<net::NodeId> neighbors;
+    /// When non-empty, *transaction* gossip uses this subset instead of
+    /// `neighbors`. Non-mining leaves have no use for foreign txs (they
+    /// follow the chain via block gossip), and at ~300 us per signature
+    /// check, pool admission at every leaf dominates large-roster runs —
+    /// so hierarchical overlays route txs only toward the miners.
+    std::vector<net::NodeId> tx_neighbors;
     /// Generation size of the gossip-dedup set: when the current
     /// generation reaches this many hashes it becomes the previous one and
     /// the oldest generation is dropped, bounding memory at ~2x the cap

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <span>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -140,6 +141,102 @@ TEST_P(SeededProperty, FedAvgStaysWithinPerCoordinateBounds) {
         EXPECT_GE(avg[d], lo - 1e-4f);
         EXPECT_LE(avg[d], hi + 1e-4f);
     }
+}
+
+// The hierarchical-equivalence pin: committee aggregation (wait_all +
+// weighted FedAvg at both tiers) must equal flat FedAvg over the same
+// updates. With dyadic-exact inputs — power-of-two cluster sizes and
+// sample counts, weights j*2^-6 — every intermediate (norms, per-
+// coordinate sums, the float-cast cluster models) is exactly
+// representable, so the equality is bit-for-bit, not approximate. The
+// cluster partition itself is randomized per seed.
+TEST_P(SeededProperty, HierarchicalFedAvgExactlyEqualsFlatOnDyadicInputs) {
+    Rng rng(GetParam() ^ 0x777);
+    constexpr std::size_t kUpdates = 32;
+    constexpr std::size_t kClusterSize = 4;
+    const std::size_t dim = 1 + rng.next_below(48);
+    // Per-cluster sample counts (1,1,2,4) sum to 8: cluster totals and the
+    // grand total stay powers of two, keeping every FedAvg norm dyadic.
+    constexpr double kCounts[kClusterSize] = {1.0, 1.0, 2.0, 4.0};
+
+    std::vector<std::size_t> order(kUpdates);
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng.shuffle(std::span<std::size_t>(order));
+
+    std::vector<fl::ModelUpdate> updates(kUpdates);
+    std::vector<std::vector<std::size_t>> clusters;
+    for (std::size_t begin = 0; begin < kUpdates; begin += kClusterSize) {
+        std::vector<std::size_t> cluster;
+        for (std::size_t k = 0; k < kClusterSize; ++k) {
+            const std::size_t index = order[begin + k];
+            updates[index].sample_count = kCounts[k];
+            cluster.push_back(index);
+        }
+        clusters.push_back(std::move(cluster));
+    }
+    for (auto& update : updates) {
+        update.weights.resize(dim);
+        for (auto& w : update.weights) {
+            const double j = static_cast<double>(rng.next_below(511)) - 255.0;
+            w = static_cast<float>(j / 64.0);  // j * 2^-6, dyadic
+        }
+    }
+
+    const std::vector<float> flat = fl::fedavg(updates);
+    const std::vector<float> tiered = fl::hierarchical_fedavg(updates, clusters);
+    ASSERT_EQ(flat.size(), tiered.size());
+    for (std::size_t d = 0; d < dim; ++d) {
+        // Bit-exact, not approximate: any FP reordering would fail this.
+        EXPECT_EQ(flat[d], tiered[d]) << "coordinate " << d;
+    }
+}
+
+// On arbitrary (non-dyadic) inputs the two orders differ only by float
+// rounding of the cluster intermediates.
+TEST_P(SeededProperty, HierarchicalFedAvgTracksFlatWithinRounding) {
+    Rng rng(GetParam() ^ 0x888);
+    const std::size_t dim = 1 + rng.next_below(32);
+    const std::size_t count = 2 + rng.next_below(12);
+    std::vector<fl::ModelUpdate> updates(count);
+    for (auto& update : updates) {
+        update.sample_count = 1.0 + static_cast<double>(rng.next_below(50));
+        update.weights.resize(dim);
+        for (auto& w : update.weights) {
+            w = static_cast<float>(rng.normal() * 2.0);
+        }
+    }
+    // Random partition: walk the shuffled indices, cutting at random.
+    std::vector<std::size_t> order(count);
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng.shuffle(std::span<std::size_t>(order));
+    std::vector<std::vector<std::size_t>> clusters;
+    for (std::size_t i = 0; i < count;) {
+        const std::size_t take =
+            std::min(count - i, 1 + rng.next_below(5));
+        clusters.emplace_back(order.begin() + static_cast<std::ptrdiff_t>(i),
+                              order.begin() +
+                                  static_cast<std::ptrdiff_t>(i + take));
+        i += take;
+    }
+    const std::vector<float> flat = fl::fedavg(updates);
+    const std::vector<float> tiered = fl::hierarchical_fedavg(updates, clusters);
+    ASSERT_EQ(flat.size(), tiered.size());
+    for (std::size_t d = 0; d < dim; ++d) {
+        EXPECT_NEAR(flat[d], tiered[d], 1e-4);
+    }
+}
+
+TEST_P(SeededProperty, HierarchicalFedAvgRejectsBrokenPartitions) {
+    std::vector<fl::ModelUpdate> updates(4);
+    for (auto& update : updates) update.weights = {1.0f};
+    using Clusters = std::vector<std::vector<std::size_t>>;
+    EXPECT_THROW((void)fl::hierarchical_fedavg(updates, Clusters{}),
+                 ShapeError);
+    EXPECT_THROW(
+        (void)fl::hierarchical_fedavg(updates, Clusters{{0, 1}, {1, 2, 3}}),
+        ShapeError);  // index in two clusters
+    EXPECT_THROW((void)fl::hierarchical_fedavg(updates, Clusters{{0, 4}}),
+                 ShapeError);  // out of range
 }
 
 TEST_P(SeededProperty, WeightSerializerDetectsRandomCorruption) {

@@ -213,6 +213,88 @@ TEST(ScenarioSpec, RejectsInvalidSweeps) {
                  Error);
 }
 
+/// Parse must fail AND the message must carry `expect` — negative paths
+/// that merely throw with a generic message do not count as diagnostics.
+void expect_parse_error(const std::string& text, const std::string& expect) {
+    try {
+        (void)parse_scenario(text);
+        FAIL() << "expected a parse failure mentioning \"" << expect << "\"";
+    } catch (const Error& error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find(expect), std::string::npos)
+            << "got: " << what << "\nwanted substring: " << expect;
+    }
+}
+
+TEST(ScenarioSpec, RejectsBrokenTopologies) {
+    // Unknown keys inside "topology" cite the offending value's byte
+    // offset, like every other parse diagnostic.
+    expect_parse_error(
+        minimal_spec(R"(,"peers":6,"topology":{"cluster_sz":3})"), "offset");
+    expect_parse_error(
+        minimal_spec(R"(,"peers":6,"topology":{"cluster_sz":3})"),
+        "unknown key");
+    // Partition defects surface at parse time, not mid-deployment, and
+    // point back at the topology object.
+    expect_parse_error(
+        minimal_spec(
+            R"(,"peers":4,"topology":{"clusters":[[0,1],[1,2,3]]})"),
+        "two clusters");
+    expect_parse_error(
+        minimal_spec(R"(,"peers":4,"topology":{"clusters":[[0,1],[]]})"),
+        "empty");
+    expect_parse_error(
+        minimal_spec(
+            R"(,"peers":4,"topology":{"clusters":[[0,1],[2,3,7]]})"),
+        "outside the roster");
+    expect_parse_error(
+        minimal_spec(R"(,"peers":4,"topology":{"clusters":[[0,1],[2,3]],)"
+                     R"("heads":[0,3,2]})"),
+        "one head per cluster");
+    expect_parse_error(
+        minimal_spec(R"(,"peers":4,"topology":{"clusters":[[0,1],[2,3]],)"
+                     R"("heads":[0,1]})"),
+        "not a member");
+    expect_parse_error(
+        minimal_spec(R"(,"peers":4,"topology":{"clusters":[[0,1]]})"),
+        "in no cluster");
+    expect_parse_error(
+        minimal_spec(R"(,"peers":4,"topology":{"cluster_size":9})"),
+        "exceeds the peer count");
+    // The sweepable knob in two places would let document order win.
+    expect_parse_error(
+        minimal_spec(R"(,"peers":4,"cluster_size":2,)"
+                     R"("topology":{"cluster_size":2})"),
+        "one place");
+    // A bad cluster_size sweep value fails the dry-apply, citing its own
+    // byte offset.
+    expect_parse_error(
+        minimal_spec(
+            R"(,"peers":4,"aggregation":"fedavg_all","sweep":{"cluster_size":[0,9]})"),
+        "sweep:");
+    expect_parse_error(
+        minimal_spec(
+            R"(,"peers":4,"aggregation":"fedavg_all","sweep":{"cluster_size":[0,9]})"),
+        "offset");
+    // Combination-search width guards: the default flat aggregation is
+    // best_combination, so a wide flat roster is rejected outright...
+    expect_parse_error(minimal_spec(R"(,"peers":12)"), "aggregation");
+    // ...and per-tier, the widths that matter are the cluster fan-in and
+    // the head count, not the roster.
+    expect_parse_error(
+        minimal_spec(
+            R"(,"peers":24,"aggregation":"fedavg_all","topology":{)"
+            R"("cluster_size":12,"head_aggregation":"best_combination"})"),
+        "topology.head_aggregation");
+    expect_parse_error(
+        minimal_spec(
+            R"(,"peers":24,"aggregation":"fedavg_all","topology":{)"
+            R"("cluster_size":2,"top_aggregation":"best_combination"})"),
+        "topology.top_aggregation");
+    // Roster cap.
+    expect_parse_error(minimal_spec(R"(,"peers":600)"), "[2, 512]");
+}
+
 TEST(ScenarioSpec, ParsesNetworkConditions) {
     const ScenarioSpec spec = parse_scenario(minimal_spec(R"(,"network":{
         "default_latency":{"dist":"lognormal","median_ms":40,"sigma":0.6},
