@@ -32,6 +32,7 @@
 #include "ml/layers.hpp"
 #include "ml/models.hpp"
 #include "rlp/rlp.hpp"
+#include "vm/analysis.hpp"
 #include "vm/evm.hpp"
 #include "vm/registry_contract.hpp"
 
@@ -149,6 +150,171 @@ void BM_VmChunkStore64K(benchmark::State& state) {
                             1024);
 }
 BENCHMARK(BM_VmChunkStore64K);
+
+// ---------------------------------------------------------------------------
+// Static analyzer: analysis throughput, cache effectiveness and the
+// call-time win from the cached jumpdest bitmap. Also emits
+// BENCH_vm_analysis.json whose `parity` subtree (verdicts over a fixed
+// program set, the registry contract's block/jumpdest counts, env mask and
+// block-table keccak, and the analysis-cache hit counts after a fixed call
+// sequence) is exact-gated by scripts/bench_compare.py: any drift means the
+// analyzer's seeded behaviour changed.
+
+void BM_VmAnalysis(benchmark::State& state) {
+    for (auto _ : state) {
+        // Synthetic ~64 KiB program: repeated straight-line blocks
+        // (JUMPDEST PUSH1 1 PUSH1 2 ADD POP), terminated by STOP. Every
+        // block falls through to the next, so the whole program is
+        // reachable and analyzes valid.
+        Bytes synthetic;
+        const std::size_t kTargetBytes = 64 * 1024;
+        const std::uint8_t unit[] = {0x5b, 0x60, 0x01, 0x60, 0x02, 0x01, 0x50};
+        while (synthetic.size() + sizeof(unit) < kTargetBytes) {
+            synthetic.insert(synthetic.end(), std::begin(unit),
+                             std::end(unit));
+        }
+        synthetic.push_back(0x00);  // STOP
+
+        const vm::CodeAnalysis synthetic_analysis = vm::analyze(synthetic);
+        const double analyze_ms = bench::best_wall_ms(
+            5, [&] { benchmark::DoNotOptimize(vm::analyze(synthetic)); });
+        const double kib = static_cast<double>(synthetic.size()) / 1024.0;
+
+        // Cache effectiveness: one Vm, sixteen registry calls. The first
+        // call misses and analyzes; every later call must hit — the
+        // "no per-call bitmap rebuild" contract, pinned by the parity gate.
+        vm::WorldState base;
+        base.deploy(vm::registry_address(), vm::registry_bytecode());
+        const Bytes calldata = vm::registry_abi::publish_calldata(
+            1, crypto::keccak256(str_bytes("m")), 4, 1024);
+        const auto registry_call = [&](const vm::Vm& evm) {
+            vm::WorldState state_copy = base;
+            vm::CallContext ctx;
+            ctx.contract = vm::registry_address();
+            ctx.caller = crypto::KeyPair::from_seed(1).address();
+            ctx.calldata = calldata;
+            ctx.gas_limit = 10'000'000;
+            benchmark::DoNotOptimize(evm.call(state_copy, ctx));
+        };
+        const std::size_t kCalls = 16;
+        vm::Vm counted_vm;
+        for (std::size_t i = 0; i < kCalls; ++i) registry_call(counted_vm);
+        const vm::AnalysisCache::Stats stats =
+            counted_vm.analysis_cache().stats();
+        const double hit_rate =
+            static_cast<double>(stats.hits) /
+            static_cast<double>(stats.hits + stats.misses);
+
+        // Call-time speedup: cold constructs a fresh Vm (empty cache, so
+        // the call pays for the analysis) vs warm reusing a primed one.
+        const double call_cold_ms = bench::best_wall_ms(5, [&] {
+            const vm::Vm cold_vm;
+            registry_call(cold_vm);
+        });
+        vm::Vm warm_vm;
+        registry_call(warm_vm);  // prime
+        const double call_warm_ms =
+            bench::best_wall_ms(5, [&] { registry_call(warm_vm); });
+
+        // Fixed program set for the verdict parity table: the registry
+        // plus one sample per fatal-diagnostic class and the two benign
+        // boundary cases the analyzer must keep accepting.
+        struct Sample {
+            const char* name;
+            Bytes code;
+        };
+        const Sample samples[] = {
+            {"registry", vm::registry_bytecode()},
+            {"underflow_add", Bytes{0x01}},
+            {"truncated_push2", Bytes{0x61}},
+            {"zero_padded_push2", Bytes{0x61, 0xaa}},
+            {"jump_into_push_data", Bytes{0x60, 0x04, 0x56, 0x60, 0x5b, 0x00}},
+            {"dynamic_jump", Bytes{0x58, 0x56}},
+            {"growth_loop", Bytes{0x5b, 0x36, 0x61, 0x00, 0x00, 0x56}},
+            {"invalid_opcode", Bytes{0x60, 0x01, 0xfe}},
+            {"dead_jumpdest", Bytes{0x00, 0x5b, 0x00}},
+        };
+
+        const vm::CodeAnalysis registry =
+            vm::analyze(vm::registry_bytecode());
+        const Hash32 table_hash =
+            crypto::keccak256(vm::block_table_dump(registry));
+        std::size_t registry_reachable = 0;
+        for (const vm::BasicBlock& block : registry.blocks) {
+            if (block.reachable) ++registry_reachable;
+        }
+        std::size_t registry_jumpdests = 0;
+        for (const bool is_dest : registry.jumpdest) {
+            if (is_dest) ++registry_jumpdests;
+        }
+
+        bench::print_title("E6+ — static analyzer: throughput, cache, gate");
+        std::printf("analyze 64KiB straight-line: %8.3f ms  (%.3f ms/KiB)\n",
+                    analyze_ms, analyze_ms / kib);
+        std::printf(
+            "cache after %zu registry calls: %llu hits / %llu misses "
+            "(hit rate %.3f)\n",
+            kCalls, static_cast<unsigned long long>(stats.hits),
+            static_cast<unsigned long long>(stats.misses), hit_rate);
+        std::printf(
+            "registry call cold vs warm cache: %8.3f ms -> %8.3f ms "
+            "(speedup %.2fx)\n",
+            call_cold_ms, call_warm_ms, call_cold_ms / call_warm_ms);
+        std::printf("registry block table keccak: %s\n",
+                    table_hash.hex().c_str());
+
+        bench::Json json = bench::Json::object();
+        json.set("bench", "vm_analysis");
+        json.set("synthetic_code_bytes",
+                 static_cast<std::uint64_t>(synthetic.size()));
+        json.set("synthetic_valid", synthetic_analysis.valid());
+        json.set("synthetic_blocks", static_cast<std::uint64_t>(
+                                         synthetic_analysis.blocks.size()));
+        json.set("analysis_ms", analyze_ms);
+        json.set("analysis_ms_per_kib", analyze_ms / kib);
+        json.set("registry_call_cold_ms", call_cold_ms);
+        json.set("registry_call_warm_ms", call_warm_ms);
+        json.set("cached_bitmap_speedup", call_cold_ms / call_warm_ms);
+        json.set("cache_hit_rate", hit_rate);
+
+        bench::Json parity = bench::Json::object();
+        parity.set("registry_calls", static_cast<std::uint64_t>(kCalls));
+        parity.set("cache_hits", stats.hits);
+        parity.set("cache_misses", stats.misses);
+        parity.set("cache_evictions", stats.evictions);
+        parity.set("registry_blocks",
+                   static_cast<std::uint64_t>(registry.blocks.size()));
+        parity.set("registry_reachable_blocks",
+                   static_cast<std::uint64_t>(registry_reachable));
+        parity.set("registry_unreachable_bytes",
+                   static_cast<std::uint64_t>(registry.unreachable_bytes));
+        parity.set("registry_jumpdests",
+                   static_cast<std::uint64_t>(registry_jumpdests));
+        parity.set("registry_env_mask",
+                   static_cast<std::uint64_t>(registry.env_mask));
+        parity.set("registry_block_table_keccak", table_hash.hex());
+        std::uint64_t valid_count = 0;
+        bench::Json verdicts = bench::Json::array();
+        for (const Sample& sample : samples) {
+            const vm::CodeAnalysis analysis = vm::analyze(sample.code);
+            if (analysis.valid()) ++valid_count;
+            const vm::Diagnostic* fatal = analysis.first_fatal();
+            bench::Json row = bench::Json::object();
+            row.set("program", sample.name);
+            row.set("verdict", analysis.valid() ? "valid" : "invalid");
+            row.set("diagnostic", fatal != nullptr ? fatal->name : "");
+            verdicts.push(std::move(row));
+        }
+        parity.set("valid_programs", valid_count);
+        parity.set("invalid_programs",
+                   static_cast<std::uint64_t>(std::size(samples)) -
+                       valid_count);
+        parity.set("verdicts", std::move(verdicts));
+        json.set("parity", std::move(parity));
+        bench::write_bench_json("vm_analysis", json);
+    }
+}
+BENCHMARK(BM_VmAnalysis)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 void BM_MatmulNN(benchmark::State& state) {
     const std::size_t n = static_cast<std::size_t>(state.range(0));

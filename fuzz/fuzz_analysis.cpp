@@ -1,0 +1,111 @@
+// Fuzz target: vm::analyze — the static gate untrusted contract bytecode
+// passes before the chain installs and executes it.
+//
+// Contracts under test:
+//   * totality: analyze never throws or crashes on ANY byte string and
+//     always returns a verdict (no try block — any escape aborts);
+//   * stability: analyzing the same bytes twice yields an identical
+//     serialized block table (block_table_dump), and the annotated
+//     disassembly of code + analysis is total;
+//   * the differential invariant the executor gate relies on: a program
+//     the analyzer ACCEPTS never traps on stack underflow, stack
+//     overflow, an invalid jump destination or a truncated PUSH when the
+//     interpreter runs it — for any calldata. Runtime out-of-gas and
+//     memory-limit aborts are fine (those are dynamic); the structural
+//     trap classes must be impossible in accepted code.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "crypto/keccak.hpp"
+#include "vm/analysis.hpp"
+#include "vm/assembler.hpp"
+#include "vm/disasm.hpp"
+#include "vm/evm.hpp"
+#include "vm/state.hpp"
+
+namespace {
+
+bool starts_with(const std::string& text, std::string_view prefix) {
+    return text.size() >= prefix.size() &&
+           text.compare(0, prefix.size(), prefix) == 0;
+}
+
+/// Runtime errors that analyzer-accepted code must never produce. The
+/// strings match the Abort reasons in vm/evm.cpp exactly; "size/offset out
+/// of range: jump dest" is the interpreter's bound check on the popped jump
+/// target, i.e. another spelling of invalid-jump.
+bool forbidden_for_accepted(const std::string& error) {
+    return error == "stack underflow" || error == "stack overflow" ||
+           error == "invalid jump destination" ||
+           error == "push extends past end of code" ||
+           error == "size/offset out of range: jump dest" ||
+           starts_with(error, "invalid opcode");
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+    const bcfl::BytesView code{data, size};
+
+    // Totality + stability: no try block around any of this.
+    const bcfl::vm::CodeAnalysis analysis = bcfl::vm::analyze(code);
+    const bcfl::Bytes table = bcfl::vm::block_table_dump(analysis);
+    const bcfl::vm::CodeAnalysis again = bcfl::vm::analyze(code);
+    if (table != bcfl::vm::block_table_dump(again) ||
+        analysis.valid() != again.valid()) {
+        std::fprintf(stderr, "analysis: unstable result across re-runs\n");
+        std::abort();
+    }
+    (void)bcfl::vm::disassemble_annotated(code, analysis);
+
+    // Interpretation 2: assembler source. Output of a successful assembly
+    // must itself analyze without crashing (diagnostics included).
+    const std::string_view source{reinterpret_cast<const char*>(data), size};
+    try {
+        std::vector<bcfl::vm::AsmDiagnostic> diagnostics;
+        const bcfl::Bytes assembled = bcfl::vm::assemble(source, &diagnostics);
+        (void)bcfl::vm::analyze(assembled);
+    } catch (const bcfl::Error&) {
+        // Typed rejection is the contract for malformed source.
+    }
+
+    // Differential invariant, for accepted programs only.
+    if (size == 0 || !analysis.valid()) return 0;
+
+    bcfl::vm::WorldState state;
+    bcfl::Address contract;
+    contract.data[19] = 0x01;
+    state.deploy(contract, bcfl::Bytes(data, data + size));
+
+    // Deterministic "random" calldata derived from the input itself.
+    const bcfl::Hash32 seed = bcfl::crypto::keccak256(code);
+    bcfl::Bytes calldata;
+    const std::size_t calldata_len = data[0] % 97;
+    while (calldata.size() < calldata_len) {
+        calldata.push_back(seed.data[calldata.size() % seed.data.size()]);
+    }
+
+    const bcfl::vm::Vm vm;
+    bcfl::vm::CallContext ctx;
+    ctx.contract = contract;
+    ctx.caller.data[19] = 0x99;
+    ctx.calldata = calldata;
+    ctx.gas_limit = 100'000;  // bounded: loops die on gas, which is fine
+    ctx.block_number = 1;
+    ctx.timestamp_ms = 1'000;
+    const bcfl::vm::CallResult result = vm.call(state, ctx);
+    if (!result.success && forbidden_for_accepted(result.error)) {
+        std::fprintf(stderr,
+                     "analysis accepted code that trapped at runtime: %s\n",
+                     result.error.c_str());
+        std::abort();
+    }
+    return 0;
+}

@@ -9,6 +9,8 @@
 #      documented in docs/scenarios.md.
 #   4. Every bcfl-lint rule name (RULE_NAMES in scripts/bcfl_lint.py) is
 #      documented in docs/development.md.
+#   5. Every VM analyzer/assembler diagnostic name (the kDiag* constants
+#      in src/vm/*.cpp) is documented in docs/vm.md.
 #
 #   $ scripts/check_docs.sh        # from anywhere; exits non-zero on failure
 set -euo pipefail
@@ -102,6 +104,26 @@ for rule in "${lint_rules[@]}"; do
   fi
 done
 echo "verified ${#lint_rules[@]} lint rules: ${lint_rules[*]}"
+
+echo "== docs: VM diagnostic names documented in docs/vm.md =="
+# The analyzer and assembler name every finding through a kDiag* constant;
+# harvest those literals so a diagnostic added in code without a docs entry
+# fails this job.
+mapfile -t vm_diags < <(grep -hoE 'kDiag[A-Za-z0-9]+ = "[a-z-]+"' src/vm/*.cpp \
+  | sed -E 's/.*"([a-z-]+)"/\1/' | sort -u)
+if [ "${#vm_diags[@]}" -lt 5 ]; then
+  echo "suspiciously few diagnostic names parsed from src/vm/*.cpp (${#vm_diags[@]})"
+  fail=1
+fi
+for diag in "${vm_diags[@]}"; do
+  # Code context again: backtick, the name, then a character that cannot
+  # extend it (diagnostic names are [a-z-]).
+  if ! grep -qE '`'"${diag}"'[^a-z-]' docs/vm.md; then
+    echo "UNDOCUMENTED VM DIAGNOSTIC: \"$diag\" (named in src/vm/*.cpp, missing from docs/vm.md)"
+    fail=1
+  fi
+done
+echo "verified ${#vm_diags[@]} VM diagnostics: ${vm_diags[*]}"
 
 if [ "$fail" -ne 0 ]; then
   echo "check_docs.sh: FAILED"

@@ -27,10 +27,13 @@
 #    sections of the chain bench run
 #    (BCFL_CHAIN_BENCH_SECTIONS=long_chain,scaling) so their counts and
 #    digests can be gated against the baseline.
-# 6. Bench-baseline gate: scripts/bench_compare.py diffs the fresh
+# 6. Analyzer parity: the vm_analysis bench section runs so its verdict
+#    table, analysis-cache hit counts and registry block-table digest can
+#    be gated against the baseline.
+# 7. Bench-baseline gate: scripts/bench_compare.py diffs the fresh
 #    BENCH_*.json against bench/baselines/ and fails on any
-#    accuracy/fitness regression or chain-parity mismatch.
-# 7. A second configure with -Wall -Wextra -Werror to keep the tree
+#    accuracy/fitness regression or chain/analyzer-parity mismatch.
+# 8. A second configure with -Wall -Wextra -Werror to keep the tree
 #    warning-clean.
 set -euo pipefail
 
@@ -62,7 +65,7 @@ else
   cmake -B build-fuzz -S . -DBCFL_FUZZ=ON -DBCFL_ASAN=ON \
     -DBCFL_BUILD_TESTS=OFF -DBCFL_BUILD_BENCHES=OFF -DBCFL_BUILD_EXAMPLES=OFF
   cmake --build build-fuzz -j "${JOBS}"
-  for target in json rlp asm model; do
+  for target in json rlp asm model analysis; do
     ./build-fuzz/fuzz/fuzz_${target} fuzz/corpus/${target}/*
   done
 fi
@@ -132,11 +135,15 @@ echo "== chain parity: deterministic long-chain + peers-axis scaling sections ==
 (cd build && BCFL_CHAIN_BENCH_SECTIONS=long_chain,scaling \
   ./bench/chain_performance >/dev/null)
 
+echo "== analyzer parity: verdicts, cache hits, registry block-table digest =="
+(cd build && ./bench/micro_substrates --benchmark_filter=VmAnalysis >/dev/null)
+
 echo "== bench-baseline gate: fresh JSON vs bench/baselines =="
 python3 scripts/bench_compare.py build/BENCH_micro_substrates.json \
   build/BENCH_scenario_ci_smoke.json \
   build/BENCH_scenario_hierarchical_ci_smoke.json \
-  build/BENCH_chain_performance.json
+  build/BENCH_chain_performance.json \
+  build/BENCH_vm_analysis.json
 
 echo "== strict: -Wall -Wextra -Werror build =="
 cmake -B build-werror -S . -DBCFL_WERROR=ON

@@ -31,11 +31,23 @@ struct ChainConfig {
     GasSchedule gas;
 };
 
+/// A creation transaction whose bytecode failed static analysis. The block
+/// still imports deterministically — the tx gets a failure receipt and
+/// burns its gas — but nothing is installed, and the typed diagnostic is
+/// surfaced here for logs and tests. Not part of any consensus encoding.
+struct InstallRejection {
+    std::size_t tx_index = 0;
+    std::string diagnostic;  // stable analyzer name, e.g. "stack-underflow"
+    std::size_t offset = 0;  // byte offset into the rejected code
+    std::string message;     // full human-readable diagnostic
+};
+
 /// Outcome of executing a block's transactions on top of its parent state.
 struct ExecutionResult {
     Hash32 state_root;
     std::vector<Receipt> receipts;
     std::uint64_t gas_used = 0;
+    std::vector<InstallRejection> rejected_installs;
 };
 
 /// Supplied by the node layer (which owns contract state). Must be

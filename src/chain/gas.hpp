@@ -31,6 +31,10 @@ struct GasSchedule {
     std::uint64_t vm_log_topic = 375;
     std::uint64_t vm_log_data_byte = 8;
     std::uint64_t vm_memory_word = 3;
+
+    // Contract creation: code-deposit cost per installed byte, charged on
+    // top of intrinsic gas by the executor's creation path.
+    std::uint64_t vm_deploy_byte = 200;
 };
 
 /// Gas charged before execution starts: base cost plus calldata bytes.

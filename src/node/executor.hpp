@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "chain/blockchain.hpp"
+#include "vm/analysis.hpp"
 #include "vm/evm.hpp"
 #include "vm/state.hpp"
 
@@ -18,7 +19,9 @@ namespace bcfl::node {
 class VmBlockExecutor final : public chain::BlockExecutor {
 public:
     explicit VmBlockExecutor(chain::GasSchedule gas = {})
-        : vm_(gas), gas_(gas) {}
+        : analysis_cache_(std::make_shared<vm::AnalysisCache>(gas)),
+          vm_(gas, vm::VmLimits{}, analysis_cache_),
+          gas_(gas) {}
 
     /// Registers the genesis world state under the genesis header.
     void register_genesis(const chain::BlockHeader& genesis,
@@ -33,6 +36,17 @@ public:
 
     [[nodiscard]] const vm::Vm& vm() const { return vm_; }
 
+    /// Shared Vm/executor analysis cache (hit/miss stats feed the
+    /// vm_analysis bench section).
+    [[nodiscard]] const vm::AnalysisCache& analysis_cache() const {
+        return *analysis_cache_;
+    }
+
+    /// Deterministic address for a contract created by (sender, nonce):
+    /// last 20 bytes of keccak256(sender || nonce_be64).
+    [[nodiscard]] static Address creation_address(const Address& sender,
+                                                  std::uint64_t nonce);
+
 private:
     using Key = std::pair<Hash32, Hash32>;  // (parent hash, tx root)
 
@@ -41,6 +55,7 @@ private:
         chain::ExecutionResult result;
     };
 
+    std::shared_ptr<vm::AnalysisCache> analysis_cache_;
     vm::Vm vm_;
     chain::GasSchedule gas_;
     std::map<Key, Entry> cache_;

@@ -4,6 +4,7 @@
 #include <limits>
 #include <map>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -14,6 +15,9 @@
 namespace bcfl::vm {
 
 namespace {
+
+// Diagnostic names — harvested by scripts/check_docs.sh into docs/vm.md.
+constexpr std::string_view kDiagUnreferencedLabel = "unreferenced-label";
 
 struct Token {
     std::string text;
@@ -167,11 +171,14 @@ std::optional<std::size_t> push_width_of(const std::string& name) {
 
 }  // namespace
 
-Bytes assemble(std::string_view source) {
+Bytes assemble(std::string_view source,
+               std::vector<AsmDiagnostic>* diagnostics) {
     const std::vector<Token> tokens = tokenize(source);
 
     // Pass 1: compute label offsets (all widths are known statically).
     std::map<std::string, std::size_t> labels;
+    std::map<std::string, std::size_t> label_lines;  // for diagnostics
+    std::set<std::string> referenced;
     std::size_t offset = 0;
     for (std::size_t i = 0; i < tokens.size(); ++i) {
         const Token& token = tokens[i];
@@ -180,6 +187,7 @@ Bytes assemble(std::string_view source) {
             if (name.empty()) fail(token, "empty label name");
             if (labels.contains(name)) fail(token, "duplicate label");
             labels[name] = offset;
+            label_lines[name] = token.line;
             continue;
         }
         if (token.text.starts_with("@")) {
@@ -209,6 +217,7 @@ Bytes assemble(std::string_view source) {
             const std::string name = token.text.substr(1);
             const auto it = labels.find(name);
             if (it == labels.end()) fail(token, "undefined label");
+            referenced.insert(name);
             if (it->second > 0xffff) fail(token, "label offset exceeds PUSH2");
             code.push_back(0x61);  // PUSH2
             code.push_back(static_cast<std::uint8_t>(it->second >> 8));
@@ -222,6 +231,22 @@ Bytes assemble(std::string_view source) {
             continue;
         }
         code.push_back(*simple_opcode(token.text));
+    }
+
+    if (diagnostics != nullptr) {
+        // `labels` is an ordered map, so the warning order is stable.
+        for (const auto& [name, label_offset] : labels) {
+            if (referenced.contains(name)) continue;
+            (void)label_offset;
+            AsmDiagnostic d;
+            d.name = std::string(kDiagUnreferencedLabel);
+            d.line = label_lines[name];
+            std::ostringstream out;
+            out << "asm line " << d.line << ": " << kDiagUnreferencedLabel
+                << ": label '" << name << "' is defined but never referenced";
+            d.message = out.str();
+            diagnostics->push_back(std::move(d));
+        }
     }
     return code;
 }

@@ -2,8 +2,9 @@
 //
 // Syntax:
 //   ; comment to end of line
-//   label:            defines a jump target (emits JUMPDEST automatically
-//                     when followed by instructions? no — explicit JUMPDEST)
+//   label:            names the current byte offset. No bytes are emitted:
+//                     a label that should be a jump target must be followed
+//                     by an explicit JUMPDEST instruction.
 //   @label            pushes the label's byte offset (as PUSH2)
 //   PUSHn <imm>       immediate in hex (0x..) or decimal, n in 1..32
 //   MNEMONIC          any opcode mnemonic (ADD, MSTORE, DUP3, LOG2, ...)
@@ -12,14 +13,28 @@
 // dialect — the stand-in for the paper's Solidity aggregation contract.
 #pragma once
 
+#include <cstddef>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/bytes.hpp"
 
 namespace bcfl::vm {
 
+/// Non-fatal assembler finding. `name` is a stable kebab-case identifier
+/// (documented in docs/vm.md); today the only producer is
+/// "unreferenced-label" — a defined label no `@label` operand ever uses.
+struct AsmDiagnostic {
+    std::string name;
+    std::size_t line = 0;  // 1-based source line of the finding
+    std::string message;
+};
+
 /// Assembles source text; throws bcfl::Error with a line-numbered message on
 /// syntax errors, unknown mnemonics, oversized immediates or missing labels.
-[[nodiscard]] Bytes assemble(std::string_view source);
+/// When `diagnostics` is non-null, non-fatal warnings are appended to it.
+[[nodiscard]] Bytes assemble(std::string_view source,
+                             std::vector<AsmDiagnostic>* diagnostics = nullptr);
 
 }  // namespace bcfl::vm

@@ -6,47 +6,99 @@
 
 namespace bcfl::vm {
 
+namespace {
+
+/// Renders the instruction at `pc` ("0x0004  PUSH2 0x001a") and returns its
+/// size in bytes, immediate included.
+std::size_t render_insn(std::ostringstream& out, BytesView code,
+                        std::size_t pc) {
+    const std::uint8_t byte = code[pc];
+    out << "0x";
+    out.width(4);
+    out.fill('0');
+    out << std::hex << pc << std::dec << "  ";
+
+    if (is_push(byte)) {
+        const std::size_t width = static_cast<std::size_t>(push_width(byte));
+        out << "PUSH" << width << " 0x";
+        for (std::size_t i = 0; i < width; ++i) {
+            if (pc + 1 + i < code.size()) {
+                const std::uint8_t imm = code[pc + 1 + i];
+                out << to_hex(BytesView{&imm, 1});
+            } else {
+                out << "??";  // truncated immediate
+            }
+        }
+        return 1 + width;
+    }
+    if (byte >= 0x80 && byte <= 0x8f) {
+        out << "DUP" << (byte - 0x7f);
+    } else if (byte >= 0x90 && byte <= 0x9f) {
+        out << "SWAP" << (byte - 0x8f);
+    } else if (byte >= 0xa0 && byte <= 0xa4) {
+        out << "LOG" << (byte - 0xa0);
+    } else {
+        const std::string_view name = op_name(byte);
+        if (name.empty()) {
+            out << "INVALID(0x" << to_hex(BytesView{&byte, 1}) << ")";
+        } else {
+            out << name;
+        }
+    }
+    return 1;
+}
+
+void render_offset(std::ostringstream& out, std::size_t offset) {
+    out << "0x";
+    out.width(4);
+    out.fill('0');
+    out << std::hex << offset << std::dec;
+}
+
+}  // namespace
+
 std::string disassemble(BytesView code) {
     std::ostringstream out;
     std::size_t pc = 0;
     while (pc < code.size()) {
-        const std::uint8_t byte = code[pc];
-        out << "0x";
-        out.width(4);
-        out.fill('0');
-        out << std::hex << pc << std::dec << "  ";
+        pc += render_insn(out, code, pc);
+        out << "\n";
+    }
+    return out.str();
+}
 
-        if (is_push(byte)) {
-            const std::size_t width = static_cast<std::size_t>(push_width(byte));
-            out << "PUSH" << width << " 0x";
-            for (std::size_t i = 0; i < width; ++i) {
-                if (pc + 1 + i < code.size()) {
-                    const std::uint8_t imm = code[pc + 1 + i];
-                    out << to_hex(BytesView{&imm, 1});
-                } else {
-                    out << "??";  // truncated immediate
-                }
-            }
-            pc += 1 + width;
-        } else if (byte >= 0x80 && byte <= 0x8f) {
-            out << "DUP" << (byte - 0x7f);
-            ++pc;
-        } else if (byte >= 0x90 && byte <= 0x9f) {
-            out << "SWAP" << (byte - 0x8f);
-            ++pc;
-        } else if (byte >= 0xa0 && byte <= 0xa4) {
-            out << "LOG" << (byte - 0xa0);
-            ++pc;
+std::string disassemble_annotated(BytesView code,
+                                  const CodeAnalysis& analysis) {
+    std::ostringstream out;
+    for (std::size_t b = 0; b < analysis.blocks.size(); ++b) {
+        const BasicBlock& block = analysis.blocks[b];
+        out << "; block " << b << "  [";
+        render_offset(out, block.start);
+        out << ", ";
+        render_offset(out, block.end);
+        out << ")";
+        if (block.reachable) {
+            out << "  stack in [" << block.entry_min << ","
+                << block.entry_max << "]  delta "
+                << (block.delta >= 0 ? "+" : "") << block.delta
+                << "  gas >= " << block.static_gas;
         } else {
-            const std::string_view name = op_name(byte);
-            if (name.empty()) {
-                out << "INVALID(0x" << to_hex(BytesView{&byte, 1}) << ")";
-            } else {
-                out << name;
-            }
-            ++pc;
+            out << "  unreachable";
         }
         out << "\n";
+        std::size_t pc = block.start;
+        while (pc < block.end && pc < code.size()) {
+            pc += render_insn(out, code, pc);
+            out << "\n";
+        }
+    }
+    if (!analysis.diagnostics.empty()) {
+        out << "; diagnostics (" << (analysis.valid() ? "valid" : "invalid")
+            << "):\n";
+        for (const Diagnostic& d : analysis.diagnostics) {
+            out << ";   " << (d.fatal ? "error: " : "warning: ") << d.message
+                << "\n";
+        }
     }
     return out.str();
 }

@@ -5,11 +5,20 @@
 #include <string>
 
 #include "common/bytes.hpp"
+#include "vm/analysis.hpp"
 
 namespace bcfl::vm {
 
 /// One line per instruction: "0x0004  PUSH2 0x001a" etc. Unknown bytes are
 /// rendered as "INVALID(0xfe)"; truncated PUSH immediates are flagged.
 [[nodiscard]] std::string disassemble(BytesView code);
+
+/// Disassembly interleaved with the recovered CFG: a header line per basic
+/// block (byte range, entry stack-height interval, net delta, static gas
+/// lower bound, reachability), followed by the block's instructions, and
+/// the analyzer diagnostics at the end. `analysis` must come from
+/// analyze()/AnalysisCache over the same `code`.
+[[nodiscard]] std::string disassemble_annotated(BytesView code,
+                                                const CodeAnalysis& analysis);
 
 }  // namespace bcfl::vm

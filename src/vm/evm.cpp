@@ -161,13 +161,11 @@ CallResult Vm::execute(WorldState& state, const CallContext& ctx) const {
     }
     const Bytes& code = state.code_at(ctx.contract);
 
-    // Pre-scan valid jump destinations (skipping PUSH immediates).
-    std::vector<bool> jumpdest(code.size(), false);
-    for (std::size_t i = 0; i < code.size();) {
-        const std::uint8_t byte = code[i];
-        if (static_cast<Op>(byte) == Op::JUMPDEST) jumpdest[i] = true;
-        i += is_push(byte) ? 1 + static_cast<std::size_t>(push_width(byte)) : 1;
-    }
+    // The JUMPDEST bitmap comes from the cached static analysis (computed
+    // once per code hash) instead of a per-call rescan of the code.
+    const std::shared_ptr<const CodeAnalysis> analysis =
+        cache_->get(state.code_hash_at(ctx.contract), code);
+    const std::vector<bool>& jumpdest = analysis->jumpdest;
 
     Machine m{code, ctx, state, gas_, limits_, {}, {}, {}, ctx.gas_limit, 0};
 

@@ -7,12 +7,14 @@
 // word rather than quadratic.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "chain/gas.hpp"
 #include "chain/types.hpp"
 #include "common/bytes.hpp"
+#include "vm/analysis.hpp"
 #include "vm/opcodes.hpp"
 #include "vm/state.hpp"
 
@@ -42,8 +44,18 @@ struct VmLimits {
 
 class Vm {
 public:
-    explicit Vm(chain::GasSchedule gas = {}, VmLimits limits = {})
-        : gas_(gas), limits_(limits) {}
+    /// `cache` lets callers (the block executor, benches) share one
+    /// AnalysisCache across Vm instances; when null the Vm owns a private
+    /// one. Either way Vm::call never rescans code for JUMPDESTs — the
+    /// bitmap comes from the cached CodeAnalysis, computed once per
+    /// keccak(code).
+    explicit Vm(chain::GasSchedule gas = {}, VmLimits limits = {},
+                std::shared_ptr<AnalysisCache> cache = nullptr)
+        : gas_(gas),
+          limits_(limits),
+          cache_(cache ? std::move(cache)
+                       : std::make_shared<AnalysisCache>(gas,
+                                                         limits.max_stack)) {}
 
     /// Executes the contract installed at `ctx.contract`. On failure the
     /// contract's storage is rolled back and all gas is consumed.
@@ -54,11 +66,16 @@ public:
     CallResult static_call(const WorldState& state,
                            const CallContext& ctx) const;
 
+    [[nodiscard]] const AnalysisCache& analysis_cache() const {
+        return *cache_;
+    }
+
 private:
     CallResult execute(WorldState& state, const CallContext& ctx) const;
 
     chain::GasSchedule gas_;
     VmLimits limits_;
+    std::shared_ptr<AnalysisCache> cache_;
 };
 
 }  // namespace bcfl::vm

@@ -5,8 +5,23 @@
 
 namespace bcfl::vm {
 
+const Hash32& WorldState::empty_code_hash() {
+    static const Hash32 hash = crypto::keccak256(Bytes{});
+    return hash;
+}
+
 void WorldState::deploy(const Address& address, Bytes code) {
-    accounts_[address].code = std::move(code);
+    Account& account = accounts_[address];
+    account.code = std::move(code);
+    account.code_hash = crypto::keccak256(account.code);
+}
+
+std::shared_ptr<const CodeAnalysis> WorldState::install(const Address& address,
+                                                        Bytes code,
+                                                        AnalysisCache& cache) {
+    auto analysis = cache.get(code);
+    if (analysis->valid()) deploy(address, std::move(code));
+    return analysis;
 }
 
 bool WorldState::has_contract(const Address& address) const {
@@ -18,6 +33,12 @@ const Bytes& WorldState::code_at(const Address& address) const {
     const auto it = accounts_.find(address);
     if (it == accounts_.end()) throw Error("no contract at address");
     return it->second.code;
+}
+
+const Hash32& WorldState::code_hash_at(const Address& address) const {
+    const auto it = accounts_.find(address);
+    if (it == accounts_.end()) throw Error("no contract at address");
+    return it->second.code_hash;
 }
 
 crypto::U256 WorldState::storage_load(const Address& address,
@@ -53,7 +74,7 @@ Hash32 WorldState::state_root() const {
     Bytes preimage;
     for (const auto& [address, account] : accounts_) {
         append(preimage, address.view());
-        append(preimage, crypto::keccak256(account.code).view());
+        append(preimage, account.code_hash.view());
         for (const auto& [key, value] : account.storage) {
             append(preimage, key.to_hash().view());
             append(preimage, value.to_hash().view());

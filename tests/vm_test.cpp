@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include "chain/types.hpp"
 #include "common/error.hpp"
+#include "core/parallel.hpp"
 #include "crypto/keccak.hpp"
+#include "node/executor.hpp"
+#include "vm/analysis.hpp"
 #include "vm/assembler.hpp"
 #include "vm/disasm.hpp"
 #include "vm/registry_contract.hpp"
@@ -422,6 +426,269 @@ TEST(WorldState, RootIndependentOfInsertionOrder) {
     b.storage_store(contract_address(), U256{2}, U256{20});
     b.storage_store(contract_address(), U256{1}, U256{10});
     EXPECT_EQ(a.state_root(), b.state_root());
+}
+
+// ---------------------------------------------------------- Static analysis
+
+/// The first fatal diagnostic's message, or "" when the verdict is valid.
+std::string first_fatal_message(const CodeAnalysis& analysis) {
+    const Diagnostic* fatal = analysis.first_fatal();
+    return fatal ? fatal->message : std::string{};
+}
+
+TEST(Analysis, RegistryContractAnalyzesClean) {
+    const CodeAnalysis analysis = analyze(registry_bytecode());
+    EXPECT_TRUE(analysis.valid());
+    EXPECT_EQ(analysis.unreachable_bytes, 0u);
+    for (const Diagnostic& d : analysis.diagnostics) {
+        EXPECT_FALSE(d.fatal) << d.message;
+        EXPECT_NE(d.name, "unreachable-jumpdest") << d.message;
+    }
+    // The registry reads CALLER but none of the other env opcodes — the
+    // determinism mask future scenario policies will key on.
+    EXPECT_EQ(analysis.env_mask, kEnvCaller);
+    EXPECT_GT(analysis.blocks.size(), 8u);
+    for (const BasicBlock& block : analysis.blocks) {
+        EXPECT_TRUE(block.reachable)
+            << "block at offset " << block.start << " unreachable";
+    }
+}
+
+TEST(Analysis, RejectsStackUnderflowWithByteOffset) {
+    // ADD at offset 0 on an empty stack.
+    const CodeAnalysis analysis = analyze(Bytes{0x01});
+    EXPECT_FALSE(analysis.valid());
+    const std::string message = first_fatal_message(analysis);
+    EXPECT_NE(message.find("stack-underflow"), std::string::npos) << message;
+    EXPECT_NE(message.find("offset 0x0000"), std::string::npos) << message;
+}
+
+TEST(Analysis, RejectsInvalidJumpTargetWithByteOffset) {
+    // PUSH1 3; JUMP; STOP — offset 3 is past the single STOP at 2... the
+    // target (3) addresses STOP's successor byte, which is not a JUMPDEST.
+    const CodeAnalysis analysis = analyze(assemble("PUSH1 3 JUMP STOP"));
+    EXPECT_FALSE(analysis.valid());
+    const std::string message = first_fatal_message(analysis);
+    EXPECT_NE(message.find("invalid-jump-target"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("offset 0x0002"), std::string::npos) << message;
+}
+
+TEST(Analysis, RejectsTruncatedPushWithByteOffset) {
+    // PUSH2 with no immediate bytes at all: the interpreter aborts with
+    // "push extends past end of code" when it reaches this.
+    const CodeAnalysis analysis = analyze(Bytes{0x61});
+    EXPECT_FALSE(analysis.valid());
+    const std::string message = first_fatal_message(analysis);
+    EXPECT_NE(message.find("truncated-push"), std::string::npos) << message;
+    EXPECT_NE(message.find("offset 0x0000"), std::string::npos) << message;
+}
+
+TEST(Analysis, AcceptsPushZeroPaddedByOneByteLikeInterpreter) {
+    // PUSH2 with one immediate byte present: the interpreter zero-pads
+    // this case (only a shortfall of two or more aborts), so the analyzer
+    // must accept it too — the fuzz differential invariant depends on the
+    // boundary matching exactly.
+    const CodeAnalysis analysis = analyze(Bytes{0x61, 0xaa});
+    EXPECT_TRUE(analysis.valid()) << first_fatal_message(analysis);
+}
+
+TEST(Analysis, RejectsDynamicJump) {
+    const CodeAnalysis analysis = analyze(assemble("PC JUMP"));
+    EXPECT_FALSE(analysis.valid());
+    const std::string message = first_fatal_message(analysis);
+    EXPECT_NE(message.find("dynamic-jump"), std::string::npos) << message;
+    EXPECT_NE(message.find("offset 0x0001"), std::string::npos) << message;
+}
+
+TEST(Analysis, RejectsUnboundedStackGrowthLoop) {
+    // Each round trip through the loop nets +1 stack entry; the interval
+    // analysis (with widening) must prove eventual overflow.
+    const CodeAnalysis analysis =
+        analyze(assemble("loop: JUMPDEST CALLDATASIZE @loop JUMP"));
+    EXPECT_FALSE(analysis.valid());
+    EXPECT_NE(first_fatal_message(analysis).find("stack-overflow"),
+              std::string::npos);
+}
+
+TEST(Analysis, WarnsOnUnreachableJumpdestWithoutRejecting) {
+    const CodeAnalysis analysis = analyze(assemble("STOP dead: JUMPDEST STOP"));
+    EXPECT_TRUE(analysis.valid());
+    EXPECT_EQ(analysis.unreachable_bytes, 2u);
+    ASSERT_EQ(analysis.diagnostics.size(), 1u);
+    EXPECT_EQ(analysis.diagnostics[0].name, "unreachable-jumpdest");
+    EXPECT_FALSE(analysis.diagnostics[0].fatal);
+    EXPECT_NE(analysis.diagnostics[0].message.find("offset 0x0001"),
+              std::string::npos);
+}
+
+TEST(Analysis, EnvironmentMaskCoversAllFourOpcodes) {
+    const CodeAnalysis analysis =
+        analyze(assemble("TIMESTAMP NUMBER GAS CALLER POP POP POP POP STOP"));
+    EXPECT_TRUE(analysis.valid());
+    EXPECT_EQ(analysis.env_mask,
+              kEnvTimestamp | kEnvNumber | kEnvGas | kEnvCaller);
+}
+
+TEST(Analysis, BlockTableDumpIsDeterministic) {
+    const Bytes code = registry_bytecode();
+    const Bytes a = block_table_dump(analyze(code));
+    const Bytes b = block_table_dump(analyze(code));
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a.empty());
+}
+
+TEST(Analysis, CacheHitsOnRepeatedCalls) {
+    WorldState state;
+    state.deploy(contract_address(),
+                 assemble("PUSH1 0x00 PUSH1 0x00 RETURN"));
+    Vm vm;
+    CallContext ctx;
+    ctx.contract = contract_address();
+    ctx.caller = caller_address();
+    ctx.gas_limit = kGas;
+    EXPECT_TRUE(vm.call(state, ctx).success);
+    EXPECT_TRUE(vm.call(state, ctx).success);
+    const AnalysisCache::Stats stats = vm.analysis_cache().stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(Analysis, InstallRefusesInvalidCodeAndKeepsStateClean) {
+    WorldState state;
+    AnalysisCache cache;
+    const Hash32 root_before = state.state_root();
+    const auto analysis = state.install(contract_address(), Bytes{0x01}, cache);
+    EXPECT_FALSE(analysis->valid());
+    EXPECT_FALSE(state.has_contract(contract_address()));
+    EXPECT_EQ(state.state_root(), root_before);
+
+    const auto ok =
+        state.install(contract_address(), assemble("STOP"), cache);
+    EXPECT_TRUE(ok->valid());
+    EXPECT_TRUE(state.has_contract(contract_address()));
+}
+
+// ----------------------------------------------------- Assembler diagnostics
+
+TEST(Assembler, WarnsOnUnreferencedLabel) {
+    std::vector<AsmDiagnostic> diagnostics;
+    const Bytes code = assemble("orphan: JUMPDEST STOP", &diagnostics);
+    EXPECT_EQ(code, (Bytes{0x5b, 0x00}));
+    ASSERT_EQ(diagnostics.size(), 1u);
+    EXPECT_EQ(diagnostics[0].name, "unreferenced-label");
+    EXPECT_NE(diagnostics[0].message.find("orphan"), std::string::npos);
+    EXPECT_NE(diagnostics[0].message.find("line 1"), std::string::npos);
+}
+
+TEST(Assembler, RegistrySourceHasNoUnreferencedLabels) {
+    std::vector<AsmDiagnostic> diagnostics;
+    (void)assemble(registry_source(), &diagnostics);
+    for (const AsmDiagnostic& d : diagnostics) {
+        ADD_FAILURE() << d.message;
+    }
+}
+
+// ------------------------------------------------------- Annotated listing
+
+TEST(Disasm, AnnotatedListingShowsBlocksStackHeightsAndDeadBytes) {
+    const Bytes code = assemble("STOP dead: JUMPDEST STOP");
+    const std::string listing =
+        disassemble_annotated(code, analyze(code));
+    EXPECT_NE(listing.find("; block 0"), std::string::npos) << listing;
+    EXPECT_NE(listing.find("stack in [0,0]"), std::string::npos) << listing;
+    EXPECT_NE(listing.find("unreachable"), std::string::npos) << listing;
+    EXPECT_NE(listing.find("unreachable-jumpdest"), std::string::npos)
+        << listing;
+
+    const std::string registry = disassemble_annotated(
+        registry_bytecode(), analyze(registry_bytecode()));
+    EXPECT_NE(registry.find("; block"), std::string::npos);
+    EXPECT_NE(registry.find("gas >= "), std::string::npos);
+    EXPECT_EQ(registry.find("unreachable"), std::string::npos);
+}
+
+// ----------------------------------------------- Executor install gating
+
+chain::Block creation_block(const chain::BlockHeader& parent,
+                            const crypto::KeyPair& key, Bytes code) {
+    chain::Block block;
+    block.header.number = parent.number + 1;
+    block.header.parent_hash = parent.hash();
+    block.header.timestamp_ms = 1'000;
+    block.transactions.push_back(chain::Transaction::make_signed(
+        key, 0, Address{}, 1'000'000, 1, std::move(code)));
+    block.header.tx_root = block.compute_tx_root();
+    return block;
+}
+
+TEST(Executor, RejectsInvalidInstallDeterministicallyAcrossThreadCounts) {
+    const auto key = crypto::KeyPair::from_seed(7);
+    const chain::BlockHeader genesis;  // defaults; only the hash matters
+    const chain::Block block =
+        creation_block(genesis, key, Bytes{0x01});  // ADD on empty stack
+
+    const auto run_at = [&](std::size_t threads) {
+        const core::parallel::ThreadCountOverride override_threads(threads);
+        node::VmBlockExecutor executor;
+        executor.register_genesis(genesis, vm::WorldState{});
+        return executor.execute(genesis, block);
+    };
+    const chain::ExecutionResult serial = run_at(1);
+    const chain::ExecutionResult wide = run_at(8);
+
+    // Identical outcome at both widths: the determinism contract.
+    EXPECT_EQ(serial.state_root, wide.state_root);
+    EXPECT_EQ(chain::receipts_root(serial.receipts),
+              chain::receipts_root(wide.receipts));
+    ASSERT_EQ(serial.rejected_installs.size(), 1u);
+    ASSERT_EQ(wide.rejected_installs.size(), 1u);
+    EXPECT_EQ(serial.rejected_installs[0].message,
+              wide.rejected_installs[0].message);
+
+    // The typed, offset-carrying diagnostic.
+    const chain::InstallRejection& rejection = serial.rejected_installs[0];
+    EXPECT_EQ(rejection.tx_index, 0u);
+    EXPECT_EQ(rejection.diagnostic, "stack-underflow");
+    EXPECT_EQ(rejection.offset, 0u);
+    EXPECT_NE(rejection.message.find("offset 0x0000"), std::string::npos);
+
+    // The tx fails and burns its gas, but the block still executes.
+    ASSERT_EQ(serial.receipts.size(), 1u);
+    EXPECT_FALSE(serial.receipts[0].success);
+    EXPECT_EQ(serial.receipts[0].gas_used, 1'000'000u);
+}
+
+TEST(Executor, InstallsValidCreationCodeAtDerivedAddress) {
+    const auto key = crypto::KeyPair::from_seed(8);
+    const chain::BlockHeader genesis;
+    const chain::Block block = creation_block(
+        genesis, key,
+        assemble("PUSH1 0x2a PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN"));
+
+    node::VmBlockExecutor executor;
+    executor.register_genesis(genesis, vm::WorldState{});
+    const chain::ExecutionResult result = executor.execute(genesis, block);
+    EXPECT_TRUE(result.rejected_installs.empty());
+    ASSERT_EQ(result.receipts.size(), 1u);
+    EXPECT_TRUE(result.receipts[0].success);
+
+    // The receipt returns the derived contract address; the contract is
+    // installed there and callable.
+    const Address target =
+        node::VmBlockExecutor::creation_address(key.address(), 0);
+    EXPECT_EQ(result.receipts[0].return_data,
+              Bytes(target.data.begin(), target.data.end()));
+    const vm::WorldState& state = executor.state_after(block.header);
+    ASSERT_TRUE(state.has_contract(target));
+    CallContext ctx;
+    ctx.contract = target;
+    ctx.caller = key.address();
+    ctx.gas_limit = kGas;
+    const CallResult call = executor.vm().static_call(state, ctx);
+    ASSERT_TRUE(call.success) << call.error;
+    ASSERT_EQ(call.return_data.size(), 32u);
+    EXPECT_EQ(call.return_data[31], 0x2a);
 }
 
 }  // namespace
