@@ -32,8 +32,7 @@
 #include "chain/pow.hpp"
 #include "core/topology.hpp"
 #include "crypto/keccak.hpp"
-#include "net/network.hpp"
-#include "net/sim.hpp"
+#include "net/sim_transport.hpp"
 #include "node/node.hpp"
 #include "vm/registry_contract.hpp"
 
@@ -81,11 +80,11 @@ struct ThroughputPoint {
 ThroughputPoint measure_throughput(std::size_t participants,
                                    std::size_t payload_bytes,
                                    net::SimTime horizon) {
-    net::Simulation sim;
     net::LinkParams link;
     link.bytes_per_us = 2.5;   // 20 Mbit/s shared uplink
     link.latency = net::ms(20);
-    net::Network network(sim, link, 17);
+    net::SimTransport transport(link, 17);
+    auto& sim = transport.sim();
     chain::ChainConfig chain_config;
     chain_config.initial_difficulty = 1200;
     chain_config.min_difficulty = 64;
@@ -99,7 +98,7 @@ ThroughputPoint measure_throughput(std::size_t participants,
         config.key_seed = 100 + i;
         config.hash_rate = 2400.0 / static_cast<double>(participants);
         config.rng_seed = 50 + i;
-        nodes.push_back(std::make_unique<node::Node>(sim, network, config));
+        nodes.push_back(std::make_unique<node::Node>(transport, config));
     }
     for (auto& node : nodes) node->start();
 
@@ -363,12 +362,13 @@ struct FloodResult {
 FloodResult measure_flood(
     const std::vector<std::vector<std::size_t>>& adjacency,
     std::size_t origin, std::size_t payload_bytes) {
-    net::Simulation sim;
     net::LinkParams link;
     link.latency = net::ms(20);
     link.bytes_per_us = 2.5;  // 20 Mbit/s shared uplink, as in E3a
     link.jitter_fraction = 0.0;
-    net::Network network(sim, link, 23);
+    net::SimTransport transport(link, 23);
+    auto& sim = transport.sim();
+    auto& network = transport.network();
 
     const std::size_t count = adjacency.size();
     std::vector<bool> seen(count, false);
@@ -567,17 +567,16 @@ void BM_ChainPerformance(benchmark::State& state) {
                         "blocks mined");
             const auto difficulty_begin = std::chrono::steady_clock::now();
             for (std::uint64_t difficulty : {200u, 400u, 800u, 1600u, 3200u}) {
-                net::Simulation sim;
-                net::Network network(sim, net::LinkParams{}, 3);
+                net::SimTransport transport(net::LinkParams{}, 3);
                 node::NodeConfig config;
                 config.chain.initial_difficulty = difficulty;
                 config.chain.min_difficulty = difficulty;
                 config.chain.fixed_difficulty = true;
                 config.key_seed = 5;
                 config.hash_rate = 400.0;
-                node::Node node(sim, network, config);
+                node::Node node(transport, config);
                 node.start();
-                sim.run_until(net::seconds(2000));
+                transport.sim().run_until(net::seconds(2000));
                 const double interval =
                     node.chain().height() > 0
                         ? 2000.0 / static_cast<double>(node.chain().height())
@@ -604,10 +603,11 @@ void BM_ChainPerformance(benchmark::State& state) {
                         "propagation delay (ms)");
             const auto propagation_begin = std::chrono::steady_clock::now();
             for (std::size_t kb : {16u, 64u, 248u, 1024u, 4096u, 21'200u}) {
-                net::Simulation sim;
                 net::LinkParams link;
                 link.jitter_fraction = 0.0;
-                net::Network network(sim, link, 5);
+                net::SimTransport transport(link, 5);
+                auto& sim = transport.sim();
+                auto& network = transport.network();
                 net::SimTime delivered = 0;
                 const auto a =
                     network.add_node([](net::NodeId, const Bytes&) {});

@@ -12,6 +12,7 @@
 
 #include "bench_util.hpp"
 #include "core/paper_setup.hpp"
+#include "net/sim_transport.hpp"
 
 namespace {
 
@@ -28,18 +29,17 @@ void BM_MinerUnderLoad(benchmark::State& state) {
         std::printf("%12s %22s %14s\n", "cpu load", "mean interval (s)",
                     "blocks");
         for (double load : {0.0, 0.25, 0.5, 0.75, 0.9}) {
-            net::Simulation sim;
-            net::Network network(sim, net::LinkParams{}, 3);
+            net::SimTransport transport(net::LinkParams{}, 3);
             node::NodeConfig config;
             config.chain.initial_difficulty = 800;
             config.chain.min_difficulty = 800;
             config.chain.fixed_difficulty = true;
             config.key_seed = 21;
             config.hash_rate = 400.0;
-            node::Node node(sim, network, config);
+            node::Node node(transport, config);
             node.set_compute_load(load);
             node.start();
-            sim.run_until(net::seconds(3000));
+            transport.sim().run_until(net::seconds(3000));
             const double interval =
                 node.chain().height() > 0
                     ? 3000.0 / static_cast<double>(node.chain().height())

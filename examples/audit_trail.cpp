@@ -9,6 +9,7 @@
 #include "core/audit.hpp"
 #include "core/paper_setup.hpp"
 #include "ml/serialize.hpp"
+#include "net/sim_transport.hpp"
 #include "vm/registry_contract.hpp"
 
 int main() {
@@ -16,15 +17,14 @@ int main() {
     namespace abi = vm::registry_abi;
 
     // One miner, one publisher account.
-    net::Simulation sim;
-    net::Network network(sim, net::LinkParams{}, 11);
+    net::SimTransport transport(net::LinkParams{}, 11);
     node::NodeConfig config;
     config.key_seed = 42;
     config.hash_rate = 400.0;
     config.chain.initial_difficulty = 400;
     config.chain.min_difficulty = 64;
     config.chain.target_interval_ms = 2000;
-    node::Node node(sim, network, config);
+    node::Node node(transport, config);
     node.start();
 
     // Publish a (toy) model for round 3.
@@ -38,7 +38,7 @@ int main() {
     node.submit_tx(chain::Transaction::make_signed(
         node.key(), nonce++, vm::registry_address(), 5'000'000, 1,
         abi::chunk_calldata(3, 0, payload)));
-    sim.run_until(net::seconds(60));
+    transport.sim().run_until(net::seconds(60));
 
     std::printf("chain height: %llu\n",
                 static_cast<unsigned long long>(node.chain().height()));

@@ -51,6 +51,16 @@ directly above it):
                       hand-rolled `<<`-style writer would fork the
                       escaping/format rules the baselines depend on.
 
+  sim-coupling        Forbids naming the concrete backend types
+                      (`net::Simulation`, `net::Network`, `Simulation&`,
+                      `Network&`) outside src/net/. Everything above the
+                      transport seam speaks net::Transport only — that is
+                      what lets the same Node run over the deterministic
+                      sim and the TCP backend. Benches/tests that must
+                      drive the simulated clock use the SimTransport
+                      escape hatches (`transport.sim()`), which bind by
+                      auto and never name the concrete types.
+
 Exit status: 0 when clean, 1 when any finding is reported, 2 on usage
 errors. `--self-check` runs the linter over tests/lint_fixtures and
 asserts every known-bad snippet fails with exactly its rule, every
@@ -76,6 +86,7 @@ RULE_NAMES = (
     "unordered-iteration",
     "fp-accumulation",
     "bench-json",
+    "sim-coupling",
 )
 
 # Per-file rule exemptions, keyed by repo-relative path. These are the
@@ -86,6 +97,13 @@ WHITELIST = {
     "src/core/parallel.cpp": {"nondeterminism", "raw-thread"},
     "bench/bench_util.hpp": {"nondeterminism"},
     "bench/chain_performance.cpp": {"nondeterminism"},
+    # The wall-clock transport backend IS the nondeterminism boundary: it
+    # owns the steady clock and the delivery/reader/dispatch threads that
+    # the deterministic rules exist to keep out of everything else.
+    "src/net/tcp_transport.hpp": {"nondeterminism", "raw-thread"},
+    "src/net/tcp_transport.cpp": {"nondeterminism", "raw-thread"},
+    # Tests the sim/network layer itself, so it names the concrete types.
+    "tests/net_test.cpp": {"sim-coupling"},
 }
 
 ALLOW_RE = re.compile(r"//\s*bcfl-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
@@ -359,6 +377,34 @@ def rule_fp_accumulation(path: str, lines: list[str]) -> list[Finding]:
     return findings
 
 
+SIM_COUPLING_PATTERNS = (
+    (re.compile(r"\bnet::Simulation\b"), "net::Simulation"),
+    (re.compile(r"\bnet::Network\b"), "net::Network"),
+    (re.compile(r"\bSimulation\s*&"), "Simulation&"),
+    (re.compile(r"\bNetwork\s*&"), "Network&"),
+)
+
+
+def rule_sim_coupling(path: str, lines: list[str]) -> list[Finding]:
+    findings = []
+    for i, raw in enumerate(lines):
+        line = strip_strings_and_comments(raw)
+        for pattern, label in SIM_COUPLING_PATTERNS:
+            if pattern.search(line):
+                findings.append(
+                    Finding(
+                        path,
+                        i + 1,
+                        "sim-coupling",
+                        f"{label} named outside src/net/; code above the "
+                        "transport seam speaks net::Transport only (clock "
+                        "access for benches/tests: SimTransport's "
+                        "transport.sim() escape hatch)",
+                    )
+                )
+    return findings
+
+
 BENCH_EMIT_RE = re.compile(r"\"BENCH_[A-Za-z0-9_.]*")
 JSONVALUE_RE = re.compile(r"\bJsonValue\b|\bwrite_scenario_json\b")
 
@@ -408,6 +454,10 @@ def rules_for(path: str):
         yield "fp-accumulation", rule_fp_accumulation
     if top in ("src", "bench", "examples"):
         yield "bench-json", rule_bench_json
+    if top in ("src", "bench", "examples", "tests", "fuzz") and not path.startswith(
+        "src/net/"
+    ):
+        yield "sim-coupling", rule_sim_coupling
 
 
 def lint_file(root: str, rel_path: str) -> list[Finding]:

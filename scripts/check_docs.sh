@@ -11,6 +11,8 @@
 #      documented in docs/development.md.
 #   5. Every VM analyzer/assembler diagnostic name (the kDiag* constants
 #      in src/vm/*.cpp) is documented in docs/vm.md.
+#   6. Every virtual method of the net::Transport interface
+#      (src/net/transport.hpp) is documented in docs/transport.md.
 #
 #   $ scripts/check_docs.sh        # from anywhere; exits non-zero on failure
 set -euo pipefail
@@ -124,6 +126,27 @@ for diag in "${vm_diags[@]}"; do
   fi
 done
 echo "verified ${#vm_diags[@]} VM diagnostics: ${vm_diags[*]}"
+
+echo "== docs: Transport interface documented in docs/transport.md =="
+# The interface is the source of truth: harvest every virtual method name
+# (the destructor aside) so a method added to the seam without a docs
+# entry fails this job.
+mapfile -t transport_methods < <(grep -E '^\s*(\[\[nodiscard\]\] )?virtual ' src/net/transport.hpp \
+  | grep -v '~Transport' | sed -E 's/\(.*$/(/' | grep -oE '[a-z_]+\($' \
+  | sed 's/(//' | sort -u)
+if [ "${#transport_methods[@]}" -lt 8 ]; then
+  echo "suspiciously few Transport methods parsed from src/net/transport.hpp (${#transport_methods[@]})"
+  fail=1
+fi
+for method in "${transport_methods[@]}"; do
+  # Code context: backtick, the method name, then a non-identifier
+  # character ('(' in every current entry).
+  if ! grep -qE '`'"${method}"'[^a-z_]' docs/transport.md; then
+    echo "UNDOCUMENTED TRANSPORT METHOD: \"$method\" (declared in src/net/transport.hpp, missing from docs/transport.md)"
+    fail=1
+  fi
+done
+echo "verified ${#transport_methods[@]} Transport methods: ${transport_methods[*]}"
 
 if [ "$fail" -ne 0 ]; then
   echo "check_docs.sh: FAILED"

@@ -130,6 +130,19 @@ public:
                                                  std::uint64_t timestamp_ms) const;
 
     [[nodiscard]] std::size_t total_blocks() const { return records_.size(); }
+
+    /// Records still holding an account-nonce snapshot. Bounded by the
+    /// horizon plus the side-branch population (canonical blocks below the
+    /// horizon are pruned; side blocks keep theirs) — the soak runner
+    /// asserts this stays flat in chain length.
+    [[nodiscard]] std::size_t nonce_snapshots_held() const {
+        std::size_t held = 0;
+        for (const auto& [hash, record] : records_) {
+            held += record.nonces != nullptr ? 1 : 0;
+        }
+        return held;
+    }
+
     [[nodiscard]] const Block& genesis() const;
 
 private:

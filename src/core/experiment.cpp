@@ -7,23 +7,28 @@
 #include "common/error.hpp"
 #include "core/parallel.hpp"
 #include "ml/serialize.hpp"
+#include "net/sim_transport.hpp"
 
 namespace bcfl::core {
 
 DecentralizedResult run_decentralized(const fl::FlTask& task,
                                       const DecentralizedConfig& config) {
+    net::SimTransport transport(config.link, config.conditions, config.seed);
+    return run_decentralized(task, config, transport);
+}
+
+DecentralizedResult run_decentralized(const fl::FlTask& task,
+                                      const DecentralizedConfig& config,
+                                      net::Transport& transport) {
     if (task.clients < config.peers) {
         throw Error("experiment: task has fewer clients than peers");
     }
     // Pin the compute engine for the whole run (0 = keep the ambient
     // default, including any override a caller already holds). The engine
-    // only ever parallelizes work *inside* a single sim event, so this
-    // cannot perturb event ordering or any recorded result.
+    // only ever parallelizes work *inside* a single delivery event, so
+    // this cannot perturb event ordering or any recorded result.
     std::optional<parallel::ThreadCountOverride> engine_threads;
     if (config.threads != 0) engine_threads.emplace(config.threads);
-
-    net::Simulation sim;
-    net::Network network(sim, config.link, config.conditions, config.seed);
 
     chain::ChainConfig chain_config;
     chain_config.initial_difficulty = config.initial_difficulty;
@@ -83,8 +88,7 @@ DecentralizedResult run_decentralized(const fl::FlTask& task,
                 node_config.tx_neighbors.push_back(head);
             }
         }
-        nodes.push_back(
-            std::make_unique<node::Node>(sim, network, node_config));
+        nodes.push_back(std::make_unique<node::Node>(transport, node_config));
         roster.push_back(nodes.back()->address());
     }
 
@@ -134,10 +138,15 @@ DecentralizedResult run_decentralized(const fl::FlTask& task,
                 tier.role = TierRole::member;
             }
         }
-        peers.push_back(std::make_unique<BcflPeer>(sim, *nodes[i], task,
-                                                   roster, peer_config));
+        peers.push_back(
+            std::make_unique<BcflPeer>(*nodes[i], task, roster, peer_config));
     }
 
+    // Bring the backend up only after every node/peer is wired: a socket
+    // transport starts delivery threads here, while start()/run_rounds()
+    // below still run on this thread — enqueued timers do not fire until
+    // run() opens the gate, so construction-time state needs no locks.
+    transport.start();
     for (auto& node : nodes) node->start();
     for (auto& peer : peers) peer->run_rounds(config.rounds);
 
@@ -147,16 +156,30 @@ DecentralizedResult run_decentralized(const fl::FlTask& task,
         }
         return true;
     };
-    while (!all_finished() && sim.now() < config.max_sim_time) {
-        if (!sim.step()) break;
-    }
+    transport.run(all_finished, config.max_sim_time);
 
     DecentralizedResult result;
-    result.finished_at = sim.now();
-    result.traffic = network.stats();
+    result.finished_at = transport.now();
+    // Joins every delivery thread (no-op for the sim): all node/peer state
+    // below is read strictly after delivery ceased.
+    transport.stop();
+    result.traffic = transport.stats();
     result.chain_height = nodes[0]->chain().height();
     for (const auto& node : nodes) {
         result.total_reorgs += node->stats().reorgs;
+        NodeStateProbe probe;
+        probe.gossip_seen_size = node->gossip_seen_size();
+        probe.gossip_seen_cap = node->gossip_seen_cap();
+        probe.orphans_buffered = node->orphan_blocks_buffered();
+        probe.pool_size = node->pool_size();
+        probe.seen_evictions = node->stats().seen_evictions;
+        probe.stale_txs_pruned = node->stats().stale_txs_pruned;
+        probe.nonce_snapshots_held = node->chain().nonce_snapshots_held();
+        probe.nonce_snapshot_horizon =
+            node->chain().config().nonce_snapshot_horizon;
+        probe.total_blocks = node->chain().total_blocks();
+        probe.chain_height = node->chain().height();
+        result.node_probes.push_back(probe);
     }
     double round_seconds = 0.0;
     double wait_seconds = 0.0;

@@ -13,7 +13,7 @@
 #include "core/peer.hpp"
 #include "core/topology.hpp"
 #include "fl/task.hpp"
-#include "net/network.hpp"
+#include "net/transport.hpp"
 
 namespace bcfl::core {
 
@@ -82,6 +82,23 @@ struct DecentralizedConfig {
     TopologyConfig topology;
 };
 
+/// End-of-run snapshot of one node's bounded-state footprint. The soak
+/// runner asserts these against their configured caps under sustained
+/// load (the PR-5 guarantees: gossip seen-set, tx pool, nonce-snapshot
+/// horizon); the scenario JSON does not emit them.
+struct NodeStateProbe {
+    std::size_t gossip_seen_size = 0;
+    std::size_t gossip_seen_cap = 0;
+    std::size_t orphans_buffered = 0;
+    std::size_t pool_size = 0;
+    std::uint64_t seen_evictions = 0;
+    std::uint64_t stale_txs_pruned = 0;
+    std::size_t nonce_snapshots_held = 0;
+    std::uint64_t nonce_snapshot_horizon = 0;
+    std::size_t total_blocks = 0;
+    std::uint64_t chain_height = 0;
+};
+
 struct DecentralizedResult {
     std::vector<std::vector<PeerRoundRecord>> peer_records;  // [peer][round]
     net::SimTime finished_at = 0;
@@ -96,9 +113,20 @@ struct DecentralizedResult {
     /// order — lets tests assert consensus (every peer adopted identical
     /// weights) without holding every weight vector.
     std::vector<Hash32> final_model_digests;
+    /// Per-node bounded-state snapshot, in roster order (see NodeStateProbe).
+    std::vector<NodeStateProbe> node_probes;
 };
 
+/// Runs the deployment over the deterministic simulation (the historical
+/// entry point — byte-identical seeded outputs).
 [[nodiscard]] DecentralizedResult run_decentralized(
     const fl::FlTask& task, const DecentralizedConfig& config);
+
+/// Runs the same deployment over any transport backend. The caller owns
+/// the transport (unstarted, with no nodes registered); link/conditions/
+/// seed fields of `config` are ignored — they belong to the backend.
+[[nodiscard]] DecentralizedResult run_decentralized(
+    const fl::FlTask& task, const DecentralizedConfig& config,
+    net::Transport& transport);
 
 }  // namespace bcfl::core

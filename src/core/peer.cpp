@@ -11,10 +11,9 @@ namespace bcfl::core {
 
 namespace abi = vm::registry_abi;
 
-BcflPeer::BcflPeer(net::Simulation& sim, node::Node& node,
-                   const fl::FlTask& task, std::vector<Address> roster,
-                   PeerConfig config)
-    : sim_(sim),
+BcflPeer::BcflPeer(node::Node& node, const fl::FlTask& task,
+                   std::vector<Address> roster, PeerConfig config)
+    : transport_(node.transport()),
       node_(node),
       task_(task),
       roster_(std::move(roster)),
@@ -112,7 +111,8 @@ void BcflPeer::run_rounds(std::size_t rounds) {
     target_rounds_ = rounds;
     current_round_ = 0;
     if (config_.start_delay > 0) {
-        sim_.schedule_after(config_.start_delay, [this] { begin_round(); });
+        transport_.schedule_after(node_.id(), config_.start_delay,
+                                  [this] { begin_round(); });
     } else {
         begin_round();
     }
@@ -123,13 +123,14 @@ void BcflPeer::begin_round() {
     ++current_round_;
     PeerRoundRecord record;
     record.round = current_round_;
-    record.round_started = sim_.now();
+    record.round_started = transport_.now();
     records_.push_back(record);
 
     // Training occupies the CPU for train_duration; mining slows down
     // (the dual-duty contention the paper observed on real hardware).
     node_.set_compute_load(config_.train_cpu_load);
-    sim_.schedule_after(config_.train_duration, [this] { finish_training(); });
+    transport_.schedule_after(node_.id(), config_.train_duration,
+                              [this] { finish_training(); });
 }
 
 void BcflPeer::finish_training() {
@@ -157,7 +158,7 @@ void BcflPeer::finish_training() {
     } else {
         publish_weights(member_round, own_update_);
     }
-    records_.back().published_at = sim_.now();
+    records_.back().published_at = transport_.now();
 
     switch (config_.tier.role) {
         case TierRole::flat:
@@ -236,7 +237,7 @@ RoundView BcflPeer::round_view() {
     RoundView view;
     view.round = current_round_;
     view.roster_size = roster_.size();
-    view.now = sim_.now();
+    view.now = transport_.now();
     view.wait_started = records_.back().published_at;
     for (std::size_t c = 0; c < roster_.size(); ++c) {
         if (c == config_.index) {
@@ -299,14 +300,14 @@ void BcflPeer::poll_wait_policy() {
 }
 
 void BcflPeer::schedule_policy_timer(net::SimTime when) {
-    when = std::max(when, sim_.now());
+    when = std::max(when, transport_.now());
     // An earlier-or-equal timer is already in flight; it will re-poll and
     // reschedule if the policy's deadline has moved (AdaptiveDeadline).
     if (timer_pending_ && timer_at_ <= when) return;
     timer_pending_ = true;
     timer_at_ = when;
     const std::uint64_t generation = wait_generation_;
-    sim_.schedule_at(when, [this, generation, when] {
+    transport_.schedule_at(node_.id(), when, [this, generation, when] {
         if (generation != wait_generation_) return;  // round already closed
         if (timer_pending_ && timer_at_ == when) timer_pending_ = false;
         poll_wait_policy();
@@ -315,7 +316,7 @@ void BcflPeer::schedule_policy_timer(net::SimTime when) {
 
 void BcflPeer::enter_phase(Phase phase) {
     phase_ = phase;
-    phase_started_ = sim_.now();
+    phase_started_ = transport_.now();
     waiting_ = true;
     ++wait_generation_;  // cancels the previous phase's pending timers
     timer_pending_ = false;
@@ -333,7 +334,7 @@ RoundView BcflPeer::cluster_view() {
     RoundView view;
     view.round = current_round_;
     view.roster_size = config_.tier.cluster.size();
-    view.now = sim_.now();
+    view.now = transport_.now();
     view.wait_started = phase_started_;
     const std::uint64_t member_round =
         tier_round(ModelKind::member, current_round_);
@@ -357,7 +358,7 @@ RoundView BcflPeer::top_view() {
     RoundView view;
     view.round = current_round_;
     view.roster_size = config_.tier.heads.size();
-    view.now = sim_.now();
+    view.now = transport_.now();
     view.wait_started = phase_started_;
     const std::uint64_t cluster_round =
         tier_round(ModelKind::cluster, current_round_);
@@ -420,7 +421,7 @@ void BcflPeer::aggregate_members(bool timed_out) {
     input.self_pos = self_pos;
     input.roster_size = roster_.size();
     input.round = current_round_;
-    input.now = sim_.now();
+    input.now = transport_.now();
     input.names = client_names();
     input.evaluate = [this](std::span<const float> candidate) {
         probe_->set_weights(candidate);
@@ -482,7 +483,7 @@ void BcflPeer::aggregate_clusters(bool timed_out) {
             self_pos = updates.size();
             updates.push_back({cluster_weights_, samples});
             roster_indices.push_back(head);
-            meta.push_back({current_round_, sim_.now(), 0});
+            meta.push_back({current_round_, transport_.now(), 0});
             continue;
         }
         auto weights = chain_weights(cluster_round, roster_[head]);
@@ -500,7 +501,7 @@ void BcflPeer::aggregate_clusters(bool timed_out) {
     input.self_pos = self_pos;
     input.roster_size = roster_.size();
     input.round = current_round_;
-    input.now = sim_.now();
+    input.now = transport_.now();
     input.names = client_names();
     input.evaluate = [this](std::span<const float> candidate) {
         probe_->set_weights(candidate);
@@ -554,7 +555,7 @@ void BcflPeer::poll_wait_global() {
     }
     const net::SimTime deadline =
         phase_started_ + config_.tier.member_timeout;
-    if (sim_.now() >= deadline) {
+    if (transport_.now() >= deadline) {
         // Give up on this round's global model: fall back to the best
         // model this role holds and move on (the "not to wait" branch at
         // the hierarchy's edges).
@@ -577,7 +578,7 @@ void BcflPeer::poll_wait_global() {
 }
 
 void BcflPeer::complete_round() {
-    records_.back().aggregated_at = sim_.now();
+    records_.back().aggregated_at = transport_.now();
     ++completed_rounds_;
     phase_ = Phase::idle;
     begin_round();
@@ -648,7 +649,7 @@ void BcflPeer::aggregate(bool timed_out) {
     input.self_pos = self_pos;
     input.roster_size = roster_.size();
     input.round = current_round_;
-    input.now = sim_.now();
+    input.now = transport_.now();
     input.names = client_names();
     input.evaluate = [this](std::span<const float> candidate) {
         probe_->set_weights(candidate);

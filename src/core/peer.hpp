@@ -16,6 +16,7 @@
 // The wait/aggregation axis is fully pluggable: see core/policy.hpp.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -26,7 +27,7 @@
 #include "core/topology.hpp"
 #include "fl/combinations.hpp"
 #include "fl/task.hpp"
-#include "net/sim.hpp"
+#include "net/transport.hpp"
 #include "node/node.hpp"
 
 namespace bcfl::core {
@@ -115,14 +116,19 @@ struct PeerRoundRecord {
 class BcflPeer {
 public:
     /// `roster` maps client index -> account address, shared by all peers.
-    BcflPeer(net::Simulation& sim, node::Node& node, const fl::FlTask& task,
+    /// Clock and timers come from the node's transport.
+    BcflPeer(node::Node& node, const fl::FlTask& task,
              std::vector<Address> roster, PeerConfig config);
 
     /// Launches the first round; the peer then self-schedules.
     void run_rounds(std::size_t rounds);
 
+    /// Safe to poll from outside the peer's delivery context (the socket
+    /// backend's run loop does): reads one atomic.
     [[nodiscard]] bool finished() const {
-        return target_rounds_ > 0 && completed_rounds_ >= target_rounds_;
+        return target_rounds_ > 0 &&
+               completed_rounds_.load(std::memory_order_relaxed) >=
+                   target_rounds_;
     }
     [[nodiscard]] const std::vector<PeerRoundRecord>& records() const {
         return records_;
@@ -186,7 +192,7 @@ private:
     /// can ever consume, bounding per-peer memory to its tier fan-in.
     void install_store_filter();
 
-    net::Simulation& sim_;
+    net::Transport& transport_;
     node::Node& node_;
     const fl::FlTask& task_;
     std::vector<Address> roster_;
@@ -207,7 +213,7 @@ private:
     ModelStore store_;
 
     std::size_t target_rounds_ = 0;
-    std::size_t completed_rounds_ = 0;
+    std::atomic<std::size_t> completed_rounds_ = 0;
     std::uint64_t current_round_ = 0;      // 1-based
     std::uint64_t next_nonce_ = 0;
     bool waiting_ = false;

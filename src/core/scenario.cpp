@@ -1064,6 +1064,11 @@ ScenarioSpec parse_scenario(std::string_view json_text) {
             if (spec.model != "simple" && spec.model != "effnet") {
                 fail("\"model\" must be \"simple\" or \"effnet\"");
             }
+        } else if (key == "transport") {
+            spec.transport = value.as_string(key);
+            if (spec.transport != "sim" && spec.transport != "tcp") {
+                fail("\"transport\" must be \"sim\" or \"tcp\"");
+            }
         } else if (key == "peers") {
             spec.base.peers = value.as_u64(key);
             // Large rosters are the hierarchical topology's reason to
@@ -1239,6 +1244,13 @@ JsonValue run_scenario(const ScenarioSpec& spec) {
 }
 
 JsonValue run_scenario(const ScenarioSpec& spec, const fl::FlTask& task) {
+    if (spec.transport != "sim") {
+        // The grid engine's whole contract is byte-identical output; a
+        // wall-clock backend cannot honor it. The soak runner drives those.
+        fail("transport \"" + spec.transport +
+             "\" is not deterministic — run this spec through "
+             "examples/bcfl_soak instead");
+    }
     const std::vector<ScenarioPoint> points = expand_grid(spec);
     std::optional<parallel::ThreadCountOverride> width;
     if (spec.threads != 0) width.emplace(spec.threads);

@@ -117,6 +117,11 @@ struct SweepAxis {
 struct ScenarioSpec {
     std::string name;               // [a-z0-9_]+, names the output file
     std::string model = "simple";   // "simple" | "effnet"
+    /// Transport backend the deployment runs over: "sim" (deterministic
+    /// simulation — the only backend the grid engine accepts, since its
+    /// byte-identical guarantee is what CI diffs) or "tcp" (real loopback
+    /// sockets, wall-clock time — executed by examples/bcfl_soak).
+    std::string transport = "sim";  // "sim" | "tcp"
     /// Hidden-layer width of the "simple" model; small values make large-
     /// roster scaling scenarios train in seconds (ignored by "effnet").
     std::size_t model_hidden = 96;

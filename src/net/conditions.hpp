@@ -22,6 +22,19 @@ namespace bcfl::net {
 
 using NodeId = std::uint32_t;
 
+/// Baseline link parameterization of the simulated full mesh (pure data;
+/// `net::Network` interprets it on every send). Models the paper's
+/// three-VM LAN defaults.
+struct LinkParams {
+    SimTime latency = ms(5);              // one-way propagation delay
+    double bytes_per_us = 12.5;           // 100 Mbit/s
+    double jitter_fraction = 0.1;         // +/- uniform jitter on latency
+    double loss_rate = 0.0;               // fraction of messages dropped
+    /// Model each sender's NIC as a shared uplink: concurrent sends from one
+    /// node serialize (a broadcast to N-1 peers pays N-1 transfer times).
+    bool shared_uplink = true;
+};
+
 /// One-way propagation-delay distribution for a link. Every draw consumes
 /// the network's seeded RNG on the simulation thread, so runs stay pure
 /// functions of (conditions, seed).

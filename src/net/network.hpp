@@ -14,29 +14,9 @@
 #include "common/rng.hpp"
 #include "net/conditions.hpp"
 #include "net/sim.hpp"
+#include "net/transport.hpp"
 
 namespace bcfl::net {
-
-struct LinkParams {
-    SimTime latency = ms(5);              // one-way propagation delay
-    double bytes_per_us = 12.5;           // 100 Mbit/s
-    double jitter_fraction = 0.1;         // +/- uniform jitter on latency
-    double loss_rate = 0.0;               // fraction of messages dropped
-    /// Model each sender's NIC as a shared uplink: concurrent sends from one
-    /// node serialize (a broadcast to N-1 peers pays N-1 transfer times).
-    bool shared_uplink = true;
-};
-
-struct TrafficStats {
-    std::uint64_t messages_sent = 0;
-    std::uint64_t messages_delivered = 0;
-    /// Every drop, whatever the cause; the two fields below break out the
-    /// fault-injection causes (the remainder is random link loss).
-    std::uint64_t messages_dropped = 0;
-    std::uint64_t dropped_partition = 0;
-    std::uint64_t dropped_offline = 0;
-    std::uint64_t bytes_sent = 0;
-};
 
 class Network {
 public:
@@ -66,7 +46,17 @@ public:
     /// active partition drops the message outright; a per-link override
     /// replaces loss/latency/bandwidth for just this pair.
     void send(NodeId from, NodeId to, Bytes message) {
-        if (to >= receivers_.size() || to == from) return;
+        if (to == from) return;  // self-send is a no-op, not an error
+        if (to >= receivers_.size()) {
+            // A destination this network never issued: count it (it was a
+            // caller bug vanishing silently before) — still "sent" so the
+            // sent == delivered + dropped + in-flight invariant holds.
+            ++stats_.messages_sent;
+            stats_.bytes_sent += message.size();
+            ++stats_.messages_dropped;
+            ++stats_.dropped_invalid;
+            return;
+        }
         ++stats_.messages_sent;
         stats_.bytes_sent += message.size();
         const SimTime now = sim_.now();

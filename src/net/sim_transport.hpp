@@ -1,0 +1,74 @@
+// Transport over the deterministic discrete-event simulation — the CI
+// truth. A thin adapter owning the Simulation clock and the concrete
+// Network: construction order, RNG draws, event times and tie-breaking seq
+// numbers are exactly what direct Simulation + Network use produced, so
+// every seeded output (BENCH_*.json baselines, scenario runs) is
+// byte-identical to the pre-interface code.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "net/network.hpp"
+#include "net/sim.hpp"
+#include "net/transport.hpp"
+
+namespace bcfl::net {
+
+class SimTransport final : public Transport {
+public:
+    explicit SimTransport(LinkParams params, std::uint64_t seed = 1)
+        : network_(sim_, params, seed) {}
+
+    SimTransport(LinkParams params, NetworkConditions conditions,
+                 std::uint64_t seed = 1)
+        : network_(sim_, params, std::move(conditions), seed) {}
+
+    NodeId add_node(Receiver receiver) override {
+        return network_.add_node(std::move(receiver));
+    }
+    [[nodiscard]] std::size_t node_count() const override {
+        return network_.node_count();
+    }
+    void send(NodeId from, NodeId to, Bytes message) override {
+        network_.send(from, to, std::move(message));
+    }
+    void broadcast(NodeId from, const Bytes& message) override {
+        network_.broadcast(from, message);
+    }
+    [[nodiscard]] SimTime now() const override { return sim_.now(); }
+    void schedule_after(NodeId /*node*/, SimTime delay,
+                        Handler handler) override {
+        // One global event queue: every node shares the simulation thread.
+        sim_.schedule_after(delay, std::move(handler));
+    }
+    [[nodiscard]] bool online(NodeId node) const override {
+        // The concrete Network only answers churn for registered ids; an
+        // id it never issued is not a node, not "a node that is up".
+        return node < network_.node_count() && network_.online(node);
+    }
+    [[nodiscard]] TrafficStats stats() const override {
+        return network_.stats();
+    }
+
+    /// The historical experiment loop, verbatim: step events until the
+    /// caller is satisfied, simulated time passes `deadline`, or the queue
+    /// drains.
+    void run(const std::function<bool()>& done, SimTime deadline) override {
+        while (!done() && sim_.now() < deadline) {
+            if (!sim_.step()) break;
+        }
+    }
+
+    /// Escape hatches for benches and tests that drive the simulated clock
+    /// directly (run_until, manual stepping, fault-window inspection).
+    /// Product code above the transport must not touch these.
+    [[nodiscard]] Simulation& sim() { return sim_; }
+    [[nodiscard]] Network& network() { return network_; }
+
+private:
+    Simulation sim_;
+    Network network_;
+};
+
+}  // namespace bcfl::net

@@ -1,0 +1,454 @@
+#include "net/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace bcfl::net {
+
+namespace {
+
+constexpr std::size_t kFrameHeaderBytes = 4;
+
+// Heap order for the per-node timer vector: std::push_heap builds a
+// max-heap, so "greater" comparison yields a min-heap on (when, seq).
+// Generic lambda because Timer is a private nested type.
+const auto timer_later = [](const auto& a, const auto& b) {
+    if (a.when != b.when) return a.when > b.when;
+    return a.seq > b.seq;
+};
+
+/// Writes the whole buffer, riding out EINTR and partial sends. Returns
+/// false on a dead connection.
+bool send_all(int fd, const std::uint8_t* data, std::size_t size) {
+    while (size > 0) {
+        const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        data += n;
+        size -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/// Reads exactly `size` bytes; false on EOF or error.
+bool recv_all(int fd, std::uint8_t* data, std::size_t size) {
+    while (size > 0) {
+        const ssize_t n = ::recv(fd, data, size, 0);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        if (n == 0) return false;  // orderly shutdown
+        data += n;
+        size -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+void encode_u32(std::uint8_t* out, std::uint32_t v) {
+    out[0] = static_cast<std::uint8_t>(v);
+    out[1] = static_cast<std::uint8_t>(v >> 8);
+    out[2] = static_cast<std::uint8_t>(v >> 16);
+    out[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+std::uint32_t decode_u32(const std::uint8_t* in) {
+    return static_cast<std::uint32_t>(in[0]) |
+           static_cast<std::uint32_t>(in[1]) << 8 |
+           static_cast<std::uint32_t>(in[2]) << 16 |
+           static_cast<std::uint32_t>(in[3]) << 24;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(TcpTransportConfig config)
+    : config_(std::move(config)), epoch_(Clock::now()) {}
+
+TcpTransport::~TcpTransport() { stop(); }
+
+NodeId TcpTransport::add_node(Receiver receiver) {
+    if (started_.load()) {
+        throw Error("tcp transport: add_node after start");
+    }
+    auto state = std::make_unique<NodeState>();
+    state->receiver = std::move(receiver);
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw Error("tcp transport: socket() failed");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;  // ephemeral
+    if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
+        1) {
+        ::close(fd);
+        throw Error("tcp transport: bad bind address " + config_.bind_address);
+    }
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+            0 ||
+        ::listen(fd, 64) < 0) {
+        ::close(fd);
+        throw Error("tcp transport: bind/listen failed: " +
+                    std::string(std::strerror(errno)));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+    state->listen_fd = fd;
+    state->port = ntohs(bound.sin_port);
+
+    nodes_.push_back(std::move(state));
+    return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+std::size_t TcpTransport::node_count() const { return nodes_.size(); }
+
+std::uint16_t TcpTransport::port_of(NodeId node) const {
+    return node < nodes_.size() ? nodes_[node]->port : 0;
+}
+
+SimTime TcpTransport::now() const {
+    return static_cast<SimTime>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              epoch_)
+            .count());
+}
+
+bool TcpTransport::online(NodeId node) const {
+    return node < nodes_.size() && !stopping_.load();
+}
+
+TrafficStats TcpTransport::stats() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return stats_;
+}
+
+void TcpTransport::count_drop() {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.messages_dropped;
+}
+
+void TcpTransport::schedule_after(NodeId node, SimTime delay,
+                                  Handler handler) {
+    if (node >= nodes_.size()) return;
+    NodeState& state = *nodes_[node];
+    Timer timer;
+    timer.when = Clock::now() + std::chrono::microseconds(delay);
+    timer.seq = timer_seq_.fetch_add(1, std::memory_order_relaxed);
+    timer.fn = std::move(handler);
+    {
+        std::lock_guard<std::mutex> lock(state.mu);
+        state.timers.push_back(std::move(timer));
+        std::push_heap(state.timers.begin(), state.timers.end(), timer_later);
+    }
+    state.cv.notify_one();
+}
+
+void TcpTransport::send(NodeId from, NodeId to, Bytes message) {
+    if (to == from) return;  // self-send is a no-op, matching the sim
+    {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.messages_sent;
+        stats_.bytes_sent += message.size();
+        if (to >= nodes_.size() || from >= nodes_.size()) {
+            ++stats_.messages_dropped;
+            ++stats_.dropped_invalid;
+            return;
+        }
+    }
+    if (message.size() > config_.max_frame_bytes ||
+        to >= nodes_[from]->links.size()) {  // sent before start(): no links
+        count_drop();
+        return;
+    }
+    Link& link = *nodes_[from]->links[to];
+    std::lock_guard<std::mutex> lock(link.mu);
+    if (link.fd < 0) {
+        // Link down (never dialed, or a previous error; the maintenance
+        // thread re-dials). The sim models this as a lossy window too.
+        count_drop();
+        return;
+    }
+    std::uint8_t header[kFrameHeaderBytes];
+    encode_u32(header, static_cast<std::uint32_t>(message.size()));
+    if (!send_all(link.fd, header, sizeof(header)) ||
+        !send_all(link.fd, message.data(), message.size())) {
+        // Dead connection: wake the blocked reader (it owns close) and
+        // leave the slot empty for the re-dial sweep.
+        ::shutdown(link.fd, SHUT_RDWR);
+        link.fd = -1;
+        count_drop();
+    }
+}
+
+void TcpTransport::broadcast(NodeId from, const Bytes& message) {
+    for (NodeId to = 0; to < nodes_.size(); ++to) {
+        if (to != from) send(from, to, message);
+    }
+}
+
+void TcpTransport::install_link(NodeId owner, NodeId peer, int fd) {
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    Link& link = *nodes_[owner]->links[peer];
+    {
+        std::lock_guard<std::mutex> lock(link.mu);
+        if (link.fd >= 0) ::shutdown(link.fd, SHUT_RDWR);  // replace stale
+        link.fd = fd;
+    }
+    spawn_reader(owner, peer, fd);
+}
+
+void TcpTransport::spawn_reader(NodeId node, NodeId peer, int fd) {
+    std::lock_guard<std::mutex> lock(readers_mu_);
+    reader_threads_.emplace_back(
+        [this, node, peer, fd] { reader_loop(node, peer, fd); });
+}
+
+bool TcpTransport::dial(NodeId hi, NodeId lo) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(nodes_[lo]->port);
+    ::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+        ::close(fd);
+        return false;
+    }
+    std::uint8_t hello[4];
+    encode_u32(hello, hi);
+    if (!send_all(fd, hello, sizeof(hello))) {
+        ::close(fd);
+        return false;
+    }
+    install_link(hi, lo, fd);
+    return true;
+}
+
+void TcpTransport::start() {
+    if (started_.exchange(true)) return;
+    for (auto& state : nodes_) {
+        state->links.clear();
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+            state->links.push_back(std::make_unique<Link>());
+        }
+    }
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+        nodes_[id]->accept_thread = std::thread([this, id] { accept_loop(id); });
+    }
+    // Dial every pair synchronously (loopback: instant) so the first sends
+    // after run() find live links instead of burning a reconnect window.
+    for (NodeId hi = 0; hi < nodes_.size(); ++hi) {
+        for (NodeId lo = 0; lo < hi; ++lo) dial(hi, lo);
+    }
+    // The dialer's end is installed synchronously above, but the acceptor's
+    // end only lands once its accept thread finishes the handshake. Sends
+    // are drop-on-dead-link (no retransmit), so wait for the full mesh
+    // here rather than silently losing the deployment's opening messages.
+    const Clock::time_point mesh_deadline =
+        Clock::now() + std::chrono::seconds(5);
+    for (NodeId a = 0; a < nodes_.size(); ++a) {
+        for (NodeId b = 0; b < nodes_.size(); ++b) {
+            if (a == b) continue;
+            for (;;) {
+                {
+                    Link& link = *nodes_[a]->links[b];
+                    std::lock_guard<std::mutex> lock(link.mu);
+                    if (link.fd >= 0) break;
+                }
+                // Timed out: leave it to the maintenance re-dial sweep.
+                if (Clock::now() >= mesh_deadline) break;
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            }
+        }
+    }
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+        nodes_[id]->dispatch_thread =
+            std::thread([this, id] { dispatch_loop(id); });
+    }
+    maintenance_thread_ = std::thread([this] { maintenance_loop(); });
+}
+
+void TcpTransport::accept_loop(NodeId node) {
+    NodeState& state = *nodes_[node];
+    for (;;) {
+        const int fd = ::accept(state.listen_fd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR) continue;
+            return;  // listener shut down (stop())
+        }
+        if (stopping_.load()) {
+            ::close(fd);
+            return;
+        }
+        std::uint8_t hello[4];
+        if (!recv_all(fd, hello, sizeof(hello))) {
+            ::close(fd);
+            continue;
+        }
+        const NodeId peer = decode_u32(hello);
+        if (peer >= nodes_.size() || peer == node) {
+            ::close(fd);
+            continue;
+        }
+        install_link(node, peer, fd);
+    }
+}
+
+void TcpTransport::reader_loop(NodeId node, NodeId peer, int fd) {
+    NodeState& state = *nodes_[node];
+    for (;;) {
+        std::uint8_t header[kFrameHeaderBytes];
+        if (!recv_all(fd, header, sizeof(header))) break;
+        const std::uint32_t length = decode_u32(header);
+        if (length == 0 || length > config_.max_frame_bytes) break;
+        Bytes payload(length);
+        if (!recv_all(fd, payload.data(), payload.size())) break;
+        bool dropped = false;
+        {
+            std::lock_guard<std::mutex> lock(state.mu);
+            if (state.inbox.size() >= config_.max_inbox) {
+                dropped = true;
+            } else {
+                state.inbox.emplace_back(peer, std::move(payload));
+            }
+        }
+        if (dropped) {
+            count_drop();
+        } else {
+            state.cv.notify_one();
+        }
+    }
+    // The reader owns close(); writers only shutdown(). Clear the slot so
+    // the maintenance sweep re-dials (if this endpoint was the dialer).
+    Link& link = *state.links[peer];
+    {
+        std::lock_guard<std::mutex> lock(link.mu);
+        if (link.fd == fd) link.fd = -1;
+    }
+    ::close(fd);
+}
+
+void TcpTransport::dispatch_loop(NodeId node) {
+    NodeState& state = *nodes_[node];
+    std::unique_lock<std::mutex> lock(state.mu);
+    for (;;) {
+        if (stopping_.load()) return;
+        if (!running_.load()) {
+            // Gate: nothing dispatches until run() — the experiment's
+            // setup phase owns all node state until then.
+            state.cv.wait_for(lock, std::chrono::milliseconds(10));
+            continue;
+        }
+        const Clock::time_point wall = Clock::now();
+        if (!state.timers.empty() && state.timers.front().when <= wall) {
+            std::pop_heap(state.timers.begin(), state.timers.end(),
+                          timer_later);
+            Timer timer = std::move(state.timers.back());
+            state.timers.pop_back();
+            lock.unlock();
+            timer.fn();
+            lock.lock();
+            continue;
+        }
+        if (!state.inbox.empty()) {
+            std::pair<NodeId, Bytes> frame = std::move(state.inbox.front());
+            state.inbox.pop_front();
+            lock.unlock();
+            {
+                std::lock_guard<std::mutex> stats_lock(stats_mu_);
+                ++stats_.messages_delivered;
+            }
+            state.receiver(frame.first, frame.second);
+            lock.lock();
+            continue;
+        }
+        if (!state.timers.empty()) {
+            state.cv.wait_until(lock, state.timers.front().when);
+        } else {
+            state.cv.wait_for(lock, std::chrono::milliseconds(50));
+        }
+    }
+}
+
+void TcpTransport::maintenance_loop() {
+    while (!stopping_.load()) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(config_.reconnect_delay_ms));
+        if (stopping_.load()) return;
+        for (NodeId hi = 0; hi < nodes_.size(); ++hi) {
+            for (NodeId lo = 0; lo < hi; ++lo) {
+                bool down = false;
+                {
+                    Link& link = *nodes_[hi]->links[lo];
+                    std::lock_guard<std::mutex> lock(link.mu);
+                    down = link.fd < 0;
+                }
+                if (down && !stopping_.load()) dial(hi, lo);
+            }
+        }
+    }
+}
+
+void TcpTransport::run(const std::function<bool()>& done, SimTime deadline) {
+    if (!started_.load()) start();
+    running_.store(true);
+    for (auto& state : nodes_) state->cv.notify_all();
+    while (!stopping_.load() && !done() && now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+}
+
+void TcpTransport::stop() {
+    if (stopping_.exchange(true)) {
+        // Second call: threads already asked to exit; nothing to join twice
+        // (stop is only re-entered from the destructor after an explicit
+        // stop, where every thread object is already joined and cleared).
+        return;
+    }
+    running_.store(false);
+    // Unblock every accept() and recv().
+    for (auto& state : nodes_) {
+        if (state->listen_fd >= 0) ::shutdown(state->listen_fd, SHUT_RDWR);
+        for (auto& link : state->links) {
+            std::lock_guard<std::mutex> lock(link->mu);
+            if (link->fd >= 0) ::shutdown(link->fd, SHUT_RDWR);
+        }
+        state->cv.notify_all();
+    }
+    if (maintenance_thread_.joinable()) maintenance_thread_.join();
+    for (auto& state : nodes_) {
+        if (state->accept_thread.joinable()) state->accept_thread.join();
+        if (state->dispatch_thread.joinable()) state->dispatch_thread.join();
+    }
+    {
+        std::lock_guard<std::mutex> lock(readers_mu_);
+        for (std::thread& reader : reader_threads_) {
+            if (reader.joinable()) reader.join();
+        }
+        reader_threads_.clear();
+    }
+    for (auto& state : nodes_) {
+        if (state->listen_fd >= 0) {
+            ::close(state->listen_fd);
+            state->listen_fd = -1;
+        }
+    }
+}
+
+}  // namespace bcfl::net

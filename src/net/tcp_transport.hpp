@@ -1,0 +1,135 @@
+// Transport over real loopback TCP sockets — the perf truth. The same
+// Node/BcflPeer code that runs on the deterministic simulation runs here
+// against wall-clock time and a real kernel network stack.
+//
+// Topology and threading (one process, N nodes):
+//   * Every node binds a loopback listener on an ephemeral port at
+//     add_node. Between every pair of nodes there is one TCP connection;
+//     the higher id dials the lower id's listener and introduces itself
+//     with a 4-byte little-endian node id. Frames are [u32 LE length]
+//     [payload], full duplex on the pair's connection.
+//   * Per connection endpoint, a reader thread decodes frames into the
+//     owning node's mailbox. Per node, a dispatch thread drains that
+//     mailbox — messages and expired timers — so each node's state is
+//     only ever touched by its own dispatch thread, exactly the
+//     single-threaded discipline the simulation provides for free.
+//   * A maintenance thread re-dials dead connections (reconnect-on-
+//     failure); sends while a link is down are counted as drops, matching
+//     the sim's fault accounting.
+//   * Dispatch stays gated until run(): everything the experiment sets up
+//     beforehand (node->start(), run_rounds()) executes on the caller's
+//     thread with no concurrent delivery, so setup needs no locks.
+//
+// Clocks: now() is wall-clock microseconds since construction; timers use
+// the steady clock. Nothing here is deterministic — determinism is the
+// sim backend's contract (see docs/transport.md).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace bcfl::net {
+
+struct TcpTransportConfig {
+    std::string bind_address = "127.0.0.1";
+    /// Frames above this are a protocol error and kill the connection
+    /// (the maintenance thread will re-dial). Generous: a padded
+    /// EfficientNet-B0 chunk tx is ~24 KiB, a whole block a few MiB.
+    std::uint32_t max_frame_bytes = 256u * 1024 * 1024;
+    /// Backoff between re-dial sweeps over dead links.
+    std::uint64_t reconnect_delay_ms = 100;
+    /// Bounded mailbox: frames past this are dropped (counted), so a stuck
+    /// dispatch thread cannot grow memory without bound.
+    std::size_t max_inbox = 65'536;
+};
+
+class TcpTransport final : public Transport {
+public:
+    explicit TcpTransport(TcpTransportConfig config = {});
+    ~TcpTransport() override;
+
+    NodeId add_node(Receiver receiver) override;
+    [[nodiscard]] std::size_t node_count() const override;
+    void send(NodeId from, NodeId to, Bytes message) override;
+    void broadcast(NodeId from, const Bytes& message) override;
+    [[nodiscard]] SimTime now() const override;
+    void schedule_after(NodeId node, SimTime delay, Handler handler) override;
+    [[nodiscard]] bool online(NodeId node) const override;
+    [[nodiscard]] TrafficStats stats() const override;
+    void start() override;
+    void stop() override;
+    void run(const std::function<bool()>& done, SimTime deadline) override;
+
+    /// Ephemeral listener port of `node` (tests and diagnostics).
+    [[nodiscard]] std::uint16_t port_of(NodeId node) const;
+
+private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Timer {
+        Clock::time_point when;
+        std::uint64_t seq = 0;  // FIFO among equal deadlines
+        Handler fn;
+    };
+
+    /// One endpoint of the connection to a peer. Writers hold `mu` for the
+    /// whole frame (frames never interleave) and only shutdown() on error;
+    /// the reader thread owns close() of its own fd.
+    struct Link {
+        std::mutex mu;
+        int fd = -1;
+    };
+
+    struct NodeState {
+        Receiver receiver;
+        int listen_fd = -1;
+        std::uint16_t port = 0;
+        std::thread accept_thread;
+        std::thread dispatch_thread;
+
+        std::mutex mu;  // guards inbox + timers
+        std::condition_variable cv;
+        std::deque<std::pair<NodeId, Bytes>> inbox;
+        std::vector<Timer> timers;  // min-heap (std::push_heap/pop_heap)
+
+        std::vector<std::unique_ptr<Link>> links;  // by peer id
+    };
+
+    void accept_loop(NodeId node);
+    void reader_loop(NodeId node, NodeId peer, int fd);
+    void dispatch_loop(NodeId node);
+    void maintenance_loop();
+    /// Dials `lo`'s listener on behalf of `hi` and installs the link.
+    bool dial(NodeId hi, NodeId lo);
+    void install_link(NodeId owner, NodeId peer, int fd);
+    void spawn_reader(NodeId node, NodeId peer, int fd);
+    void count_drop();
+
+    TcpTransportConfig config_;
+    Clock::time_point epoch_;
+    std::vector<std::unique_ptr<NodeState>> nodes_;
+
+    std::atomic<bool> started_{false};
+    std::atomic<bool> running_{false};   // run() opens the dispatch gate
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::uint64_t> timer_seq_{0};
+
+    std::thread maintenance_thread_;
+    std::mutex readers_mu_;
+    std::vector<std::thread> reader_threads_;
+
+    mutable std::mutex stats_mu_;
+    TrafficStats stats_;
+};
+
+}  // namespace bcfl::net

@@ -13,9 +13,8 @@ vm::WorldState Node::genesis_state() {
     return state;
 }
 
-Node::Node(net::Simulation& sim, net::Network& network, NodeConfig config)
-    : sim_(sim),
-      network_(network),
+Node::Node(net::Transport& transport, NodeConfig config)
+    : transport_(transport),
       config_(config),
       key_(crypto::KeyPair::from_seed(config.key_seed)),
       rng_(config.rng_seed ^ config.key_seed * 0x9e3779b97f4a7c15ull),
@@ -31,7 +30,7 @@ Node::Node(net::Simulation& sim, net::Network& network, NodeConfig config)
     // internal, so instead register the state under the genesis header.
     (void)genesis_root;
     executor_->register_genesis(chain_->genesis().header, std::move(genesis));
-    id_ = network_.add_node(
+    id_ = transport_.add_node(
         [this](net::NodeId from, const Bytes& msg) { handle_message(from, msg); });
 }
 
@@ -103,10 +102,10 @@ void Node::broadcast(MsgKind kind, const Bytes& body) {
             ? config_.tx_neighbors
             : config_.neighbors;
     if (overlay.empty()) {
-        network_.broadcast(id_, message);
+        transport_.broadcast(id_, message);
         return;
     }
-    for (net::NodeId to : overlay) network_.send(id_, to, message);
+    for (net::NodeId to : overlay) transport_.send(id_, to, message);
 }
 
 void Node::handle_message(net::NodeId from, const Bytes& message) {
@@ -140,7 +139,7 @@ void Node::handle_message(net::NodeId from, const Bytes& message) {
                     reply.push_back(
                         static_cast<std::uint8_t>(MsgKind::block));
                     append(reply, encoded);
-                    network_.send(id_, from, std::move(reply));
+                    transport_.send(id_, from, std::move(reply));
                 }
                 return;
             }
@@ -183,7 +182,7 @@ void Node::request_block(net::NodeId peer, const Hash32& hash) {
     message.reserve(33);
     message.push_back(static_cast<std::uint8_t>(MsgKind::get_block));
     append(message, hash.view());
-    network_.send(id_, peer, std::move(message));
+    transport_.send(id_, peer, std::move(message));
 }
 
 void Node::import_block(const chain::Block& block, bool relay,
@@ -275,18 +274,18 @@ void Node::schedule_mining() {
     const double effective_rate =
         config_.hash_rate * (1.0 - compute_load_);
     const std::uint64_t difficulty =
-        chain_->child_difficulty(chain_->head(), net::to_ms(sim_.now()));
+        chain_->child_difficulty(chain_->head(), net::to_ms(transport_.now()));
     const double mean_seconds =
         static_cast<double>(difficulty) / std::max(effective_rate, 1e-9);
     const double delay_seconds = rng_.exponential(mean_seconds);
     const auto delay = static_cast<net::SimTime>(delay_seconds * 1e6) + 1;
-    sim_.schedule_after(delay,
-                        [this, generation] { on_block_found(generation); });
+    transport_.schedule_after(
+        id_, delay, [this, generation] { on_block_found(generation); });
 }
 
 void Node::on_block_found(std::uint64_t generation) {
     if (generation != mining_generation_) return;  // head moved; stale event
-    const std::uint64_t timestamp = net::to_ms(sim_.now());
+    const std::uint64_t timestamp = net::to_ms(transport_.now());
     const auto txs =
         pool_.select(config_.chain.block_gas_limit, chain_->account_nonces());
     chain::Block block = chain_->build_block(key_.address(), txs, timestamp);

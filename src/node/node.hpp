@@ -20,8 +20,7 @@
 #include "chain/txpool.hpp"
 #include "common/rng.hpp"
 #include "crypto/secp256k1.hpp"
-#include "net/network.hpp"
-#include "net/sim.hpp"
+#include "net/transport.hpp"
 #include "node/executor.hpp"
 #include "vm/registry_contract.hpp"
 
@@ -78,7 +77,7 @@ struct NodeStats {
 
 class Node {
 public:
-    Node(net::Simulation& sim, net::Network& network, NodeConfig config);
+    Node(net::Transport& transport, NodeConfig config);
 
     /// Begins mining (if enabled). Call after all nodes are constructed.
     void start();
@@ -91,6 +90,9 @@ public:
 
     [[nodiscard]] const chain::Blockchain& chain() const { return *chain_; }
     [[nodiscard]] const vm::WorldState& head_state() const;
+    /// The transport this node was registered on — the peer layer reaches
+    /// the clock and its timers through here, never a backend directly.
+    [[nodiscard]] net::Transport& transport() const { return transport_; }
     [[nodiscard]] net::NodeId id() const { return id_; }
     [[nodiscard]] const crypto::KeyPair& key() const { return key_; }
     [[nodiscard]] Address address() const { return key_.address(); }
@@ -113,10 +115,18 @@ public:
         return seen_now_.size() + seen_prev_.size();
     }
 
+    /// The configured generation cap the footprint above is bounded by.
+    [[nodiscard]] std::size_t gossip_seen_cap() const {
+        return config_.gossip_seen_cap;
+    }
+
     /// Blocks currently waiting in the orphan buffer for a missing parent.
     [[nodiscard]] std::size_t orphan_blocks_buffered() const {
         return orphan_parent_.size();
     }
+
+    /// Transactions currently pooled (bounded by prune_stale amortization).
+    [[nodiscard]] std::size_t pool_size() const { return pool_.size(); }
 
     /// Builds the genesis world state shared by all nodes: the model
     /// registry contract deployed at its well-known address.
@@ -146,8 +156,7 @@ private:
     void broadcast(MsgKind kind, const Bytes& body);
     void notify_new_head();
 
-    net::Simulation& sim_;
-    net::Network& network_;
+    net::Transport& transport_;
     NodeConfig config_;
     crypto::KeyPair key_;
     Rng rng_;

@@ -8,6 +8,7 @@
 #include "core/peer.hpp"
 #include "crypto/keccak.hpp"
 #include "ml/serialize.hpp"
+#include "net/sim_transport.hpp"
 #include "vm/registry_contract.hpp"
 
 namespace bcfl::core {
@@ -41,14 +42,14 @@ core::DecentralizedConfig fast_config() {
 
 class ModelStoreTest : public ::testing::Test {
 protected:
-    ModelStoreTest() : network_(sim_, net::LinkParams{}, 3) {
+    ModelStoreTest() : transport_(net::LinkParams{}, 3) {
         node::NodeConfig config;
         config.key_seed = 31;
         config.hash_rate = 500.0;
         config.chain.initial_difficulty = 200;
         config.chain.min_difficulty = 64;
         config.chain.target_interval_ms = 1000;
-        node_ = std::make_unique<node::Node>(sim_, network_, config);
+        node_ = std::make_unique<node::Node>(transport_, config);
     }
 
     void publish_model(std::uint64_t round, const std::vector<float>& weights,
@@ -73,8 +74,11 @@ protected:
         }
     }
 
-    net::Simulation sim_;
-    net::Network network_;
+    void run_until(net::SimTime deadline) {
+        transport_.sim().run_until(deadline);
+    }
+
+    net::SimTransport transport_;
     std::unique_ptr<node::Node> node_;
     std::uint64_t nonce_ = 0;
 };
@@ -86,7 +90,7 @@ TEST_F(ModelStoreTest, CollectsAndReassemblesChunkedModel) {
         weights[i] = static_cast<float>(i) * 0.25f;
     }
     publish_model(4, weights, 512);
-    sim_.run_until(net::seconds(60));
+    run_until(net::seconds(60));
 
     ModelStore store;
     store.sync(node_->chain());
@@ -101,7 +105,7 @@ TEST_F(ModelStoreTest, CollectsAndReassemblesChunkedModel) {
 TEST_F(ModelStoreTest, SyncIsIdempotent) {
     node_->start();
     publish_model(1, std::vector<float>(100, 1.0f), 128);
-    sim_.run_until(net::seconds(60));
+    run_until(net::seconds(60));
     ModelStore store;
     store.sync(node_->chain());
     const std::size_t scanned = store.blocks_scanned();
@@ -116,7 +120,7 @@ TEST_F(ModelStoreTest, SyncIsIncrementalAcrossPolls) {
     // total ingestions equal the chain height, not its running sum.
     node_->start();
     publish_model(1, std::vector<float>(100, 1.0f), 128);
-    sim_.run_until(net::seconds(60));
+    run_until(net::seconds(60));
 
     ModelStore store;
     store.sync(node_->chain());
@@ -126,7 +130,7 @@ TEST_F(ModelStoreTest, SyncIsIncrementalAcrossPolls) {
     EXPECT_EQ(store.blocks_scanned(), first_height);
 
     publish_model(2, std::vector<float>(100, 2.0f), 128);
-    sim_.run_until(net::seconds(120));
+    run_until(net::seconds(120));
     store.sync(node_->chain());
     const std::uint64_t second_height = node_->chain().height();
     ASSERT_GT(second_height, first_height);
@@ -141,8 +145,7 @@ TEST(ModelStoreReorg, CursorMismatchTriggersFullRescan) {
     // block at the cursor height differs (the reorg case), must fall back
     // to a full rescan and pick up the new branch's models.
     struct MiniChain {
-        net::Simulation sim;
-        net::Network network{sim, net::LinkParams{}, 3};
+        net::SimTransport transport{net::LinkParams{}, 3};
         std::unique_ptr<node::Node> node;
         std::uint64_t nonce = 0;
 
@@ -154,7 +157,7 @@ TEST(ModelStoreReorg, CursorMismatchTriggersFullRescan) {
             config.chain.min_difficulty = 64;
             config.chain.target_interval_ms = 1000;
             config.rng_seed = key_seed * 13;
-            node = std::make_unique<node::Node>(sim, network, config);
+            node = std::make_unique<node::Node>(transport, config);
             node->start();
         }
 
@@ -174,12 +177,12 @@ TEST(ModelStoreReorg, CursorMismatchTriggersFullRescan) {
 
     MiniChain branch_a(31);
     branch_a.publish(1, std::vector<float>(60, 1.0f));
-    branch_a.sim.run_until(net::seconds(60));
+    branch_a.transport.sim().run_until(net::seconds(60));
 
     MiniChain branch_b(32);
     branch_b.publish(1, std::vector<float>(60, 2.0f));
     branch_b.publish(2, std::vector<float>(60, 3.0f));
-    branch_b.sim.run_until(net::seconds(120));
+    branch_b.transport.sim().run_until(net::seconds(120));
 
     ModelStore store;
     store.sync(branch_a.node->chain());
@@ -212,7 +215,7 @@ TEST_F(ModelStoreTest, IncompleteModelNotReady) {
     node_->submit_tx(chain::Transaction::make_signed(
         node_->key(), nonce_++, vm::registry_address(), 5'000'000, 1,
         abi::chunk_calldata(2, 0, BytesView(payload).subspan(0, 50))));
-    sim_.run_until(net::seconds(60));
+    run_until(net::seconds(60));
 
     ModelStore store;
     store.sync(node_->chain());
@@ -228,7 +231,7 @@ TEST_F(ModelStoreTest, IncompleteModelNotReady) {
 TEST_F(ModelStoreTest, AuditProofRoundTrip) {
     node_->start();
     publish_model(6, std::vector<float>(50, 3.0f), 512);
-    sim_.run_until(net::seconds(60));
+    run_until(net::seconds(60));
 
     const auto proof =
         build_audit_proof(node_->chain(), 6, node_->address());
@@ -246,7 +249,7 @@ TEST_F(ModelStoreTest, AuditProofRoundTrip) {
 TEST_F(ModelStoreTest, AuditDetectsWrongPublisher) {
     node_->start();
     publish_model(7, std::vector<float>(50, 3.0f), 512);
-    sim_.run_until(net::seconds(60));
+    run_until(net::seconds(60));
     const auto proof = build_audit_proof(node_->chain(), 7, node_->address());
     ASSERT_TRUE(proof.has_value());
     const Address impostor = crypto::KeyPair::from_seed(999).address();
@@ -256,7 +259,7 @@ TEST_F(ModelStoreTest, AuditDetectsWrongPublisher) {
 TEST_F(ModelStoreTest, AuditDetectsTamperedProof) {
     node_->start();
     publish_model(8, std::vector<float>(50, 4.0f), 512);
-    sim_.run_until(net::seconds(60));
+    run_until(net::seconds(60));
     auto proof = build_audit_proof(node_->chain(), 8, node_->address());
     ASSERT_TRUE(proof.has_value());
 
@@ -284,7 +287,7 @@ TEST_F(ModelStoreTest, AuditDetectsTamperedProof) {
 
 TEST_F(ModelStoreTest, AuditMissingPublicationReturnsNull) {
     node_->start();
-    sim_.run_until(net::seconds(10));
+    run_until(net::seconds(10));
     EXPECT_FALSE(
         build_audit_proof(node_->chain(), 1, node_->address()).has_value());
 }

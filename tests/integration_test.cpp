@@ -10,6 +10,7 @@
 #include "core/paper_setup.hpp"
 #include "crypto/keccak.hpp"
 #include "ml/serialize.hpp"
+#include "net/sim_transport.hpp"
 #include "vm/registry_contract.hpp"
 
 namespace bcfl::core {
@@ -60,8 +61,7 @@ TEST(Integration, AllNodesAgreeOnStateRoot) {
     const fl::FlTask task = paper_simple_task(data);
 
     // Run the deployment manually so we can inspect the nodes afterwards.
-    net::Simulation sim;
-    net::Network network(sim, net::LinkParams{}, 5);
+    net::SimTransport transport(net::LinkParams{}, 5);
     chain::ChainConfig chain_config;
     chain_config.initial_difficulty = 300;
     chain_config.min_difficulty = 64;
@@ -75,7 +75,7 @@ TEST(Integration, AllNodesAgreeOnStateRoot) {
         config.key_seed = 70 + i;
         config.hash_rate = 300.0;
         config.rng_seed = 7000 + i;
-        nodes.push_back(std::make_unique<node::Node>(sim, network, config));
+        nodes.push_back(std::make_unique<node::Node>(transport, config));
         roster.push_back(nodes.back()->address());
     }
     std::vector<std::unique_ptr<BcflPeer>> peers;
@@ -84,18 +84,19 @@ TEST(Integration, AllNodesAgreeOnStateRoot) {
         config.index = i;
         config.train_duration = net::seconds(5);
         config.chunk_bytes = 32 * 1024;
-        peers.push_back(std::make_unique<BcflPeer>(sim, *nodes[i], task,
-                                                   roster, config));
+        peers.push_back(
+            std::make_unique<BcflPeer>(*nodes[i], task, roster, config));
     }
     for (auto& node : nodes) node->start();
     for (auto& peer : peers) peer->run_rounds(1);
-    while (!(peers[0]->finished() && peers[1]->finished() &&
-             peers[2]->finished()) &&
-           sim.now() < net::seconds(5000)) {
-        if (!sim.step()) break;
-    }
+    transport.run(
+        [&] {
+            return peers[0]->finished() && peers[1]->finished() &&
+                   peers[2]->finished();
+        },
+        net::seconds(5000));
     // Let gossip settle, then compare a common block's state root.
-    sim.run_until(sim.now() + net::seconds(30));
+    transport.sim().run_until(transport.now() + net::seconds(30));
     const std::uint64_t common = std::min(
         {nodes[0]->chain().height(), nodes[1]->chain().height(),
          nodes[2]->chain().height()});
@@ -112,15 +113,14 @@ TEST(Integration, AllNodesAgreeOnStateRoot) {
 TEST(Integration, PeerRejectsModelWithMismatchedAnnouncement) {
     // A dishonest publisher announces hash(H1) but ships the bytes of a
     // different model. Honest peers must not ingest it into aggregation.
-    net::Simulation sim;
-    net::Network network(sim, net::LinkParams{}, 9);
+    net::SimTransport transport(net::LinkParams{}, 9);
     node::NodeConfig config;
     config.key_seed = 33;
     config.hash_rate = 400.0;
     config.chain.initial_difficulty = 200;
     config.chain.min_difficulty = 64;
     config.chain.target_interval_ms = 1000;
-    node::Node node(sim, network, config);
+    node::Node node(transport, config);
     node.start();
 
     const std::vector<float> announced(100, 1.0f);
@@ -134,7 +134,7 @@ TEST(Integration, PeerRejectsModelWithMismatchedAnnouncement) {
     node.submit_tx(chain::Transaction::make_signed(
         node.key(), nonce++, vm::registry_address(), 5'000'000, 1,
         abi::chunk_calldata(1, 0, shipped_blob)));
-    sim.run_until(net::seconds(40));
+    transport.sim().run_until(net::seconds(40));
 
     ModelStore store;
     store.sync(node.chain());

@@ -1,0 +1,14 @@
+// lint fixture: the bad pattern plus allow comments — must lint clean.
+namespace bcfl::fixture {
+
+namespace net {
+class Simulation;
+}  // namespace net
+
+// A migration shim that genuinely needs the concrete type can say so:
+// bcfl-lint: allow(sim-coupling)
+void legacy_bridge(net::Simulation& sim);
+
+void legacy_peek(net::Simulation* sim);  // bcfl-lint: allow(sim-coupling)
+
+}  // namespace bcfl::fixture

@@ -1,0 +1,19 @@
+// lint fixture: known-bad — code above the transport seam naming the
+// concrete backend types. Must produce only [sim-coupling] findings.
+namespace bcfl::fixture {
+
+namespace net {
+class Simulation;
+class Network;
+}  // namespace net
+
+struct TooCoupled {
+    // Holding the concrete sim pins this struct to one backend.
+    net::Simulation* sim = nullptr;
+};
+
+void drive(net::Network* network);
+
+void poke(Simulation& sim, Network& network);
+
+}  // namespace bcfl::fixture

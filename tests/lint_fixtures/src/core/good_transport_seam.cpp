@@ -1,0 +1,23 @@
+// lint fixture: known-good — code above the seam speaking the abstract
+// interface only. Referencing net::Transport (or the SimTransport escape
+// hatch via auto) is exactly what the sim-coupling rule wants.
+namespace bcfl::fixture {
+
+namespace net {
+class Transport;
+class SimTransport;
+}  // namespace net
+
+struct DecoupledRunner {
+    net::Transport* transport = nullptr;
+};
+
+void drive(net::Transport& transport);
+
+void bench_clock(net::SimTransport& transport) {
+    // Benches drive the simulated clock through the escape hatch; the
+    // binding is by auto, never by the concrete Simulation type.
+    (void)transport;
+}
+
+}  // namespace bcfl::fixture

@@ -4,8 +4,7 @@
 #include <vector>
 
 #include "crypto/keccak.hpp"
-#include "net/network.hpp"
-#include "net/sim.hpp"
+#include "net/sim_transport.hpp"
 #include "node/node.hpp"
 #include "vm/registry_contract.hpp"
 
@@ -17,7 +16,7 @@ namespace abi = vm::registry_abi;
 /// A three-peer private network, mirroring the paper's Geth x3 deployment.
 class NodeNetworkTest : public ::testing::Test {
 protected:
-    NodeNetworkTest() : network_(sim_, net::LinkParams{}, /*seed=*/3) {
+    NodeNetworkTest() : transport_(net::LinkParams{}, /*seed=*/3) {
         chain::ChainConfig chain_config;
         chain_config.initial_difficulty = 600;
         chain_config.min_difficulty = 64;
@@ -28,7 +27,7 @@ protected:
             config.key_seed = 100 + i;
             config.hash_rate = 200.0;  // 3 x 200 h/s vs difficulty 600
             config.rng_seed = 1000 + i;
-            nodes_.push_back(std::make_unique<Node>(sim_, network_, config));
+            nodes_.push_back(std::make_unique<Node>(transport_, config));
         }
     }
 
@@ -36,8 +35,13 @@ protected:
         for (auto& node : nodes_) node->start();
     }
 
-    net::Simulation sim_;
-    net::Network network_;
+    /// Tests drive the simulated clock directly through the backend's
+    /// escape hatch (product code goes through the Transport interface).
+    void run_until(net::SimTime deadline) {
+        transport_.sim().run_until(deadline);
+    }
+
+    net::SimTransport transport_;
     std::vector<std::unique_ptr<Node>> nodes_;
 };
 
@@ -50,7 +54,7 @@ TEST_F(NodeNetworkTest, AllNodesShareGenesis) {
 
 TEST_F(NodeNetworkTest, MinersProduceAndPropagateBlocks) {
     start_all();
-    sim_.run_until(net::seconds(120));
+    run_until(net::seconds(120));
     // Everyone should be well past genesis and agree on the head.
     EXPECT_GT(nodes_[0]->chain().height(), 5u);
     EXPECT_EQ(nodes_[0]->chain().head_hash(), nodes_[1]->chain().head_hash());
@@ -70,7 +74,7 @@ TEST_F(NodeNetworkTest, TransactionReachesChainEverywhere) {
     const auto tx = chain::Transaction::make_signed(
         key, 0, vm::registry_address(), 5'000'000, 1, calldata);
     nodes_[1]->submit_tx(tx);
-    sim_.run_until(net::seconds(120));
+    run_until(net::seconds(120));
 
     for (const auto& node : nodes_) {
         const auto loc = node->chain().locate_tx(tx.hash());
@@ -92,7 +96,7 @@ TEST_F(NodeNetworkTest, ContractEventVisibleInReceipts) {
         key, 0, vm::registry_address(), 5'000'000, 1,
         abi::publish_calldata(3, crypto::keccak256(str_bytes("m")), 1, 10));
     nodes_[0]->submit_tx(tx);
-    sim_.run_until(net::seconds(120));
+    run_until(net::seconds(120));
 
     const auto loc = nodes_[2]->chain().locate_tx(tx.hash());
     ASSERT_TRUE(loc.has_value());
@@ -124,7 +128,7 @@ TEST_F(NodeNetworkTest, ChunkedModelPublishes) {
             key, nonce++, vm::registry_address(), 5'000'000, 1,
             abi::chunk_calldata(1, i, chunks[i])));
     }
-    sim_.run_until(net::seconds(200));
+    run_until(net::seconds(200));
 
     // A different node reconstructs the chunks from calldata.
     const auto& observer = *nodes_[2];
@@ -147,15 +151,14 @@ TEST_F(NodeNetworkTest, ComputeLoadSlowsMining) {
 
     // Run two isolated single-node simulations: idle vs loaded miner.
     const auto run_blocks = [&](double load) {
-        net::Simulation sim;
-        net::Network network(sim, net::LinkParams{}, 9);
+        net::SimTransport transport(net::LinkParams{}, 9);
         NodeConfig config = solo_config;
         config.key_seed = 77;
         config.hash_rate = 300.0;
-        Node node(sim, network, config);
+        Node node(transport, config);
         node.set_compute_load(load);
         node.start();
-        sim.run_until(net::seconds(600));
+        transport.sim().run_until(net::seconds(600));
         return node.chain().height();
     };
     const auto idle_height = run_blocks(0.0);
@@ -164,12 +167,11 @@ TEST_F(NodeNetworkTest, ComputeLoadSlowsMining) {
 }
 
 TEST(NodeSingle, ViewCallAtGenesis) {
-    net::Simulation sim;
-    net::Network network(sim, net::LinkParams{});
+    net::SimTransport transport(net::LinkParams{});
     NodeConfig config;
     config.key_seed = 5;
     config.mine = false;
-    Node node(sim, network, config);
+    Node node(transport, config);
     const auto result = node.call_view(abi::participant_count_calldata(1));
     ASSERT_TRUE(result.success) << result.error;
     EXPECT_EQ(abi::decode_word(result.return_data), 0u);
@@ -181,11 +183,10 @@ TEST(NodePartition, ForksReconvergeThroughAncestorSyncAfterHeal) {
     // gossiped head references an unknown parent, the ancestor-sync
     // protocol (get_block) walks back to the fork point, and everyone
     // reorgs onto the heaviest chain.
-    net::Simulation sim;
     net::NetworkConditions conditions;
     conditions.partitions.push_back(
         {net::seconds(20), net::seconds(120), {{0, 1}, {2}}});
-    net::Network network(sim, net::LinkParams{}, conditions, /*seed=*/3);
+    net::SimTransport transport(net::LinkParams{}, conditions, /*seed=*/3);
     chain::ChainConfig chain_config;
     chain_config.initial_difficulty = 600;
     chain_config.min_difficulty = 64;
@@ -197,16 +198,16 @@ TEST(NodePartition, ForksReconvergeThroughAncestorSyncAfterHeal) {
         config.key_seed = 100 + i;
         config.hash_rate = 200.0;
         config.rng_seed = 1000 + i;
-        nodes.push_back(std::make_unique<Node>(sim, network, config));
+        nodes.push_back(std::make_unique<Node>(transport, config));
     }
     for (auto& node : nodes) node->start();
 
-    sim.run_until(net::seconds(110));
+    transport.sim().run_until(net::seconds(110));
     // Mid-partition: the island disagrees with the majority side.
     EXPECT_NE(nodes[0]->chain().head_hash(), nodes[2]->chain().head_hash());
-    EXPECT_GT(network.stats().dropped_partition, 0u);
+    EXPECT_GT(transport.stats().dropped_partition, 0u);
 
-    sim.run_until(net::seconds(300));
+    transport.sim().run_until(net::seconds(300));
     EXPECT_EQ(nodes[0]->chain().head_hash(), nodes[1]->chain().head_hash());
     EXPECT_EQ(nodes[1]->chain().head_hash(), nodes[2]->chain().head_hash());
     // Reconvergence used the sync protocol, and somebody reorged.
@@ -228,8 +229,7 @@ TEST(NodeGossip, SeenSetIsBoundedByGenerationalRotation) {
     // tx and block forever (the leak class PR 3 removed from TxPool).
     // With a small cap, a long run must rotate generations, keep the
     // footprint under 2x the cap, and still converge on one head.
-    net::Simulation sim;
-    net::Network network(sim, net::LinkParams{}, /*seed=*/9);
+    net::SimTransport transport(net::LinkParams{}, /*seed=*/9);
     chain::ChainConfig chain_config;
     chain_config.initial_difficulty = 200;
     chain_config.min_difficulty = 64;
@@ -242,10 +242,10 @@ TEST(NodeGossip, SeenSetIsBoundedByGenerationalRotation) {
         config.hash_rate = 200.0;
         config.rng_seed = 2000 + i;
         config.gossip_seen_cap = 64;
-        nodes.push_back(std::make_unique<Node>(sim, network, config));
+        nodes.push_back(std::make_unique<Node>(transport, config));
     }
     for (auto& node : nodes) node->start();
-    sim.run_until(net::seconds(400));  // ~1 block/s: well past the cap
+    transport.sim().run_until(net::seconds(400));  // ~1 block/s: well past the cap
 
     ASSERT_GT(nodes[0]->chain().height(), 128u);
     EXPECT_EQ(nodes[0]->chain().head_hash(), nodes[1]->chain().head_hash());
@@ -258,14 +258,13 @@ TEST(NodeGossip, SeenSetIsBoundedByGenerationalRotation) {
 }
 
 TEST(NodeSingle, NonMinerNeverExtendsChain) {
-    net::Simulation sim;
-    net::Network network(sim, net::LinkParams{});
+    net::SimTransport transport(net::LinkParams{});
     NodeConfig config;
     config.key_seed = 6;
     config.mine = false;
-    Node node(sim, network, config);
+    Node node(transport, config);
     node.start();
-    sim.run_until(net::seconds(60));
+    transport.sim().run_until(net::seconds(60));
     EXPECT_EQ(node.chain().height(), 0u);
 }
 

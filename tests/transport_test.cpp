@@ -1,0 +1,278 @@
+// Transport conformance suite: every behavioral guarantee Node and
+// BcflPeer rely on, asserted against BOTH backends through the same
+// net::Transport interface — the deterministic simulation and real
+// loopback TCP sockets. A backend that passes here can run the full
+// deployment (core/experiment.cpp drives exactly these calls).
+//
+// Test state is touched from the backend's delivery context (the sim step
+// loop, or a TCP dispatch thread), so everything shared is an atomic or
+// sits behind a mutex; run() predicates read atomics only, as the
+// interface contract requires.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/sim_transport.hpp"
+#include "net/tcp_transport.hpp"
+
+namespace bcfl::net {
+namespace {
+
+enum class Backend { sim, tcp };
+
+std::unique_ptr<Transport> make_transport(Backend backend) {
+    if (backend == Backend::tcp) {
+        return std::make_unique<TcpTransport>();
+    }
+    // Zero jitter and loss: the sim guarantees per-pair FIFO only on a
+    // jitter-free link, which is the regime the ordering test asserts.
+    LinkParams link;
+    link.jitter_fraction = 0.0;
+    link.loss_rate = 0.0;
+    return std::make_unique<SimTransport>(link, /*seed=*/7);
+}
+
+/// Per-node capture sink, safe for any delivery context.
+struct Sink {
+    std::mutex mu;
+    std::vector<std::pair<NodeId, Bytes>> received;
+    std::atomic<std::size_t> count{0};
+
+    Transport::Receiver receiver() {
+        return [this](NodeId from, const Bytes& message) {
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                received.emplace_back(from, message);
+            }
+            count.fetch_add(1, std::memory_order_release);
+        };
+    }
+};
+
+class TransportConformanceTest : public ::testing::TestWithParam<Backend> {
+protected:
+    /// Runs until `sink` has seen `expected` messages (or 30 s deadline —
+    /// wall time on tcp, sim time on sim).
+    static void run_until_count(Transport& transport, const Sink& sink,
+                                std::size_t expected) {
+        transport.run(
+            [&] {
+                return sink.count.load(std::memory_order_acquire) >= expected;
+            },
+            seconds(30));
+    }
+};
+
+TEST_P(TransportConformanceTest, DeliversPayloadAndSender) {
+    auto transport = make_transport(GetParam());
+    Sink sink0;
+    Sink sink1;
+    ASSERT_EQ(transport->add_node(sink0.receiver()), 0u);
+    ASSERT_EQ(transport->add_node(sink1.receiver()), 1u);
+    transport->start();
+
+    const Bytes payload = {0xde, 0xad, 0xbe, 0xef};
+    transport->send(0, 1, payload);
+    run_until_count(*transport, sink1, 1);
+    transport->stop();
+
+    ASSERT_EQ(sink1.received.size(), 1u);
+    EXPECT_EQ(sink1.received[0].first, 0u);
+    EXPECT_EQ(sink1.received[0].second, payload);
+    EXPECT_TRUE(sink0.received.empty());
+}
+
+TEST_P(TransportConformanceTest, PerPairDeliveryIsFifo) {
+    auto transport = make_transport(GetParam());
+    Sink sender;
+    Sink sink;
+    transport->add_node(sender.receiver());
+    transport->add_node(sink.receiver());
+    transport->start();
+
+    constexpr std::size_t kMessages = 64;
+    for (std::size_t i = 0; i < kMessages; ++i) {
+        transport->send(0, 1, Bytes{static_cast<std::uint8_t>(i)});
+    }
+    run_until_count(*transport, sink, kMessages);
+    transport->stop();
+
+    ASSERT_EQ(sink.received.size(), kMessages);
+    for (std::size_t i = 0; i < kMessages; ++i) {
+        EXPECT_EQ(sink.received[i].second[0], static_cast<std::uint8_t>(i))
+            << "out of order at index " << i;
+    }
+}
+
+TEST_P(TransportConformanceTest, BroadcastReachesEveryoneButSender) {
+    auto transport = make_transport(GetParam());
+    std::vector<std::unique_ptr<Sink>> sinks;
+    for (std::size_t i = 0; i < 3; ++i) {
+        sinks.push_back(std::make_unique<Sink>());
+        transport->add_node(sinks.back()->receiver());
+    }
+    EXPECT_EQ(transport->node_count(), 3u);
+    transport->start();
+
+    transport->broadcast(0, Bytes{42});
+    run_until_count(*transport, *sinks[1], 1);
+    run_until_count(*transport, *sinks[2], 1);
+    transport->stop();
+
+    EXPECT_TRUE(sinks[0]->received.empty());
+    ASSERT_EQ(sinks[1]->received.size(), 1u);
+    ASSERT_EQ(sinks[2]->received.size(), 1u);
+    EXPECT_EQ(sinks[1]->received[0].first, 0u);
+    EXPECT_EQ(sinks[2]->received[0].second, Bytes{42});
+}
+
+TEST_P(TransportConformanceTest, OutOfRangeDestinationCountsDroppedInvalid) {
+    auto transport = make_transport(GetParam());
+    Sink sink;
+    transport->add_node(sink.receiver());
+    transport->add_node(sink.receiver());
+    transport->start();
+
+    transport->send(0, 99, Bytes{1, 2, 3});
+    transport->stop();
+
+    const TrafficStats stats = transport->stats();
+    EXPECT_EQ(stats.messages_sent, 1u);
+    EXPECT_EQ(stats.bytes_sent, 3u);
+    EXPECT_EQ(stats.messages_dropped, 1u);
+    EXPECT_EQ(stats.dropped_invalid, 1u);
+    EXPECT_EQ(stats.messages_delivered, 0u);
+}
+
+TEST_P(TransportConformanceTest, SelfSendIsSilentlyIgnored) {
+    auto transport = make_transport(GetParam());
+    Sink sink;
+    transport->add_node(sink.receiver());
+    transport->add_node(sink.receiver());
+    transport->start();
+    transport->send(0, 0, Bytes{9});
+    transport->stop();
+
+    const TrafficStats stats = transport->stats();
+    EXPECT_EQ(stats.messages_sent, 0u);
+    EXPECT_EQ(stats.dropped_invalid, 0u);
+    EXPECT_TRUE(sink.received.empty());
+}
+
+TEST_P(TransportConformanceTest, OnlineTracksRegisteredNodes) {
+    auto transport = make_transport(GetParam());
+    Sink sink;
+    transport->add_node(sink.receiver());
+    transport->add_node(sink.receiver());
+    EXPECT_TRUE(transport->online(0));
+    EXPECT_TRUE(transport->online(1));
+    EXPECT_FALSE(transport->online(2));
+    EXPECT_FALSE(transport->online(99));
+}
+
+TEST_P(TransportConformanceTest, ScheduledHandlerFiresAfterDelay) {
+    auto transport = make_transport(GetParam());
+    Sink sink;
+    const NodeId node = transport->add_node(sink.receiver());
+    transport->start();
+
+    const SimTime before = transport->now();
+    std::atomic<bool> fired{false};
+    std::atomic<SimTime> fired_at{0};
+    transport->schedule_after(node, ms(50), [&] {
+        fired_at.store(transport->now(), std::memory_order_relaxed);
+        fired.store(true, std::memory_order_release);
+    });
+    transport->run([&] { return fired.load(std::memory_order_acquire); },
+                   seconds(30));
+    transport->stop();
+
+    ASSERT_TRUE(fired.load());
+    EXPECT_GE(fired_at.load(), before + ms(50));
+}
+
+TEST_P(TransportConformanceTest, ScheduleAtClampsPastDeadlinesToNow) {
+    auto transport = make_transport(GetParam());
+    Sink sink;
+    const NodeId node = transport->add_node(sink.receiver());
+    transport->start();
+
+    std::atomic<bool> fired{false};
+    // `when` of 0 is always in the past; the helper must clamp, not wrap.
+    transport->schedule_at(node, 0, [&] {
+        fired.store(true, std::memory_order_release);
+    });
+    transport->run([&] { return fired.load(std::memory_order_acquire); },
+                   seconds(30));
+    transport->stop();
+    EXPECT_TRUE(fired.load());
+}
+
+TEST_P(TransportConformanceTest, NowIsMonotone) {
+    auto transport = make_transport(GetParam());
+    Sink sink;
+    const NodeId node = transport->add_node(sink.receiver());
+    transport->start();
+
+    std::atomic<std::size_t> fired{0};
+    std::mutex mu;
+    std::vector<SimTime> stamps;
+    for (std::size_t i = 0; i < 5; ++i) {
+        transport->schedule_after(node, ms(10) * (i + 1), [&] {
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                stamps.push_back(transport->now());
+            }
+            fired.fetch_add(1, std::memory_order_release);
+        });
+    }
+    transport->run(
+        [&] { return fired.load(std::memory_order_acquire) >= 5; },
+        seconds(30));
+    transport->stop();
+
+    ASSERT_EQ(stamps.size(), 5u);
+    for (std::size_t i = 1; i < stamps.size(); ++i) {
+        EXPECT_GE(stamps[i], stamps[i - 1]);
+    }
+}
+
+TEST_P(TransportConformanceTest, StatsBalanceAfterQuiescence) {
+    auto transport = make_transport(GetParam());
+    Sink sink0;
+    Sink sink1;
+    transport->add_node(sink0.receiver());
+    transport->add_node(sink1.receiver());
+    transport->start();
+
+    constexpr std::size_t kEach = 16;
+    for (std::size_t i = 0; i < kEach; ++i) {
+        transport->send(0, 1, Bytes{1});
+        transport->send(1, 0, Bytes{2});
+    }
+    run_until_count(*transport, sink0, kEach);
+    run_until_count(*transport, sink1, kEach);
+    transport->stop();
+
+    // Lossless link, everything drained: sent == delivered, no drops.
+    const TrafficStats stats = transport->stats();
+    EXPECT_EQ(stats.messages_sent, 2 * kEach);
+    EXPECT_EQ(stats.messages_delivered, 2 * kEach);
+    EXPECT_EQ(stats.messages_dropped, 0u);
+    EXPECT_EQ(stats.dropped_invalid, 0u);
+    EXPECT_EQ(stats.bytes_sent, 2 * kEach);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, TransportConformanceTest,
+                         ::testing::Values(Backend::sim, Backend::tcp),
+                         [](const auto& info) {
+                             return info.param == Backend::sim ? "Sim"
+                                                               : "Tcp";
+                         });
+
+}  // namespace
+}  // namespace bcfl::net
