@@ -42,7 +42,11 @@ using namespace bcfl;
 namespace abi = vm::registry_abi;
 
 bool section_enabled(const std::string& name) {
-    const char* env = std::getenv("BCFL_CHAIN_BENCH_SECTIONS");
+    // getenv: the bench harness reads its section filter on the main
+    // thread during registration, before any benchmark (or engine worker)
+    // runs; nothing in the tree calls setenv.
+    const char* env =
+        std::getenv("BCFL_CHAIN_BENCH_SECTIONS");  // NOLINT(concurrency-mt-unsafe)
     if (env == nullptr || *env == '\0') return true;
     const std::string list(env);
     std::size_t start = 0;

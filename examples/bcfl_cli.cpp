@@ -99,7 +99,9 @@ CliOptions parse(int argc, char** argv) {
         else {
             std::fprintf(stderr, "unknown flag: %s (see header comment)\n",
                          argv[i]);
-            std::exit(2);
+            // exit: argv parsing happens on the main thread before any
+            // transport or engine thread is spawned.
+            std::exit(2);  // NOLINT(concurrency-mt-unsafe)
         }
     }
     return options;

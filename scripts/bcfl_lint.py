@@ -61,6 +61,16 @@ directly above it):
                       escape hatches (`transport.sim()`), which bind by
                       auto and never name the concrete types.
 
+  layering            Enforces the architecture include DAG
+                      (common → crypto → {chain, ml, fl, vm} → net →
+                      core → node, declared as data in LAYER_DAG below):
+                      every `#include "..."` in src/ may only reach its
+                      own layer or a layer beneath it. Generalizes
+                      sim-coupling from one seam to the whole tree —
+                      upward includes are how layer boundaries rot.
+                      core/parallel.hpp is the one sanctioned universal
+                      leaf (std-only header, see docs/architecture.md).
+
 Exit status: 0 when clean, 1 when any finding is reported, 2 on usage
 errors. `--self-check` runs the linter over tests/lint_fixtures and
 asserts every known-bad snippet fails with exactly its rule, every
@@ -87,6 +97,7 @@ RULE_NAMES = (
     "fp-accumulation",
     "bench-json",
     "sim-coupling",
+    "layering",
 )
 
 # Per-file rule exemptions, keyed by repo-relative path. These are the
@@ -98,10 +109,13 @@ WHITELIST = {
     "bench/bench_util.hpp": {"nondeterminism"},
     "bench/chain_performance.cpp": {"nondeterminism"},
     # The wall-clock transport backend IS the nondeterminism boundary: it
-    # owns the steady clock and the delivery/reader/dispatch threads that
-    # the deterministic rules exist to keep out of everything else.
-    "src/net/tcp_transport.hpp": {"nondeterminism", "raw-thread"},
-    "src/net/tcp_transport.cpp": {"nondeterminism", "raw-thread"},
+    # owns the steady clock that the deterministic rules exist to keep out
+    # of everything else. Its delivery/reader/dispatch threads are NOT
+    # blanket-exempted: each std::thread line carries its own
+    # `allow(raw-thread)` so an accidental spawn elsewhere in these files
+    # still fires.
+    "src/net/tcp_transport.hpp": {"nondeterminism"},
+    "src/net/tcp_transport.cpp": {"nondeterminism"},
     # Tests the sim/network layer itself, so it names the concrete types.
     "tests/net_test.cpp": {"sim-coupling"},
 }
@@ -405,6 +419,70 @@ def rule_sim_coupling(path: str, lines: list[str]) -> list[Finding]:
     return findings
 
 
+_MID_DEPS = frozenset({"common", "crypto", "rlp", "chain", "ml", "vm", "fl"})
+
+# The architecture DAG, declared as data: each src/ layer maps to the set
+# of layers it may #include (its own layer is always allowed). Reading
+# bottom-up: common → crypto/rlp → {chain, ml, fl, vm} → net → core →
+# node. Within the middle rank, vm builds on chain and fl on chain+ml.
+# node/ sits above core/ on this axis: the full node is what the peer and
+# experiment layers drive, and nothing beneath may reach up into it.
+# (docs/development.md renders the diagram; check_docs.sh keeps it there.)
+LAYER_DAG = {
+    "common": frozenset(),
+    "crypto": frozenset({"common"}),
+    "rlp": frozenset({"common"}),
+    "chain": frozenset({"common", "crypto", "rlp"}),
+    "ml": frozenset({"common", "crypto", "rlp"}),
+    "vm": frozenset({"common", "crypto", "rlp", "chain"}),
+    "fl": frozenset({"common", "crypto", "rlp", "chain", "ml"}),
+    "net": _MID_DEPS,
+    "core": _MID_DEPS | {"net"},
+    "node": _MID_DEPS | {"net", "core"},
+}
+
+# Headers any layer may include regardless of the DAG. core/parallel.hpp
+# is a std-only leaf (the deterministic thread-width contract) that the
+# fl/ reducers must name; see docs/architecture.md#parallelism-model.
+LAYERING_LEAF_HEADERS = frozenset({"core/parallel.hpp"})
+
+QUOTED_INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+
+
+def rule_layering(path: str, lines: list[str]) -> list[Finding]:
+    parts = path.split("/")
+    if len(parts) < 3 or parts[0] != "src" or parts[1] not in LAYER_DAG:
+        return []
+    layer = parts[1]
+    allowed = LAYER_DAG[layer]
+    findings = []
+    for i, raw in enumerate(lines):
+        m = QUOTED_INCLUDE_RE.match(raw)
+        if not m:
+            continue
+        target = m.group(1)
+        if target in LAYERING_LEAF_HEADERS:
+            continue
+        target_layer = target.split("/", 1)[0]
+        if target_layer not in LAYER_DAG:
+            continue  # not a layer-rooted include (local/system header)
+        if target_layer == layer or target_layer in allowed:
+            continue
+        findings.append(
+            Finding(
+                path,
+                i + 1,
+                "layering",
+                f'#include "{target}" reaches up from layer {layer}/ to '
+                f"{target_layer}/, against the architecture DAG "
+                f"(common → crypto → {{chain, ml, fl, vm}} → net → core "
+                f"→ node); {layer}/ may include only: "
+                + ", ".join(sorted(allowed) + [layer]),
+            )
+        )
+    return findings
+
+
 BENCH_EMIT_RE = re.compile(r"\"BENCH_[A-Za-z0-9_.]*")
 JSONVALUE_RE = re.compile(r"\bJsonValue\b|\bwrite_scenario_json\b")
 
@@ -458,6 +536,8 @@ def rules_for(path: str):
         "src/net/"
     ):
         yield "sim-coupling", rule_sim_coupling
+    if top == "src":
+        yield "layering", rule_layering
 
 
 def lint_file(root: str, rel_path: str) -> list[Finding]:

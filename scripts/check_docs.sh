@@ -13,6 +13,9 @@
 #      in src/vm/*.cpp) is documented in docs/vm.md.
 #   6. Every virtual method of the net::Transport interface
 #      (src/net/transport.hpp) is documented in docs/transport.md.
+#   7. Every BCFL_* thread-safety annotation macro
+#      (src/common/thread_annotations.hpp) is documented in
+#      docs/development.md.
 #
 #   $ scripts/check_docs.sh        # from anywhere; exits non-zero on failure
 set -euo pipefail
@@ -147,6 +150,25 @@ for method in "${transport_methods[@]}"; do
   fi
 done
 echo "verified ${#transport_methods[@]} Transport methods: ${transport_methods[*]}"
+
+echo "== docs: BCFL_* annotation macros documented in docs/development.md =="
+# The macro header is the source of truth: harvest every #define so an
+# annotation macro added there without a docs entry fails this job.
+mapfile -t tsa_macros < <(grep -oE '^#define BCFL_[A-Z_0-9]+' \
+  src/common/thread_annotations.hpp | sed 's/^#define //' | sort -u)
+if [ "${#tsa_macros[@]}" -lt 10 ]; then
+  echo "suspiciously few BCFL_* macros parsed from src/common/thread_annotations.hpp (${#tsa_macros[@]})"
+  fail=1
+fi
+for macro in "${tsa_macros[@]}"; do
+  # Code context, same convention as every harvest above: backtick, the
+  # macro name, then a character that cannot extend it.
+  if ! grep -qE '`'"${macro}"'[^A-Z_0-9]' docs/development.md; then
+    echo "UNDOCUMENTED ANNOTATION MACRO: \"$macro\" (defined in src/common/thread_annotations.hpp, missing from docs/development.md)"
+    fail=1
+  fi
+done
+echo "verified ${#tsa_macros[@]} BCFL_* annotation macros"
 
 if [ "$fail" -ne 0 ]; then
   echo "check_docs.sh: FAILED"

@@ -7,10 +7,13 @@
 #                              # and the fuzz-corpus replay build)
 #
 # 0. Static analysis: bcfl-lint self-check + full-tree pass (always);
-#    clang-tidy via scripts/run_tidy.sh and an ASan+UBSan fuzz-corpus
-#    replay of fuzz/corpus/ (both skipped under --fast; run_tidy.sh also
-#    self-skips when clang-tidy is not installed unless
-#    BCFL_TIDY_STRICT=1, which CI sets).
+#    clang-tidy via scripts/run_tidy.sh, an ASan+UBSan fuzz-corpus
+#    replay of fuzz/corpus/, and a clang -Wthread-safety=error build of
+#    the whole tree (BCFL_THREAD_SAFETY=ON — the capability annotations
+#    in src/common/thread_annotations.hpp). All three skipped under
+#    --fast; run_tidy.sh self-skips when clang-tidy is not installed
+#    unless BCFL_TIDY_STRICT=1 (CI sets it), and the thread-safety build
+#    self-skips without clang++ (its CI job always has clang).
 # 1. Docs: markdown links resolve, every factory policy spec, scenario
 #    key and lint rule is documented.
 # 2. Default configure, full build, then ctest twice: once with the
@@ -56,7 +59,7 @@ python3 scripts/bcfl_lint.py --self-check
 python3 scripts/bcfl_lint.py
 
 if [ "${FAST}" -eq 1 ]; then
-  echo "== tidy + fuzz replay: skipped (--fast) =="
+  echo "== tidy + fuzz replay + thread-safety: skipped (--fast) =="
 else
   echo "== tidy: curated clang-tidy set over all first-party TUs =="
   scripts/run_tidy.sh
@@ -68,6 +71,17 @@ else
   for target in json rlp asm model analysis; do
     ./build-fuzz/fuzz/fuzz_${target} fuzz/corpus/${target}/*
   done
+
+  echo "== thread-safety: clang -Wthread-safety as errors =="
+  # The BCFL_* capability annotations are checkable by clang only; on a
+  # gcc-only box this is skipped (the dedicated CI job always has clang).
+  if command -v clang++ >/dev/null 2>&1; then
+    cmake -B build-threadsafety -S . -DCMAKE_CXX_COMPILER=clang++ \
+      -DBCFL_THREAD_SAFETY=ON -DBCFL_WERROR=ON
+    cmake --build build-threadsafety -j "${JOBS}"
+  else
+    echo "thread-safety: clang++ not found; skipping (CI runs it)"
+  fi
 fi
 
 echo "== tier-1: configure + build =="

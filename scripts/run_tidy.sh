@@ -32,14 +32,17 @@ fi
 
 # A dedicated configure keeps tidy's compile_commands.json stable and
 # independent of whatever flags the developer's main build tree carries.
+# Every optional TU class is switched ON so the database covers the whole
+# first-party surface: tests, benches, examples AND the fuzz harnesses
+# (standalone-driver mode; gcc boxes have no libFuzzer and need none).
 BUILD_DIR=build-tidy
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
   -DBCFL_BUILD_TESTS=ON -DBCFL_BUILD_BENCHES=ON -DBCFL_BUILD_EXAMPLES=ON \
+  -DBCFL_FUZZ=ON \
   >/dev/null
 
 # First-party TUs only: everything the compilation database knows about
-# under src/, bench/, examples/, tests/ and fuzz/ (fuzz harnesses are in
-# the database only when BCFL_FUZZ was ON for this configure).
+# under src/, bench/, examples/, tests/ and fuzz/.
 mapfile -t files < <(python3 - "${BUILD_DIR}/compile_commands.json" "${FILTER}" <<'EOF'
 import json, os, sys
 db_path, filt = sys.argv[1], sys.argv[2] if len(sys.argv) > 2 else ""

@@ -4,8 +4,9 @@
 #include <cstdlib>
 #include <exception>
 #include <limits>
-#include <mutex>
 #include <thread>
+
+#include "common/sync.hpp"
 
 namespace bcfl::core::parallel {
 
@@ -24,7 +25,11 @@ thread_local bool t_in_region = false;
 
 std::size_t env_thread_count() {
     static const std::size_t cached = [] {
-        if (const char* env = std::getenv("BCFL_THREADS")) {
+        // getenv: read exactly once, under this function-local static's
+        // (thread-safe) initialization, before any engine worker exists;
+        // nothing in the tree calls setenv.
+        if (const char* env =
+                std::getenv("BCFL_THREADS")) {  // NOLINT(concurrency-mt-unsafe)
             char* end = nullptr;
             const unsigned long value = std::strtoul(env, &end, 10);
             if (end != env && *end == '\0' && value >= 1 && value <= 1024) {
@@ -86,7 +91,9 @@ void run(std::size_t n,
     }
 
     std::atomic<std::size_t> next{0};
-    std::mutex failure_mutex;
+    // TSA cannot attach BCFL_GUARDED_BY to captured locals; the lock
+    // acquisition below is still annotation-checked through common::Mutex.
+    common::Mutex failure_mutex;
     std::size_t failed_index = std::numeric_limits<std::size_t>::max();
     std::exception_ptr failure;
 
@@ -101,7 +108,7 @@ void run(std::size_t n,
             } catch (...) {
                 // Every task still runs; the lowest failing index wins so
                 // the rethrown exception does not depend on scheduling.
-                const std::lock_guard<std::mutex> lock(failure_mutex);
+                const common::MutexLock lock(failure_mutex);
                 if (index < failed_index) {
                     failed_index = index;
                     failure = std::current_exception();

@@ -101,8 +101,11 @@ NodeId TcpTransport::add_node(Receiver receiver) {
             0 ||
         ::listen(fd, 64) < 0) {
         ::close(fd);
+        // strerror: add_node runs on the single setup thread, before any
+        // transport thread exists, so the static buffer is uncontended.
         throw Error("tcp transport: bind/listen failed: " +
-                    std::string(std::strerror(errno)));
+                    std::string(
+                        std::strerror(errno)));  // NOLINT(concurrency-mt-unsafe)
     }
     sockaddr_in bound{};
     socklen_t len = sizeof(bound);
@@ -132,12 +135,12 @@ bool TcpTransport::online(NodeId node) const {
 }
 
 TrafficStats TcpTransport::stats() const {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    common::MutexLock lock(stats_mu_);
     return stats_;
 }
 
 void TcpTransport::count_drop() {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    common::MutexLock lock(stats_mu_);
     ++stats_.messages_dropped;
 }
 
@@ -150,7 +153,7 @@ void TcpTransport::schedule_after(NodeId node, SimTime delay,
     timer.seq = timer_seq_.fetch_add(1, std::memory_order_relaxed);
     timer.fn = std::move(handler);
     {
-        std::lock_guard<std::mutex> lock(state.mu);
+        common::MutexLock lock(state.mu);
         state.timers.push_back(std::move(timer));
         std::push_heap(state.timers.begin(), state.timers.end(), timer_later);
     }
@@ -160,7 +163,7 @@ void TcpTransport::schedule_after(NodeId node, SimTime delay,
 void TcpTransport::send(NodeId from, NodeId to, Bytes message) {
     if (to == from) return;  // self-send is a no-op, matching the sim
     {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        common::MutexLock lock(stats_mu_);
         ++stats_.messages_sent;
         stats_.bytes_sent += message.size();
         if (to >= nodes_.size() || from >= nodes_.size()) {
@@ -175,7 +178,7 @@ void TcpTransport::send(NodeId from, NodeId to, Bytes message) {
         return;
     }
     Link& link = *nodes_[from]->links[to];
-    std::lock_guard<std::mutex> lock(link.mu);
+    common::MutexLock lock(link.mu);
     if (link.fd < 0) {
         // Link down (never dialed, or a previous error; the maintenance
         // thread re-dials). The sim models this as a lossy window too.
@@ -190,7 +193,7 @@ void TcpTransport::send(NodeId from, NodeId to, Bytes message) {
         // leave the slot empty for the re-dial sweep.
         ::shutdown(link.fd, SHUT_RDWR);
         link.fd = -1;
-        count_drop();
+        count_drop();  // Link::mu before stats_mu_ (see the hierarchy)
     }
 }
 
@@ -205,7 +208,19 @@ void TcpTransport::install_link(NodeId owner, NodeId peer, int fd) {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     Link& link = *nodes_[owner]->links[peer];
     {
-        std::lock_guard<std::mutex> lock(link.mu);
+        common::MutexLock lock(link.mu);
+        // A dial or accept completing concurrently with stop() must not
+        // publish a live fd: stop() sets stopping_ *before* its shutdown
+        // sweep takes every Link::mu, so if the sweep already passed this
+        // link we observe stopping_ here and refuse — otherwise the sweep
+        // is still ahead and will shut the fd down. Without this check the
+        // installed fd is never shut down and its reader blocks in recv()
+        // forever, hanging stop() at the join.
+        if (stopping_.load()) {
+            lock.unlock();
+            ::close(fd);
+            return;
+        }
         if (link.fd >= 0) ::shutdown(link.fd, SHUT_RDWR);  // replace stale
         link.fd = fd;
     }
@@ -213,7 +228,7 @@ void TcpTransport::install_link(NodeId owner, NodeId peer, int fd) {
 }
 
 void TcpTransport::spawn_reader(NodeId node, NodeId peer, int fd) {
-    std::lock_guard<std::mutex> lock(readers_mu_);
+    common::MutexLock lock(readers_mu_);
     reader_threads_.emplace_back(
         [this, node, peer, fd] { reader_loop(node, peer, fd); });
 }
@@ -249,7 +264,8 @@ void TcpTransport::start() {
         }
     }
     for (NodeId id = 0; id < nodes_.size(); ++id) {
-        nodes_[id]->accept_thread = std::thread([this, id] { accept_loop(id); });
+        nodes_[id]->accept_thread =
+            std::thread([this, id] { accept_loop(id); });  // bcfl-lint: allow(raw-thread)
     }
     // Dial every pair synchronously (loopback: instant) so the first sends
     // after run() find live links instead of burning a reconnect window.
@@ -268,7 +284,7 @@ void TcpTransport::start() {
             for (;;) {
                 {
                     Link& link = *nodes_[a]->links[b];
-                    std::lock_guard<std::mutex> lock(link.mu);
+                    common::MutexLock lock(link.mu);
                     if (link.fd >= 0) break;
                 }
                 // Timed out: leave it to the maintenance re-dial sweep.
@@ -279,8 +295,9 @@ void TcpTransport::start() {
     }
     for (NodeId id = 0; id < nodes_.size(); ++id) {
         nodes_[id]->dispatch_thread =
-            std::thread([this, id] { dispatch_loop(id); });
+            std::thread([this, id] { dispatch_loop(id); });  // bcfl-lint: allow(raw-thread)
     }
+    // bcfl-lint: allow(raw-thread)
     maintenance_thread_ = std::thread([this] { maintenance_loop(); });
 }
 
@@ -321,7 +338,7 @@ void TcpTransport::reader_loop(NodeId node, NodeId peer, int fd) {
         if (!recv_all(fd, payload.data(), payload.size())) break;
         bool dropped = false;
         {
-            std::lock_guard<std::mutex> lock(state.mu);
+            common::MutexLock lock(state.mu);
             if (state.inbox.size() >= config_.max_inbox) {
                 dropped = true;
             } else {
@@ -338,7 +355,7 @@ void TcpTransport::reader_loop(NodeId node, NodeId peer, int fd) {
     // the maintenance sweep re-dials (if this endpoint was the dialer).
     Link& link = *state.links[peer];
     {
-        std::lock_guard<std::mutex> lock(link.mu);
+        common::MutexLock lock(link.mu);
         if (link.fd == fd) link.fd = -1;
     }
     ::close(fd);
@@ -346,7 +363,7 @@ void TcpTransport::reader_loop(NodeId node, NodeId peer, int fd) {
 
 void TcpTransport::dispatch_loop(NodeId node) {
     NodeState& state = *nodes_[node];
-    std::unique_lock<std::mutex> lock(state.mu);
+    common::MutexLock lock(state.mu);
     for (;;) {
         if (stopping_.load()) return;
         if (!running_.load()) {
@@ -371,7 +388,7 @@ void TcpTransport::dispatch_loop(NodeId node) {
             state.inbox.pop_front();
             lock.unlock();
             {
-                std::lock_guard<std::mutex> stats_lock(stats_mu_);
+                common::MutexLock stats_lock(stats_mu_);
                 ++stats_.messages_delivered;
             }
             state.receiver(frame.first, frame.second);
@@ -396,7 +413,7 @@ void TcpTransport::maintenance_loop() {
                 bool down = false;
                 {
                     Link& link = *nodes_[hi]->links[lo];
-                    std::lock_guard<std::mutex> lock(link.mu);
+                    common::MutexLock lock(link.mu);
                     down = link.fd < 0;
                 }
                 if (down && !stopping_.load()) dial(hi, lo);
@@ -422,23 +439,29 @@ void TcpTransport::stop() {
         return;
     }
     running_.store(false);
-    // Unblock every accept() and recv().
+    // Unblock every accept() and recv(). stopping_ was set above, before
+    // this sweep takes any Link::mu — install_link relies on that order to
+    // close its race against late dials (see the check there).
     for (auto& state : nodes_) {
         if (state->listen_fd >= 0) ::shutdown(state->listen_fd, SHUT_RDWR);
         for (auto& link : state->links) {
-            std::lock_guard<std::mutex> lock(link->mu);
+            common::MutexLock lock(link->mu);
             if (link->fd >= 0) ::shutdown(link->fd, SHUT_RDWR);
         }
         state->cv.notify_all();
     }
+    // Join order matters: maintenance and accept threads are the only
+    // spawners of readers, so once they are joined the reader set is
+    // final and the readers_mu_ section below joins every reader exactly
+    // once.
     if (maintenance_thread_.joinable()) maintenance_thread_.join();
     for (auto& state : nodes_) {
         if (state->accept_thread.joinable()) state->accept_thread.join();
         if (state->dispatch_thread.joinable()) state->dispatch_thread.join();
     }
     {
-        std::lock_guard<std::mutex> lock(readers_mu_);
-        for (std::thread& reader : reader_threads_) {
+        common::MutexLock lock(readers_mu_);
+        for (std::thread& reader : reader_threads_) {  // bcfl-lint: allow(raw-thread)
             if (reader.joinable()) reader.join();
         }
         reader_threads_.clear();

@@ -20,6 +20,17 @@
 //     beforehand (node->start(), run_rounds()) executes on the caller's
 //     thread with no concurrent delivery, so setup needs no locks.
 //
+// Lock hierarchy (acquire order; never take a later lock while holding an
+// earlier one in reverse — checked by clang -Wthread-safety through the
+// BCFL_* annotations, see docs/development.md):
+//   NodeState::mu  >  Link::mu  >  readers_mu_  >  stats_mu_
+// stats_mu_ is the innermost lock: count_drop() runs under Link::mu (send
+// failure) and under nothing at all (inbox overflow), so it must never be
+// held while acquiring anything else. TSA's BCFL_ACQUIRED_BEFORE can only
+// name members of the same class, so readers_mu_ pins its edge to
+// stats_mu_ here and the cross-struct edges are enforced by the
+// BCFL_EXCLUDES contracts on the helpers below.
+//
 // Clocks: now() is wall-clock microseconds since construction; timers use
 // the steady clock. Nothing here is deterministic — determinism is the
 // sim backend's contract (see docs/transport.md).
@@ -27,15 +38,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "net/transport.hpp"
 
 namespace bcfl::net {
@@ -86,22 +96,28 @@ private:
     /// whole frame (frames never interleave) and only shutdown() on error;
     /// the reader thread owns close() of its own fd.
     struct Link {
-        std::mutex mu;
-        int fd = -1;
+        common::Mutex mu;
+        int fd BCFL_GUARDED_BY(mu) = -1;
     };
 
     struct NodeState {
         Receiver receiver;
+        // listen_fd/port are phase-guarded, not lock-guarded: written by
+        // add_node (single-threaded setup) and stop() (after every thread
+        // that reads them is joined), read-only in between.
         int listen_fd = -1;
         std::uint16_t port = 0;
-        std::thread accept_thread;
-        std::thread dispatch_thread;
+        std::thread accept_thread;    // bcfl-lint: allow(raw-thread)
+        std::thread dispatch_thread;  // bcfl-lint: allow(raw-thread)
 
-        std::mutex mu;  // guards inbox + timers
-        std::condition_variable cv;
-        std::deque<std::pair<NodeId, Bytes>> inbox;
-        std::vector<Timer> timers;  // min-heap (std::push_heap/pop_heap)
+        common::Mutex mu;
+        common::CondVar cv;
+        std::deque<std::pair<NodeId, Bytes>> inbox BCFL_GUARDED_BY(mu);
+        // Min-heap (std::push_heap/pop_heap).
+        std::vector<Timer> timers BCFL_GUARDED_BY(mu);
 
+        // The vector itself is phase-guarded (sized once in start(), before
+        // any reader/dispatch thread exists); each Link guards its own fd.
         std::vector<std::unique_ptr<Link>> links;  // by peer id
     };
 
@@ -111,9 +127,11 @@ private:
     void maintenance_loop();
     /// Dials `lo`'s listener on behalf of `hi` and installs the link.
     bool dial(NodeId hi, NodeId lo);
-    void install_link(NodeId owner, NodeId peer, int fd);
-    void spawn_reader(NodeId node, NodeId peer, int fd);
-    void count_drop();
+    void install_link(NodeId owner, NodeId peer, int fd)
+        BCFL_EXCLUDES(readers_mu_);
+    void spawn_reader(NodeId node, NodeId peer, int fd)
+        BCFL_EXCLUDES(readers_mu_);
+    void count_drop() BCFL_EXCLUDES(stats_mu_);
 
     TcpTransportConfig config_;
     Clock::time_point epoch_;
@@ -124,12 +142,13 @@ private:
     std::atomic<bool> stopping_{false};
     std::atomic<std::uint64_t> timer_seq_{0};
 
-    std::thread maintenance_thread_;
-    std::mutex readers_mu_;
-    std::vector<std::thread> reader_threads_;
+    std::thread maintenance_thread_;  // bcfl-lint: allow(raw-thread)
+    common::Mutex readers_mu_ BCFL_ACQUIRED_BEFORE(stats_mu_);
+    // bcfl-lint: allow(raw-thread) — this transport owns its delivery threads
+    std::vector<std::thread> reader_threads_ BCFL_GUARDED_BY(readers_mu_);
 
-    mutable std::mutex stats_mu_;
-    TrafficStats stats_;
+    mutable common::Mutex stats_mu_;
+    TrafficStats stats_ BCFL_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace bcfl::net

@@ -536,7 +536,7 @@ std::shared_ptr<const CodeAnalysis> AnalysisCache::get(BytesView code) {
 std::shared_ptr<const CodeAnalysis> AnalysisCache::get(const Hash32& code_hash,
                                                        BytesView code) {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        common::MutexLock lock(mutex_);
         const auto it = entries_.find(code_hash);
         if (it != entries_.end()) {
             ++stats_.hits;
@@ -548,27 +548,33 @@ std::shared_ptr<const CodeAnalysis> AnalysisCache::get(const Hash32& code_hash,
     // (both sides computed the identical, immutable result).
     auto analysis =
         std::make_shared<const CodeAnalysis>(analyze(code, gas_, max_stack_));
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
+    store_locked(code_hash, analysis);
+    return analysis;
+}
+
+void AnalysisCache::store_locked(
+    const Hash32& code_hash,
+    const std::shared_ptr<const CodeAnalysis>& analysis) {
     if (entries_.size() >= max_entries_) {
         stats_.evictions += entries_.size();
         entries_.clear();
     }
     entries_.emplace(code_hash, analysis);
-    return analysis;
 }
 
 AnalysisCache::Stats AnalysisCache::stats() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     return stats_;
 }
 
 std::size_t AnalysisCache::size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     return entries_.size();
 }
 
 void AnalysisCache::clear() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     stats_.evictions += entries_.size();
     entries_.clear();
 }

@@ -16,13 +16,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "chain/gas.hpp"
 #include "common/bytes.hpp"
+#include "common/sync.hpp"
 
 namespace bcfl::vm {
 
@@ -111,28 +111,37 @@ public:
 
     /// Analysis for `code`, hashing it first. Prefer the two-argument form
     /// when the caller already knows keccak(code).
-    std::shared_ptr<const CodeAnalysis> get(BytesView code);
+    std::shared_ptr<const CodeAnalysis> get(BytesView code)
+        BCFL_EXCLUDES(mutex_);
     std::shared_ptr<const CodeAnalysis> get(const Hash32& code_hash,
-                                            BytesView code);
+                                            BytesView code)
+        BCFL_EXCLUDES(mutex_);
 
     struct Stats {
         std::uint64_t hits = 0;
         std::uint64_t misses = 0;
         std::uint64_t evictions = 0;
     };
-    [[nodiscard]] Stats stats() const;
-    [[nodiscard]] std::size_t size() const;
-    void clear();
+    [[nodiscard]] Stats stats() const BCFL_EXCLUDES(mutex_);
+    [[nodiscard]] std::size_t size() const BCFL_EXCLUDES(mutex_);
+    void clear() BCFL_EXCLUDES(mutex_);
 
 private:
-    mutable std::mutex mutex_;
+    /// Insert under mutex_, applying the wholesale-reset bound. Split out
+    /// of get() so the "caller already holds the lock" contract is an
+    /// annotated, compiler-checked fact rather than a comment.
+    void store_locked(const Hash32& code_hash,
+                      const std::shared_ptr<const CodeAnalysis>& analysis)
+        BCFL_REQUIRES(mutex_);
+
+    mutable common::Mutex mutex_;
     chain::GasSchedule gas_;
     std::size_t max_stack_;
     std::size_t max_entries_;
-    Stats stats_;
+    Stats stats_ BCFL_GUARDED_BY(mutex_);
     std::unordered_map<Hash32, std::shared_ptr<const CodeAnalysis>,
                        FixedBytesHasher>
-        entries_;
+        entries_ BCFL_GUARDED_BY(mutex_);
 };
 
 }  // namespace bcfl::vm

@@ -1,0 +1,12 @@
+// Allow-escape fixture for the `layering` rule: the same upward include
+// as bad_layering.cpp, suppressed by an explicit allow comment (the
+// mechanism the two pinned legacy edges in the real tree use). Must
+// produce no findings.
+// bcfl-lint: allow(layering)
+#include "node/node.hpp"
+
+namespace bcfl::fixture {
+
+int sanctioned_upward_edge() { return 3; }
+
+}  // namespace bcfl::fixture

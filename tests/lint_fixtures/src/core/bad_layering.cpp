@@ -1,0 +1,11 @@
+// Known-bad fixture for the `layering` rule: core/ reaching up into
+// node/ breaks the architecture DAG (node sits above core — only the
+// two pinned legacy includes in the real tree are exempt, via explicit
+// allow comments). Must produce only [layering] findings.
+#include "node/node.hpp"
+
+namespace bcfl::fixture {
+
+int reaches_above_its_layer() { return 1; }
+
+}  // namespace bcfl::fixture

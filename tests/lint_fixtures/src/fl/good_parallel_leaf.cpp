@@ -1,0 +1,11 @@
+// Known-good fixture for the `layering` rule's leaf exception: fl/ may
+// not include core/ in general, but core/parallel.hpp is the sanctioned
+// std-only leaf every layer may name (the chunked reducers). Must
+// produce no findings.
+#include "core/parallel.hpp"
+
+namespace bcfl::fixture {
+
+int chunked_reduction_entry_point() { return 5; }
+
+}  // namespace bcfl::fixture

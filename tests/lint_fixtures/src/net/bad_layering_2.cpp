@@ -1,0 +1,11 @@
+// Known-bad fixture for the `layering` rule, second direction: net/ may
+// not include core/ (the transport seam sits beneath the experiment
+// layer; core drives net, never the reverse). Must produce only
+// [layering] findings.
+#include "core/peer.hpp"
+
+namespace bcfl::fixture {
+
+int transport_reaching_into_experiment_layer() { return 2; }
+
+}  // namespace bcfl::fixture

@@ -1,0 +1,13 @@
+// Known-good fixture for the `layering` rule: node/ is the top layer on
+// the include axis, so reaching down into chain/, net/ and the
+// sanctioned core/parallel.hpp leaf is all within the DAG. Must produce
+// no findings.
+#include "chain/blockchain.hpp"
+#include "core/parallel.hpp"
+#include "net/transport.hpp"
+
+namespace bcfl::fixture {
+
+int composed_from_the_layers_beneath() { return 4; }
+
+}  // namespace bcfl::fixture
